@@ -1,0 +1,55 @@
+//! The CrashMonkey adapter.
+//!
+//! The original ACE emits workloads in a high-level language and a custom
+//! adapter compiles each one into a C++ test program that CrashMonkey links
+//! against (§5.2). In this reproduction both tools share the workload IR, so
+//! the adapter's job reduces to validating the invariants CrashMonkey relies
+//! on and serializing the workload into the text format used to ship
+//! workloads to remote test machines (§6.1's "copy workloads to the
+//! Chameleon nodes" step).
+
+use b3_vfs::error::{FsError, FsResult};
+use b3_vfs::workload::Workload;
+
+/// Validates a generated workload and returns the textual test-case form
+/// that gets shipped to (and parsed back by) the test runners.
+pub fn to_crashmonkey_test(workload: &Workload) -> FsResult<String> {
+    if workload.ops.is_empty() {
+        return Err(FsError::InvalidArgument(
+            "workload has no core operations".to_string(),
+        ));
+    }
+    if !workload.ends_with_persistence_point() {
+        return Err(FsError::InvalidArgument(format!(
+            "workload {} does not end with a persistence point",
+            workload.name
+        )));
+    }
+    Ok(workload.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b3_vfs::workload::{parse_workload, Op};
+
+    #[test]
+    fn round_trips_through_the_text_format() {
+        let workload = Workload::with_setup(
+            "adapter-demo",
+            vec![Op::Mkdir { path: "A".into() }],
+            vec![Op::Creat { path: "A/foo".into() }, Op::Fsync { path: "A/foo".into() }],
+        );
+        let text = to_crashmonkey_test(&workload).unwrap();
+        let parsed = parse_workload(&text, "x").unwrap();
+        assert_eq!(parsed, workload);
+    }
+
+    #[test]
+    fn rejects_workloads_without_final_persistence() {
+        let workload = Workload::new("bad", vec![Op::Creat { path: "foo".into() }]);
+        assert!(to_crashmonkey_test(&workload).is_err());
+        let empty = Workload::new("empty", vec![]);
+        assert!(to_crashmonkey_test(&empty).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! The bounds that make exhaustive workload generation tractable.
+//!
+//! Table 3 of the paper lists the concrete values ACE uses for each B3
+//! bound; [`Bounds`] carries the same knobs plus the presets for each of the
+//! workload sets of Table 4 (`seq-1`, `seq-2`, `seq-3-data`,
+//! `seq-3-metadata`, `seq-3-nested`).
+
+use b3_vfs::workload::{FallocMode, FileSet, OpKind, WritePattern};
+
+/// Which persistence operations phase 3 may append after a core operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistenceChoices {
+    /// Allow `fsync` of a file/directory touched by the preceding operation.
+    pub fsync: bool,
+    /// Allow `fdatasync` of a file touched by the preceding data operation.
+    pub fdatasync: bool,
+    /// Allow the global `sync`.
+    pub sync: bool,
+    /// Allow leaving an operation without a persistence point (never applied
+    /// to the final operation).
+    pub allow_none: bool,
+}
+
+impl Default for PersistenceChoices {
+    fn default() -> Self {
+        PersistenceChoices {
+            fsync: true,
+            fdatasync: true,
+            sync: true,
+            allow_none: true,
+        }
+    }
+}
+
+/// The named workload sets of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SequencePreset {
+    /// Single-operation workloads over all 14 operations.
+    Seq1,
+    /// Two-operation workloads over all 14 operations.
+    Seq2,
+    /// Three-operation workloads focused on data operations.
+    Seq3Data,
+    /// Three-operation workloads focused on metadata operations.
+    Seq3Metadata,
+    /// Three-operation metadata workloads with a directory at depth three.
+    Seq3Nested,
+}
+
+impl SequencePreset {
+    /// All presets, in the order Table 4 lists them.
+    pub const ALL: [SequencePreset; 5] = [
+        SequencePreset::Seq1,
+        SequencePreset::Seq2,
+        SequencePreset::Seq3Data,
+        SequencePreset::Seq3Metadata,
+        SequencePreset::Seq3Nested,
+    ];
+
+    /// The name Table 4 uses for this preset.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SequencePreset::Seq1 => "seq-1",
+            SequencePreset::Seq2 => "seq-2",
+            SequencePreset::Seq3Data => "seq-3-data",
+            SequencePreset::Seq3Metadata => "seq-3-metadata",
+            SequencePreset::Seq3Nested => "seq-3-nested",
+        }
+    }
+
+    /// The bounds for this preset.
+    pub fn bounds(&self) -> Bounds {
+        match self {
+            SequencePreset::Seq1 => Bounds::paper_seq1(),
+            SequencePreset::Seq2 => Bounds::paper_seq2(),
+            SequencePreset::Seq3Data => Bounds::paper_seq3_data(),
+            SequencePreset::Seq3Metadata => Bounds::paper_seq3_metadata(),
+            SequencePreset::Seq3Nested => Bounds::paper_seq3_nested(),
+        }
+    }
+}
+
+/// The bounds ACE explores exhaustively.
+#[derive(Debug, Clone)]
+pub struct Bounds {
+    /// Workload name prefix (e.g. `"seq-2"`).
+    pub name_prefix: String,
+    /// Number of core operations per workload (the sequence length).
+    pub seq_len: usize,
+    /// The operation kinds phase 1 may choose from.
+    pub ops: Vec<OpKind>,
+    /// The files and directories phase 2 may use as arguments.
+    pub files: FileSet,
+    /// Write patterns available to data operations.
+    pub write_patterns: Vec<WritePattern>,
+    /// `fallocate` modes available to `falloc` operations.
+    pub falloc_modes: Vec<FallocMode>,
+    /// Persistence-point choices for phase 3.
+    pub persistence: PersistenceChoices,
+}
+
+impl Bounds {
+    /// The 14-operation set used by the paper's seq-1 and seq-2 runs.
+    pub fn paper_ops() -> Vec<OpKind> {
+        OpKind::ACE_CORE_OPS.to_vec()
+    }
+
+    /// seq-1: every operation once, the paper reports 300 workloads.
+    pub fn paper_seq1() -> Bounds {
+        Bounds {
+            name_prefix: "seq-1".into(),
+            seq_len: 1,
+            ops: Self::paper_ops(),
+            files: FileSet::paper_default(),
+            write_patterns: vec![
+                WritePattern::Append,
+                WritePattern::OverwriteStart,
+                WritePattern::OverwriteMiddle,
+                WritePattern::OverwriteEnd,
+            ],
+            falloc_modes: vec![
+                FallocMode::Allocate,
+                FallocMode::KeepSize,
+                FallocMode::ZeroRange,
+                FallocMode::ZeroRangeKeepSize,
+                FallocMode::PunchHole,
+            ],
+            persistence: PersistenceChoices::default(),
+        }
+    }
+
+    /// seq-2: two core operations, 14-operation set.
+    pub fn paper_seq2() -> Bounds {
+        Bounds {
+            name_prefix: "seq-2".into(),
+            seq_len: 2,
+            ..Bounds::paper_seq1()
+        }
+    }
+
+    /// seq-3-data: three core operations focused on data operations
+    /// (buffered write, mmap write, direct write, fallocate). The study
+    /// found data bugs come from *overlapping* operations on the same file,
+    /// so the file set is narrowed to two files — which is also what keeps
+    /// the workload count in the paper's 120K ballpark.
+    pub fn paper_seq3_data() -> Bounds {
+        Bounds {
+            name_prefix: "seq-3-data".into(),
+            seq_len: 3,
+            ops: vec![
+                OpKind::WriteBuffered,
+                OpKind::WriteMmap,
+                OpKind::WriteDirect,
+                OpKind::Falloc,
+            ],
+            files: FileSet::new(
+                vec!["A".into()],
+                vec!["foo".into(), "A/foo".into()],
+            ),
+            ..Bounds::paper_seq1()
+        }
+    }
+
+    /// seq-3-metadata: three core operations focused on metadata operations
+    /// (buffered write, link, unlink, rename). Writes in this set exist to
+    /// interleave with the metadata operations, so a single append pattern
+    /// suffices — keeping the space near the paper's 1.5M workloads.
+    pub fn paper_seq3_metadata() -> Bounds {
+        Bounds {
+            name_prefix: "seq-3-metadata".into(),
+            seq_len: 3,
+            ops: vec![
+                OpKind::WriteBuffered,
+                OpKind::Link,
+                OpKind::Unlink,
+                OpKind::Rename,
+            ],
+            write_patterns: vec![WritePattern::Append],
+            ..Bounds::paper_seq1()
+        }
+    }
+
+    /// seq-3-nested: link and rename over a file set with a depth-3
+    /// directory.
+    pub fn paper_seq3_nested() -> Bounds {
+        Bounds {
+            name_prefix: "seq-3-nested".into(),
+            seq_len: 3,
+            ops: vec![OpKind::Link, OpKind::Rename],
+            files: FileSet::nested(),
+            ..Bounds::paper_seq1()
+        }
+    }
+
+    /// Relaxes the file-set bound by adding the nested directory (the §5.2
+    /// "running ACE with relaxed bounds" discussion: one extra nested
+    /// directory grows the seq-3 workload count by roughly 2.5×).
+    pub fn with_nested_files(mut self) -> Bounds {
+        self.files = FileSet::nested();
+        self.name_prefix = format!("{}-relaxed", self.name_prefix);
+        self
+    }
+
+    /// Restricts the operation set (the paper's "user may supply bounds such
+    /// as requiring only a subset of file-system operations be used").
+    pub fn with_ops(mut self, ops: Vec<OpKind>) -> Bounds {
+        self.ops = ops;
+        self
+    }
+
+    /// A small bounds configuration for unit tests and examples.
+    pub fn tiny() -> Bounds {
+        Bounds {
+            name_prefix: "tiny".into(),
+            seq_len: 1,
+            ops: vec![OpKind::Creat, OpKind::Link, OpKind::Rename],
+            files: FileSet::minimal(),
+            write_patterns: vec![WritePattern::Append],
+            falloc_modes: vec![FallocMode::KeepSize],
+            persistence: PersistenceChoices {
+                fdatasync: false,
+                ..PersistenceChoices::default()
+            },
+        }
+    }
+
+    /// Describes the bounds in the format of Table 3.
+    pub fn describe(&self) -> String {
+        format!(
+            "sequence length {}; {} operations; {} files in {} directories (max depth {}); \
+             {} write patterns; {} falloc modes",
+            self.seq_len,
+            self.ops.len(),
+            self.files.num_files(),
+            self.files.num_dirs(),
+            self.files.max_depth(),
+            self.write_patterns.len(),
+            self.falloc_modes.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_seq1_uses_all_14_ops() {
+        let bounds = Bounds::paper_seq1();
+        assert_eq!(bounds.ops.len(), 14);
+        assert_eq!(bounds.seq_len, 1);
+        assert_eq!(bounds.files.max_depth(), 2);
+    }
+
+    #[test]
+    fn presets_cover_table4() {
+        assert_eq!(SequencePreset::ALL.len(), 5);
+        assert_eq!(SequencePreset::Seq3Nested.bounds().files.max_depth(), 3);
+        assert_eq!(SequencePreset::Seq3Metadata.bounds().ops.len(), 4);
+        assert_eq!(SequencePreset::Seq2.name(), "seq-2");
+    }
+
+    #[test]
+    fn relaxing_bounds_changes_file_set() {
+        let relaxed = Bounds::paper_seq3_metadata().with_nested_files();
+        assert_eq!(relaxed.files.max_depth(), 3);
+        assert!(relaxed.name_prefix.contains("relaxed"));
+    }
+
+    #[test]
+    fn describe_mentions_the_key_bounds() {
+        let text = Bounds::paper_seq2().describe();
+        assert!(text.contains("sequence length 2"));
+        assert!(text.contains("14 operations"));
+    }
+}

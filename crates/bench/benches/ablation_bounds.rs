@@ -1,0 +1,84 @@
+//! Ablation: how each B3 bound affects the size of the workload space
+//! (§4.2 and the "Running ACE with relaxed bounds" discussion of §5.2).
+//!
+//! The paper's headline data point is that adding a single nested directory
+//! to the file-set bound grows the seq-3 space ~2.5×. This bench quantifies
+//! that, plus the effect of the operation-set and sequence-length bounds, by
+//! counting candidate workloads analytically and (for the small spaces)
+//! exactly, and compares the baselines: the xfstests-style regression suite
+//! (26 tests) and random generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use b3_ace::{Bounds, WorkloadGenerator};
+use b3_harness::baseline::{xfstests_suite, RandomWorkloads};
+use b3_harness::Table;
+use b3_vfs::workload::OpKind;
+
+fn print_ablation() {
+    println!("\n=== Ablation: effect of each bound on the workload space ===\n");
+    let mut table = Table::new(vec!["configuration", "candidate workloads"]);
+    let rows: Vec<(&str, u64)> = vec![
+        (
+            "seq-1, paper bounds",
+            WorkloadGenerator::estimate_candidates(&Bounds::paper_seq1()),
+        ),
+        (
+            "seq-2, paper bounds",
+            WorkloadGenerator::estimate_candidates(&Bounds::paper_seq2()),
+        ),
+        (
+            "seq-3-metadata, paper bounds",
+            WorkloadGenerator::estimate_candidates(&Bounds::paper_seq3_metadata()),
+        ),
+        (
+            "seq-3-metadata, +1 nested directory (relaxed file set)",
+            WorkloadGenerator::estimate_candidates(
+                &Bounds::paper_seq3_metadata().with_nested_files(),
+            ),
+        ),
+        (
+            "seq-3-metadata, restricted to link+rename",
+            WorkloadGenerator::estimate_candidates(
+                &Bounds::paper_seq3_metadata().with_ops(vec![OpKind::Link, OpKind::Rename]),
+            ),
+        ),
+        ("xfstests-style regression suite", xfstests_suite().len() as u64),
+    ];
+    for (label, count) in rows {
+        table.row(vec![label.to_string(), count.to_string()]);
+    }
+    println!("{}", table.render());
+
+    let base = WorkloadGenerator::estimate_candidates(&Bounds::paper_seq3_metadata());
+    let relaxed = WorkloadGenerator::estimate_candidates(
+        &Bounds::paper_seq3_metadata().with_nested_files(),
+    );
+    println!(
+        "relaxing the file-set bound grows the seq-3-metadata space {:.1}x (paper: 2.5x)\n",
+        relaxed as f64 / base as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation();
+    c.bench_function("ablation/estimate_seq3_relaxed", |b| {
+        b.iter(|| {
+            criterion::black_box(WorkloadGenerator::estimate_candidates(
+                &Bounds::paper_seq3_metadata().with_nested_files(),
+            ))
+        })
+    });
+    c.bench_function("ablation/random_generation_100", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                RandomWorkloads::new(Bounds::paper_seq2(), 11)
+                    .take(100)
+                    .count(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! §6.4 ACE performance: workload-generation throughput.
+//!
+//! The paper generates 3.37 M workloads in 374 minutes (~150 workloads per
+//! second of single-threaded Python). This bench measures the Rust
+//! generator's throughput over the exhaustive seq-1 space and a seq-2
+//! prefix, prints the workloads-per-second figure, and also times workload
+//! serialization (the "deploying workloads" cost of §6.4).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use b3_ace::{to_crashmonkey_test, Bounds, WorkloadGenerator};
+use b3_harness::Table;
+
+fn print_throughput() {
+    println!("\n=== §6.4 ACE performance ===\n");
+    let mut table = Table::new(vec!["bound", "workloads", "time", "workloads/s", "paper"]);
+    for (label, bounds, limit) in [
+        ("seq-1 (exhaustive)", Bounds::paper_seq1(), usize::MAX),
+        ("seq-2 (first 50k)", Bounds::paper_seq2(), 50_000),
+        ("seq-3-metadata (first 50k)", Bounds::paper_seq3_metadata(), 50_000),
+    ] {
+        let start = Instant::now();
+        let count = WorkloadGenerator::new(bounds).take(limit).count();
+        let elapsed = start.elapsed();
+        let rate = count as f64 / elapsed.as_secs_f64();
+        table.row(vec![
+            label.to_string(),
+            count.to_string(),
+            format!("{elapsed:.2?}"),
+            format!("{rate:.0}"),
+            "~150 workloads/s".to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_throughput();
+    c.bench_function("ace/generate_1000_seq2_workloads", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                WorkloadGenerator::new(Bounds::paper_seq2())
+                    .take(1000)
+                    .count(),
+            )
+        })
+    });
+    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq2()).take(1000).collect();
+    c.bench_function("ace/serialize_1000_workloads", |b| {
+        b.iter(|| {
+            let bytes: usize = sample
+                .iter()
+                .map(|w| to_crashmonkey_test(w).unwrap().len())
+                .sum();
+            criterion::black_box(bytes)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

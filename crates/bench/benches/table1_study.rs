@@ -1,0 +1,32 @@
+//! Table 1 and Table 2: the §3 bug-study breakdowns.
+//!
+//! The tables are pure data (re-verified against the paper's totals by the
+//! harness's unit tests); this bench prints them and measures the cost of
+//! recomputing the breakdowns from the per-bug dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use b3_harness::study;
+
+fn print_tables() {
+    println!("\n=== Table 1: crash-consistency bug study ===\n");
+    println!("{}", study::render_table1());
+    println!("=== Table 2: example reported bugs ===\n");
+    println!("{}", study::render_table2());
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    c.bench_function("table1/breakdowns", |b| {
+        b.iter(|| {
+            let by_consequence = study::by_consequence();
+            let by_version = study::by_kernel_version();
+            let by_fs = study::by_file_system();
+            let by_ops = study::by_num_ops();
+            criterion::black_box((by_consequence, by_version, by_fs, by_ops))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

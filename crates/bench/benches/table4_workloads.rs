@@ -1,0 +1,105 @@
+//! Table 4: workloads per sequence set and the time to generate/test them.
+//!
+//! Prints the bounds (Table 3), the number of workloads each preset expands
+//! to (exact for seq-1/seq-2, analytically estimated for the seq-3 sets
+//! unless `B3_EXACT_COUNTS=1` is set), and the measured testing throughput,
+//! from which a projected "run time" column comparable to the paper's is
+//! derived.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use b3_ace::{Bounds, SequencePreset, WorkloadGenerator};
+use b3_bench::test_workload;
+use b3_fs_cow::CowFsSpec;
+use b3_harness::Table;
+use b3_vfs::KernelEra;
+
+fn count_for(preset: SequencePreset, exact: bool) -> (u64, &'static str) {
+    let bounds = preset.bounds();
+    match preset {
+        SequencePreset::Seq1 | SequencePreset::Seq2 => {
+            (WorkloadGenerator::new(bounds).count() as u64, "exact")
+        }
+        _ if exact => (WorkloadGenerator::new(bounds).count() as u64, "exact"),
+        _ => (WorkloadGenerator::estimate_candidates(&bounds), "estimated"),
+    }
+}
+
+fn print_table4() {
+    println!("\n=== Table 3: bounds used by ACE ===\n");
+    for preset in SequencePreset::ALL {
+        println!("{:>16}: {}", preset.name(), preset.bounds().describe());
+    }
+
+    // Measure single-workload testing latency to project run times.
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq1()).take(100).collect();
+    let start = Instant::now();
+    for workload in &sample {
+        let _ = test_workload(&spec, workload);
+    }
+    let per_workload = start.elapsed() / sample.len() as u32;
+
+    let exact = std::env::var("B3_EXACT_COUNTS").is_ok();
+    println!("\n=== Table 4: workloads tested ===\n");
+    let mut table = Table::new(vec![
+        "sequence type",
+        "# of workloads",
+        "count mode",
+        "projected run time (1 thread)",
+        "paper (#)",
+    ]);
+    let paper = [
+        ("seq-1", "300"),
+        ("seq-2", "254K"),
+        ("seq-3-data", "120K"),
+        ("seq-3-metadata", "1.5M"),
+        ("seq-3-nested", "1.5M"),
+    ];
+    let mut total = 0u64;
+    for (preset, (_, paper_count)) in SequencePreset::ALL.into_iter().zip(paper) {
+        let (count, mode) = count_for(preset, exact);
+        total += count;
+        let projected = per_workload * count.min(u64::from(u32::MAX)) as u32;
+        table.row(vec![
+            preset.name().to_string(),
+            count.to_string(),
+            mode.to_string(),
+            format!("{projected:.0?}"),
+            paper_count.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "Total".into(),
+        total.to_string(),
+        String::new(),
+        String::new(),
+        "3.37M".into(),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "measured CrashMonkey latency: {per_workload:.0?} per workload on the simulator \
+         (the paper reports 4.6 s per workload on real kernels, 84% of it kernel delays)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table4();
+    c.bench_function("table4/generate_seq1_exhaustive", |b| {
+        b.iter(|| criterion::black_box(WorkloadGenerator::new(Bounds::paper_seq1()).count()))
+    });
+    c.bench_function("table4/generate_seq2_first_1000", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                WorkloadGenerator::new(Bounds::paper_seq2())
+                    .take(1000)
+                    .count(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

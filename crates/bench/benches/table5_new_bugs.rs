@@ -1,0 +1,61 @@
+//! Table 5: the new bugs found by CrashMonkey and ACE.
+//!
+//! Replays every Table 5 / Appendix 9.2 corpus entry on its 4.16-era file
+//! system, prints the regenerated table (consequence, #ops, detection), and
+//! measures the cost of detecting one of the new bugs end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use b3_bench::test_workload;
+use b3_harness::corpus::new_bugs;
+use b3_harness::Table;
+
+fn print_table5() {
+    println!("\n=== Table 5: newly discovered bugs ===\n");
+    let mut table = Table::new(vec![
+        "bug #",
+        "file system",
+        "consequence (paper)",
+        "# of ops",
+        "detected",
+        "observed consequence",
+    ]);
+    let mut detected = 0;
+    let entries = new_bugs();
+    for (i, entry) in entries.iter().enumerate() {
+        let check = entry.replay().expect("corpus entry runs");
+        if check.detected_expected {
+            detected += 1;
+        }
+        table.row(vec![
+            (i + 1).to_string(),
+            entry.fs.paper_name().to_string(),
+            entry.title.to_string(),
+            entry.workload().sequence_length().to_string(),
+            if check.detected_expected { "yes" } else { "NO" }.to_string(),
+            check
+                .observed
+                .map(|c| c.describe().to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "detected {detected} of {} new bugs (paper: 10 file-system bugs + 1 FSCQ bug)",
+        entries.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table5();
+    let entries = new_bugs();
+    let rename_atomicity = &entries[0];
+    let spec = rename_atomicity.fs.spec(rename_atomicity.era);
+    let workload = rename_atomicity.workload();
+    c.bench_function("table5/detect_new_bug_1_end_to_end", |b| {
+        b.iter(|| criterion::black_box(test_workload(spec.as_ref(), &workload)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

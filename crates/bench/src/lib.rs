@@ -1,0 +1,41 @@
+//! Benchmark-support crate.
+//!
+//! The actual benchmarks live in `benches/`, one per table or figure of the
+//! paper's evaluation (§6); each prints the regenerated table to stdout and
+//! measures the underlying operation with Criterion. This library exposes
+//! the few helpers they share.
+
+use b3_crashmonkey::{CrashMonkey, CrashMonkeyConfig, WorkloadOutcome};
+use b3_vfs::fs::FsSpec;
+use b3_vfs::workload::Workload;
+
+/// Runs one workload under CrashMonkey with a small device, panicking on
+/// setup errors (benchmarks want the happy path).
+pub fn test_workload(spec: &dyn FsSpec, workload: &Workload) -> WorkloadOutcome {
+    CrashMonkey::with_config(spec, CrashMonkeyConfig::small())
+        .test_workload(workload)
+        .expect("benchmark workload runs")
+}
+
+/// A representative seq-2 workload used by the performance benchmarks.
+pub fn representative_workload() -> Workload {
+    b3_vfs::workload::parse_workload(
+        "[setup]\nmkdir A\ncreat A/foo\n[ops]\nwrite A/foo 0 16384\nsync\nlink A/foo A/bar\nfsync A/foo\n",
+        "bench-representative",
+    )
+    .expect("representative workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b3_fs_cow::CowFsSpec;
+
+    #[test]
+    fn representative_workload_runs_cleanly_on_patched_fs() {
+        let spec = CowFsSpec::patched();
+        let outcome = test_workload(&spec, &representative_workload());
+        assert!(outcome.skipped.is_none());
+        assert!(outcome.bugs.is_empty());
+    }
+}

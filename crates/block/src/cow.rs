@@ -1,0 +1,225 @@
+//! Copy-on-write snapshot device.
+//!
+//! CrashMonkey needs to construct many *crash states* from the same base
+//! file-system image. The paper does this with an in-memory copy-on-write
+//! block device kernel module: "resetting a snapshot to the base image simply
+//! means dropping the modified data blocks, making it efficient" (§5.1).
+//! [`CowSnapshotDevice`] is the userspace equivalent.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::device::{check_read, check_write, pad_block, BlockDevice, BlockIndex, BLOCK_SIZE};
+use crate::error::BlockResult;
+use crate::flags::IoFlags;
+use crate::stats::DeviceStats;
+
+/// An immutable, reference-counted disk image.
+///
+/// Produced by [`RamDisk::snapshot`](crate::RamDisk::snapshot) (or
+/// [`CowSnapshotDevice::freeze`]), and shared by any number of snapshots.
+#[derive(Debug, Clone)]
+pub struct DiskImage {
+    blocks: Arc<HashMap<BlockIndex, Bytes>>,
+    num_blocks: u64,
+}
+
+impl DiskImage {
+    /// Wraps an existing block map as an immutable image.
+    pub fn new(blocks: Arc<HashMap<BlockIndex, Bytes>>, num_blocks: u64) -> Self {
+        DiskImage { blocks, num_blocks }
+    }
+
+    /// Creates an empty (all-zero) image of the given size.
+    pub fn empty(num_blocks: u64) -> Self {
+        DiskImage {
+            blocks: Arc::new(HashMap::new()),
+            num_blocks,
+        }
+    }
+
+    /// Number of addressable blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    /// Number of blocks with non-default contents.
+    pub fn allocated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Reads one block from the image.
+    pub fn read_block(&self, index: BlockIndex) -> BlockResult<Vec<u8>> {
+        check_read(index, self.num_blocks)?;
+        Ok(self
+            .blocks
+            .get(&index)
+            .map(|b| b.to_vec())
+            .unwrap_or_else(|| vec![0u8; BLOCK_SIZE]))
+    }
+
+    pub(crate) fn get(&self, index: BlockIndex) -> Option<&Bytes> {
+        self.blocks.get(&index)
+    }
+}
+
+/// A writable copy-on-write overlay on top of a [`DiskImage`].
+///
+/// Reads fall through to the base image unless the block has been overwritten
+/// in the overlay. [`CowSnapshotDevice::reset`] drops the overlay, returning
+/// the device to the base image in O(overlay) time.
+#[derive(Debug, Clone)]
+pub struct CowSnapshotDevice {
+    base: DiskImage,
+    overlay: HashMap<BlockIndex, Bytes>,
+    stats: DeviceStats,
+}
+
+impl CowSnapshotDevice {
+    /// Creates a snapshot of `base` with an empty overlay.
+    pub fn new(base: DiskImage) -> Self {
+        CowSnapshotDevice {
+            base,
+            overlay: HashMap::new(),
+            stats: DeviceStats::new(),
+        }
+    }
+
+    /// Drops all modifications, returning to the base image.
+    pub fn reset(&mut self) {
+        self.overlay.clear();
+    }
+
+    /// Number of blocks currently held in the copy-on-write overlay.
+    pub fn overlay_blocks(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Approximate memory consumed by the overlay, in bytes. This is the
+    /// quantity the paper's §6.5 memory-consumption numbers are about.
+    pub fn overlay_bytes(&self) -> u64 {
+        self.overlay.len() as u64 * BLOCK_SIZE as u64
+    }
+
+    /// Reference to the base image this snapshot overlays.
+    pub fn base(&self) -> &DiskImage {
+        &self.base
+    }
+
+    /// Freezes base + overlay into a new immutable [`DiskImage`].
+    pub fn freeze(&self) -> DiskImage {
+        let mut merged: HashMap<BlockIndex, Bytes> = (*self.base.blocks).clone();
+        for (idx, block) in &self.overlay {
+            merged.insert(*idx, block.clone());
+        }
+        DiskImage::new(Arc::new(merged), self.base.num_blocks)
+    }
+}
+
+impl BlockDevice for CowSnapshotDevice {
+    fn num_blocks(&self) -> u64 {
+        self.base.num_blocks()
+    }
+
+    fn read_block(&self, index: BlockIndex) -> BlockResult<Vec<u8>> {
+        check_read(index, self.num_blocks())?;
+        if let Some(block) = self.overlay.get(&index) {
+            return Ok(block.to_vec());
+        }
+        if let Some(block) = self.base.get(index) {
+            return Ok(block.to_vec());
+        }
+        Ok(vec![0u8; BLOCK_SIZE])
+    }
+
+    fn write_block(&mut self, index: BlockIndex, data: &[u8], flags: IoFlags) -> BlockResult<()> {
+        check_write(index, self.num_blocks(), data)?;
+        self.stats.record_write(data.len(), flags.contains(IoFlags::FUA));
+        self.overlay.insert(index, Bytes::from(pad_block(data)));
+        Ok(())
+    }
+
+    fn flush(&mut self) -> BlockResult<()> {
+        self.stats.record_flush();
+        Ok(())
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ramdisk::RamDisk;
+
+    fn base_image() -> DiskImage {
+        let mut disk = RamDisk::new(32);
+        disk.write_block(0, b"base-block-0", IoFlags::META).unwrap();
+        disk.write_block(5, b"base-block-5", IoFlags::DATA).unwrap();
+        disk.snapshot()
+    }
+
+    #[test]
+    fn reads_fall_through_to_base() {
+        let snap = CowSnapshotDevice::new(base_image());
+        assert_eq!(&snap.read_block(0).unwrap()[..12], b"base-block-0");
+        assert!(snap.read_block(9).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn writes_shadow_base_without_mutating_it() {
+        let image = base_image();
+        let mut snap = CowSnapshotDevice::new(image.clone());
+        snap.write_block(0, b"overlay!", IoFlags::DATA).unwrap();
+        assert_eq!(&snap.read_block(0).unwrap()[..8], b"overlay!");
+        assert_eq!(&image.read_block(0).unwrap()[..12], b"base-block-0");
+        assert_eq!(snap.overlay_blocks(), 1);
+    }
+
+    #[test]
+    fn reset_drops_overlay() {
+        let mut snap = CowSnapshotDevice::new(base_image());
+        snap.write_block(0, b"overlay!", IoFlags::DATA).unwrap();
+        snap.write_block(20, b"new", IoFlags::DATA).unwrap();
+        assert_eq!(snap.overlay_blocks(), 2);
+        snap.reset();
+        assert_eq!(snap.overlay_blocks(), 0);
+        assert_eq!(&snap.read_block(0).unwrap()[..12], b"base-block-0");
+        assert!(snap.read_block(20).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn freeze_merges_overlay_over_base() {
+        let mut snap = CowSnapshotDevice::new(base_image());
+        snap.write_block(5, b"frozen", IoFlags::DATA).unwrap();
+        snap.write_block(7, b"extra", IoFlags::DATA).unwrap();
+        let frozen = snap.freeze();
+        assert_eq!(&frozen.read_block(5).unwrap()[..6], b"frozen");
+        assert_eq!(&frozen.read_block(7).unwrap()[..5], b"extra");
+        assert_eq!(&frozen.read_block(0).unwrap()[..12], b"base-block-0");
+    }
+
+    #[test]
+    fn overlay_bytes_accounting() {
+        let mut snap = CowSnapshotDevice::new(DiskImage::empty(64));
+        for i in 0..10 {
+            snap.write_block(i, b"x", IoFlags::DATA).unwrap();
+        }
+        assert_eq!(snap.overlay_bytes(), 10 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn multiple_snapshots_share_one_base() {
+        let image = base_image();
+        let mut a = CowSnapshotDevice::new(image.clone());
+        let mut b = CowSnapshotDevice::new(image);
+        a.write_block(0, b"from-a", IoFlags::DATA).unwrap();
+        b.write_block(0, b"from-b", IoFlags::DATA).unwrap();
+        assert_eq!(&a.read_block(0).unwrap()[..6], b"from-a");
+        assert_eq!(&b.read_block(0).unwrap()[..6], b"from-b");
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated block-device substrate for the B3 crash-testing framework.
+//!
+//! The original CrashMonkey implementation (OSDI '18) uses two Linux kernel
+//! modules: a *wrapper block device* that records every block IO request a
+//! workload generates (including persistence-point "checkpoint" markers), and
+//! an in-memory *copy-on-write block device* that provides cheap writable
+//! snapshots from which crash states are constructed by replaying recorded IO.
+//!
+//! This crate provides the userspace equivalents of both modules, plus the
+//! RAM-backed disk they sit on:
+//!
+//! * [`RamDisk`] — a fixed-size, RAM-backed block device.
+//! * [`RecordingDevice`] — a wrapper device that forwards IO to an inner
+//!   device while appending every write, flush, and checkpoint to a shared
+//!   [`IoLog`].
+//! * [`CowSnapshotDevice`] — a copy-on-write overlay over an immutable
+//!   [`DiskImage`]; resetting a snapshot simply drops the overlay.
+//! * [`replay`] — utilities that replay a recorded [`IoLog`] up to a chosen
+//!   checkpoint onto a fresh snapshot, producing the *crash state* the paper
+//!   describes.
+//!
+//! All file systems in this workspace speak to storage exclusively through
+//! the object-safe [`BlockDevice`] trait, which keeps CrashMonkey strictly
+//! black-box with respect to the file system under test.
+
+pub mod cow;
+pub mod device;
+pub mod error;
+pub mod flags;
+pub mod ramdisk;
+pub mod record;
+pub mod replay;
+pub mod stats;
+
+pub use cow::{CowSnapshotDevice, DiskImage};
+pub use device::{BlockDevice, BlockIndex, BLOCK_SIZE};
+pub use error::{BlockError, BlockResult};
+pub use flags::IoFlags;
+pub use ramdisk::RamDisk;
+pub use record::{CheckpointId, IoLog, IoRecord, LogHandle, RecordingDevice};
+pub use replay::{crash_state, replay_log, replay_until_checkpoint};
+pub use stats::DeviceStats;

@@ -1,0 +1,371 @@
+//! The IO-recording wrapper device and its shared IO log.
+//!
+//! This is the userspace analogue of CrashMonkey's first kernel module
+//! (§5.1 "Profiling workloads"): a wrapper block device that records every
+//! write the target file system issues — sector, payload, and flags — and
+//! into whose request stream CrashMonkey inserts *checkpoint* markers, one
+//! per completed persistence operation, so that the low-level IO stream can
+//! later be cut at exactly the persistence points.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::device::{BlockDevice, BlockIndex, BLOCK_SIZE};
+use crate::error::BlockResult;
+use crate::flags::IoFlags;
+use crate::stats::DeviceStats;
+
+/// Identifier of a checkpoint (persistence point) within a recorded run.
+/// Checkpoints are numbered from 1 in the order they are inserted.
+pub type CheckpointId = u32;
+
+/// One entry in the recorded IO stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoRecord {
+    /// A block write with its payload and flags.
+    Write {
+        /// Monotonic sequence number within the log.
+        seq: u64,
+        /// Destination block.
+        index: BlockIndex,
+        /// Payload (at most one block).
+        data: Bytes,
+        /// Request flags.
+        flags: IoFlags,
+    },
+    /// An explicit cache flush.
+    Flush {
+        /// Monotonic sequence number within the log.
+        seq: u64,
+    },
+    /// A CrashMonkey checkpoint marker: "an empty block IO request with a
+    /// special flag, to correlate the completion of a persistence operation
+    /// with the low-level block IO stream".
+    Checkpoint {
+        /// Monotonic sequence number within the log.
+        seq: u64,
+        /// Checkpoint number (1-based).
+        id: CheckpointId,
+    },
+}
+
+impl IoRecord {
+    /// The record's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            IoRecord::Write { seq, .. } | IoRecord::Flush { seq } | IoRecord::Checkpoint { seq, .. } => {
+                *seq
+            }
+        }
+    }
+
+    /// Returns the checkpoint id if this record is a checkpoint marker.
+    pub fn checkpoint_id(&self) -> Option<CheckpointId> {
+        match self {
+            IoRecord::Checkpoint { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Returns true for data/metadata writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, IoRecord::Write { .. })
+    }
+}
+
+/// The complete recorded IO stream of one workload execution.
+#[derive(Debug, Default, Clone)]
+pub struct IoLog {
+    records: Vec<IoRecord>,
+    next_seq: u64,
+    checkpoints: u32,
+}
+
+impl IoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        IoLog::default()
+    }
+
+    /// All records in arrival order.
+    pub fn records(&self) -> &[IoRecord] {
+        &self.records
+    }
+
+    /// Number of records of any kind.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of checkpoint markers recorded so far.
+    pub fn num_checkpoints(&self) -> u32 {
+        self.checkpoints
+    }
+
+    /// Total bytes of write payload recorded. The paper reports ~480 KB of
+    /// persistent storage per workload (§6.5); this figure feeds that
+    /// comparison.
+    pub fn recorded_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                IoRecord::Write { data, .. } => data.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of write records between the start of the log and the given
+    /// checkpoint (exclusive of later records).
+    pub fn writes_until_checkpoint(&self, checkpoint: CheckpointId) -> usize {
+        let mut count = 0;
+        for record in &self.records {
+            match record {
+                IoRecord::Checkpoint { id, .. } if *id == checkpoint => return count,
+                IoRecord::Write { .. } => count += 1,
+                _ => {}
+            }
+        }
+        count
+    }
+
+    fn push_write(&mut self, index: BlockIndex, data: &[u8], flags: IoFlags) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push(IoRecord::Write {
+            seq,
+            index,
+            data: Bytes::copy_from_slice(data),
+            flags,
+        });
+    }
+
+    fn push_flush(&mut self) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push(IoRecord::Flush { seq });
+    }
+
+    fn push_checkpoint(&mut self) -> CheckpointId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.checkpoints += 1;
+        let id = self.checkpoints;
+        self.records.push(IoRecord::Checkpoint { seq, id });
+        id
+    }
+}
+
+/// A cloneable handle onto the shared [`IoLog`] of a [`RecordingDevice`].
+///
+/// CrashMonkey keeps one of these while the file system under test owns the
+/// device itself; the handle is how CrashMonkey inserts checkpoint markers
+/// and later retrieves the recorded stream.
+#[derive(Clone)]
+pub struct LogHandle {
+    log: Arc<Mutex<IoLog>>,
+}
+
+impl LogHandle {
+    /// Inserts a checkpoint marker into the IO stream and returns its id.
+    pub fn checkpoint(&self) -> CheckpointId {
+        self.log.lock().push_checkpoint()
+    }
+
+    /// Returns a snapshot (clone) of the log at this instant.
+    pub fn snapshot(&self) -> IoLog {
+        self.log.lock().clone()
+    }
+
+    /// Number of checkpoints inserted so far.
+    pub fn num_checkpoints(&self) -> u32 {
+        self.log.lock().num_checkpoints()
+    }
+
+    /// Number of records of any kind.
+    pub fn len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.log.lock().is_empty()
+    }
+
+    /// Total bytes of recorded write payload.
+    pub fn recorded_bytes(&self) -> u64 {
+        self.log.lock().recorded_bytes()
+    }
+}
+
+impl std::fmt::Debug for LogHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let log = self.log.lock();
+        f.debug_struct("LogHandle")
+            .field("records", &log.len())
+            .field("checkpoints", &log.num_checkpoints())
+            .finish()
+    }
+}
+
+/// The wrapper block device that records all IO passing through it.
+pub struct RecordingDevice {
+    inner: Box<dyn BlockDevice>,
+    log: Arc<Mutex<IoLog>>,
+}
+
+impl RecordingDevice {
+    /// Wraps `inner`, recording every write and flush into a fresh log.
+    pub fn new(inner: Box<dyn BlockDevice>) -> Self {
+        RecordingDevice {
+            inner,
+            log: Arc::new(Mutex::new(IoLog::new())),
+        }
+    }
+
+    /// Returns a handle to the shared log. Call this before handing the
+    /// device to the file system under test.
+    pub fn log_handle(&self) -> LogHandle {
+        LogHandle {
+            log: Arc::clone(&self.log),
+        }
+    }
+
+    /// Consumes the wrapper, returning the inner device.
+    pub fn into_inner(self) -> Box<dyn BlockDevice> {
+        self.inner
+    }
+
+    /// Access to the wrapped device (e.g. to freeze its final image).
+    pub fn inner(&self) -> &dyn BlockDevice {
+        self.inner.as_ref()
+    }
+}
+
+impl std::fmt::Debug for RecordingDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingDevice")
+            .field("num_blocks", &self.inner.num_blocks())
+            .field("log", &self.log_handle())
+            .finish()
+    }
+}
+
+impl BlockDevice for RecordingDevice {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&self, index: BlockIndex) -> BlockResult<Vec<u8>> {
+        self.inner.read_block(index)
+    }
+
+    fn write_block(&mut self, index: BlockIndex, data: &[u8], flags: IoFlags) -> BlockResult<()> {
+        self.inner.write_block(index, data, flags)?;
+        self.log.lock().push_write(index, data, flags);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> BlockResult<()> {
+        self.inner.flush()?;
+        self.log.lock().push_flush();
+        Ok(())
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+}
+
+/// Ensures recorded payloads never exceed one block (mirrors the device
+/// contract; useful in debug assertions elsewhere).
+pub fn max_record_payload() -> usize {
+    BLOCK_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ramdisk::RamDisk;
+
+    fn recording_ramdisk(blocks: u64) -> (RecordingDevice, LogHandle) {
+        let device = RecordingDevice::new(Box::new(RamDisk::new(blocks)));
+        let handle = device.log_handle();
+        (device, handle)
+    }
+
+    #[test]
+    fn writes_are_forwarded_and_recorded() {
+        let (mut dev, log) = recording_ramdisk(16);
+        dev.write_block(3, b"recorded", IoFlags::DATA).unwrap();
+        assert_eq!(&dev.read_block(3).unwrap()[..8], b"recorded");
+        let snapshot = log.snapshot();
+        assert_eq!(snapshot.len(), 1);
+        match &snapshot.records()[0] {
+            IoRecord::Write { index, data, flags, .. } => {
+                assert_eq!(*index, 3);
+                assert_eq!(&data[..], b"recorded");
+                assert!(flags.contains(IoFlags::DATA));
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flushes_and_checkpoints_are_recorded_in_order() {
+        let (mut dev, log) = recording_ramdisk(16);
+        dev.write_block(0, b"a", IoFlags::META).unwrap();
+        dev.flush().unwrap();
+        let cp1 = log.checkpoint();
+        dev.write_block(1, b"b", IoFlags::META).unwrap();
+        let cp2 = log.checkpoint();
+        assert_eq!(cp1, 1);
+        assert_eq!(cp2, 2);
+
+        let snapshot = log.snapshot();
+        assert_eq!(snapshot.num_checkpoints(), 2);
+        let seqs: Vec<u64> = snapshot.records().iter().map(|r| r.seq()).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "records must be in arrival order");
+    }
+
+    #[test]
+    fn writes_until_checkpoint_counts_prefix_writes() {
+        let (mut dev, log) = recording_ramdisk(16);
+        dev.write_block(0, b"a", IoFlags::META).unwrap();
+        dev.write_block(1, b"b", IoFlags::META).unwrap();
+        log.checkpoint();
+        dev.write_block(2, b"c", IoFlags::META).unwrap();
+        log.checkpoint();
+        let snapshot = log.snapshot();
+        assert_eq!(snapshot.writes_until_checkpoint(1), 2);
+        assert_eq!(snapshot.writes_until_checkpoint(2), 3);
+        // Unknown checkpoint: counts all writes.
+        assert_eq!(snapshot.writes_until_checkpoint(9), 3);
+    }
+
+    #[test]
+    fn recorded_bytes_sums_payloads() {
+        let (mut dev, log) = recording_ramdisk(16);
+        dev.write_block(0, &[1u8; 100], IoFlags::DATA).unwrap();
+        dev.write_block(1, &[2u8; 200], IoFlags::DATA).unwrap();
+        assert_eq!(log.recorded_bytes(), 300);
+    }
+
+    #[test]
+    fn log_handle_survives_device_consumption() {
+        let (mut dev, log) = recording_ramdisk(16);
+        dev.write_block(0, b"kept", IoFlags::DATA).unwrap();
+        let inner = dev.into_inner();
+        assert_eq!(&inner.read_block(0).unwrap()[..4], b"kept");
+        assert_eq!(log.len(), 1);
+    }
+}

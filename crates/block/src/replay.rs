@@ -1,0 +1,152 @@
+//! Replaying recorded IO to construct crash states.
+//!
+//! "To create a crash state, CrashMonkey starts from the initial state of the
+//! file system (before the workload was run), and uses a utility similar to
+//! dd to replay all recorded IO requests from the start of the workload until
+//! the next checkpoint in the IO stream." (§5.1)
+
+use crate::cow::{CowSnapshotDevice, DiskImage};
+use crate::device::BlockDevice;
+use crate::error::BlockResult;
+use crate::record::{CheckpointId, IoLog, IoRecord};
+
+/// Replays every record of `log` onto `target`.
+pub fn replay_log(log: &IoLog, target: &mut dyn BlockDevice) -> BlockResult<usize> {
+    replay_records(log.records(), target)
+}
+
+/// Replays `log` onto `target`, stopping immediately after the checkpoint
+/// marker with id `checkpoint` (i.e. the resulting state contains exactly the
+/// writes that had reached the device when that persistence operation
+/// completed). Returns the number of write records applied.
+pub fn replay_until_checkpoint(
+    log: &IoLog,
+    checkpoint: CheckpointId,
+    target: &mut dyn BlockDevice,
+) -> BlockResult<usize> {
+    let mut applied = 0;
+    for record in log.records() {
+        match record {
+            IoRecord::Write { index, data, flags, .. } => {
+                target.write_block(*index, data, *flags)?;
+                applied += 1;
+            }
+            IoRecord::Flush { .. } => target.flush()?,
+            IoRecord::Checkpoint { id, .. } => {
+                if *id == checkpoint {
+                    return Ok(applied);
+                }
+            }
+        }
+    }
+    Ok(applied)
+}
+
+/// Constructs the crash state for `checkpoint`: a fresh copy-on-write
+/// snapshot of `base` with the recorded IO replayed up to that checkpoint.
+///
+/// The returned device "represents the state of the storage just after the
+/// persistence-related call completed on the storage device" and is
+/// considered uncleanly unmounted; mounting a file system on it will trigger
+/// that file system's recovery code.
+pub fn crash_state(
+    base: &DiskImage,
+    log: &IoLog,
+    checkpoint: CheckpointId,
+) -> BlockResult<CowSnapshotDevice> {
+    let mut snapshot = CowSnapshotDevice::new(base.clone());
+    replay_until_checkpoint(log, checkpoint, &mut snapshot)?;
+    Ok(snapshot)
+}
+
+fn replay_records(records: &[IoRecord], target: &mut dyn BlockDevice) -> BlockResult<usize> {
+    let mut applied = 0;
+    for record in records {
+        match record {
+            IoRecord::Write { index, data, flags, .. } => {
+                target.write_block(*index, data, *flags)?;
+                applied += 1;
+            }
+            IoRecord::Flush { .. } => target.flush()?,
+            IoRecord::Checkpoint { .. } => {}
+        }
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::IoFlags;
+    use crate::ramdisk::RamDisk;
+    use crate::record::RecordingDevice;
+
+    /// Builds a base image, then records a three-checkpoint run on top of it.
+    fn recorded_run() -> (DiskImage, IoLog) {
+        let mut base = RamDisk::new(32);
+        base.write_block(0, b"superblock-v0", IoFlags::META).unwrap();
+        let image = base.snapshot();
+
+        let mut dev = RecordingDevice::new(Box::new(CowSnapshotDevice::new(image.clone())));
+        let log = dev.log_handle();
+
+        dev.write_block(1, b"first", IoFlags::DATA).unwrap();
+        dev.flush().unwrap();
+        log.checkpoint(); // cp 1
+
+        dev.write_block(2, b"second", IoFlags::DATA).unwrap();
+        dev.write_block(0, b"superblock-v1", IoFlags::META | IoFlags::FUA)
+            .unwrap();
+        log.checkpoint(); // cp 2
+
+        dev.write_block(3, b"third", IoFlags::DATA).unwrap();
+        log.checkpoint(); // cp 3
+
+        (image, log.snapshot())
+    }
+
+    #[test]
+    fn crash_state_at_first_checkpoint_excludes_later_writes() {
+        let (image, log) = recorded_run();
+        let state = crash_state(&image, &log, 1).unwrap();
+        assert_eq!(&state.read_block(1).unwrap()[..5], b"first");
+        assert!(state.read_block(2).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(&state.read_block(0).unwrap()[..13], b"superblock-v0");
+    }
+
+    #[test]
+    fn crash_state_at_second_checkpoint_includes_prefix() {
+        let (image, log) = recorded_run();
+        let state = crash_state(&image, &log, 2).unwrap();
+        assert_eq!(&state.read_block(1).unwrap()[..5], b"first");
+        assert_eq!(&state.read_block(2).unwrap()[..6], b"second");
+        assert_eq!(&state.read_block(0).unwrap()[..13], b"superblock-v1");
+        assert!(state.read_block(3).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn replay_full_log_equals_final_state() {
+        let (image, log) = recorded_run();
+        let mut full = CowSnapshotDevice::new(image);
+        let applied = replay_log(&log, &mut full).unwrap();
+        assert_eq!(applied, 4);
+        assert_eq!(&full.read_block(3).unwrap()[..5], b"third");
+    }
+
+    #[test]
+    fn replay_until_unknown_checkpoint_applies_everything() {
+        let (image, log) = recorded_run();
+        let mut dev = CowSnapshotDevice::new(image);
+        let applied = replay_until_checkpoint(&log, 99, &mut dev).unwrap();
+        assert_eq!(applied, 4);
+    }
+
+    #[test]
+    fn crash_states_are_independent() {
+        let (image, log) = recorded_run();
+        let mut s1 = crash_state(&image, &log, 1).unwrap();
+        let s2 = crash_state(&image, &log, 2).unwrap();
+        s1.write_block(9, b"mutate", IoFlags::DATA).unwrap();
+        assert!(s2.read_block(9).unwrap().iter().all(|&b| b == 0));
+    }
+}

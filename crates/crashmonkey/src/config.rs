@@ -1,0 +1,117 @@
+//! CrashMonkey configuration.
+
+use b3_block::BLOCK_SIZE;
+
+use crate::profiler::CheckpointInfo;
+
+/// Which checkpoints of a workload to crash at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashPointPolicy {
+    /// Only the final persistence point. This is the paper's testing
+    /// strategy (§5.3): when workloads are generated in increasing sequence
+    /// length, crashing at an earlier persistence point is equivalent to an
+    /// already-tested shorter workload.
+    #[default]
+    LastOnly,
+    /// Every persistence point (used when reproducing individual corpus
+    /// workloads outside the exhaustive-generation setting).
+    All,
+}
+
+impl CrashPointPolicy {
+    /// Selects the checkpoints to test from a profile.
+    pub fn select<'a>(&self, checkpoints: &'a [CheckpointInfo]) -> Vec<&'a CheckpointInfo> {
+        match self {
+            CrashPointPolicy::LastOnly => checkpoints.last().into_iter().collect(),
+            CrashPointPolicy::All => checkpoints.iter().collect(),
+        }
+    }
+}
+
+/// Configuration of a CrashMonkey run.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashMonkeyConfig {
+    /// Size of the test device in blocks. Defaults to the paper's 100 MB
+    /// initial file-system image (Table 3).
+    pub device_blocks: u64,
+    /// Which persistence points to crash at.
+    pub crash_points: CrashPointPolicy,
+    /// Treat `O_DIRECT` writes as persistence points (their data reaches the
+    /// device synchronously). Needed to reproduce the ext4 direct-write
+    /// i_disksize bug (known workload 4).
+    pub direct_write_is_persistence_point: bool,
+    /// Model the kernel-imposed delays the paper reports for the real
+    /// CrashMonkey (§6.3): ~1 s to mount a file system plus a 2 s settle
+    /// delay after the workload, which together account for 84% of the 4.6 s
+    /// per-workload latency. The simulated file systems have no such delays;
+    /// when this flag is set the reported *modeled* latency adds them so the
+    /// benchmark output can be compared against the paper's numbers.
+    pub model_kernel_delays: bool,
+}
+
+impl Default for CrashMonkeyConfig {
+    fn default() -> Self {
+        CrashMonkeyConfig {
+            device_blocks: 100 * 1024 * 1024 / BLOCK_SIZE as u64,
+            crash_points: CrashPointPolicy::LastOnly,
+            direct_write_is_persistence_point: true,
+            model_kernel_delays: false,
+        }
+    }
+}
+
+impl CrashMonkeyConfig {
+    /// A configuration matching the paper's evaluation setup.
+    pub fn paper_default() -> Self {
+        CrashMonkeyConfig::default()
+    }
+
+    /// A small, fast configuration for unit tests and property tests.
+    pub fn small() -> Self {
+        CrashMonkeyConfig {
+            device_blocks: 4096,
+            ..CrashMonkeyConfig::default()
+        }
+    }
+
+    /// A configuration that crashes at every persistence point.
+    pub fn exhaustive_crash_points() -> Self {
+        CrashMonkeyConfig {
+            crash_points: CrashPointPolicy::All,
+            ..CrashMonkeyConfig::small()
+        }
+    }
+
+    /// The kernel-imposed delay (in seconds) the paper measured per
+    /// workload: ~1 s mount delay + 2 s settle delay + ~0.9 s of other
+    /// kernel-side waits, i.e. 84% of the 4.6 s end-to-end latency.
+    pub fn modeled_kernel_delay_seconds(&self) -> f64 {
+        if self.model_kernel_delays {
+            4.6 * 0.84
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_device_size() {
+        let config = CrashMonkeyConfig::default();
+        assert_eq!(config.device_blocks * BLOCK_SIZE as u64, 100 * 1024 * 1024);
+        assert_eq!(config.crash_points, CrashPointPolicy::LastOnly);
+    }
+
+    #[test]
+    fn modeled_delay_only_when_enabled() {
+        assert_eq!(CrashMonkeyConfig::default().modeled_kernel_delay_seconds(), 0.0);
+        let modeled = CrashMonkeyConfig {
+            model_kernel_delays: true,
+            ..CrashMonkeyConfig::default()
+        };
+        assert!((modeled.modeled_kernel_delay_seconds() - 3.864).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,318 @@
+//! CrashMonkey: automatic crash-consistency testing of arbitrary workloads.
+//!
+//! CrashMonkey implements the testing half of the B3 approach (§5.1 of the
+//! paper). Given a file system (any [`FsSpec`](b3_vfs::FsSpec)) and a
+//! workload (any [`Workload`](b3_vfs::Workload)), it:
+//!
+//! 1. **Profiles** the workload: executes it on a freshly formatted file
+//!    system mounted on an IO-recording wrapper device, inserting a
+//!    *checkpoint* marker into the recorded IO stream after every
+//!    persistence operation and capturing, at each checkpoint, fine-grained
+//!    *oracles* — snapshots of the files and directories that have been
+//!    explicitly persisted so far.
+//! 2. **Constructs crash states**: for a chosen checkpoint, replays the
+//!    recorded IO from the initial image up to that checkpoint onto a fresh
+//!    copy-on-write snapshot. The result is exactly the storage state at the
+//!    moment the persistence call completed — an uncleanly-unmounted image.
+//! 3. **Checks consistency**: mounts the crash state (letting the file
+//!    system run its recovery), then runs the AutoChecker's read checks
+//!    (persisted files must exist with the persisted data and metadata) and
+//!    write checks (the recovered file system must still be usable: files
+//!    can be created, persisted directories can be emptied and removed).
+//!
+//! Any violation produces a [`BugReport`] with the workload, crash point,
+//! expected and actual state, and a classified [`Consequence`] — the same
+//! fields the paper's bug reports carry.
+
+pub mod checker;
+pub mod config;
+pub mod profiler;
+pub mod report;
+
+use std::time::Instant;
+
+use b3_block::{crash_state, DiskImage};
+use b3_vfs::error::FsResult;
+use b3_vfs::fs::FsSpec;
+use b3_vfs::workload::Workload;
+
+pub use checker::{AutoChecker, CheckVerdict};
+pub use config::{CrashMonkeyConfig, CrashPointPolicy};
+pub use profiler::{CheckpointInfo, Expectation, ProfileResult, Profiler};
+pub use report::{BugReport, Consequence, PhaseTiming, ResourceStats, WorkloadOutcome};
+
+/// The CrashMonkey test harness for one target file system.
+pub struct CrashMonkey<'a> {
+    spec: &'a dyn FsSpec,
+    config: CrashMonkeyConfig,
+}
+
+impl<'a> CrashMonkey<'a> {
+    /// Creates a harness for `spec` with the default configuration.
+    pub fn new(spec: &'a dyn FsSpec) -> Self {
+        CrashMonkey {
+            spec,
+            config: CrashMonkeyConfig::default(),
+        }
+    }
+
+    /// Creates a harness with an explicit configuration.
+    pub fn with_config(spec: &'a dyn FsSpec, config: CrashMonkeyConfig) -> Self {
+        CrashMonkey { spec, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CrashMonkeyConfig {
+        &self.config
+    }
+
+    /// Tests one workload end to end: profile, construct crash states, check
+    /// consistency. Returns the outcome including any bug reports.
+    pub fn test_workload(&self, workload: &Workload) -> FsResult<WorkloadOutcome> {
+        let total_start = Instant::now();
+
+        // Phase 1: profile.
+        let profile_start = Instant::now();
+        let profiler = Profiler::new(self.spec, &self.config);
+        let profile = profiler.profile(workload)?;
+        let profile_time = profile_start.elapsed();
+
+        let mut outcome = WorkloadOutcome::new(workload, self.spec.name());
+        outcome.resource = ResourceStats {
+            recorded_io_bytes: profile.log.recorded_bytes(),
+            crash_state_overlay_bytes: 0,
+            workload_storage_bytes: workload.to_string().len() as u64,
+        };
+
+        if let Some(error) = &profile.exec_error {
+            outcome.skipped = Some(format!("workload failed to execute: {error}"));
+            outcome.timing = PhaseTiming {
+                profile: profile_time,
+                ..PhaseTiming::default()
+            };
+            return Ok(outcome);
+        }
+
+        // Phases 2 and 3: construct crash states and check them.
+        let checkpoints = self.config.crash_points.select(&profile.checkpoints);
+        let mut construct_time = std::time::Duration::ZERO;
+        let mut check_time = std::time::Duration::ZERO;
+
+        for info in checkpoints {
+            let construct_start = Instant::now();
+            let state = crash_state(&profile.base_image, &profile.log, info.id)?;
+            outcome.resource.crash_state_overlay_bytes += state.overlay_bytes();
+            construct_time += construct_start.elapsed();
+
+            let check_start = Instant::now();
+            let checker = AutoChecker::new(self.spec, &self.config);
+            let verdict = checker.check(workload, &profile, info, state);
+            check_time += check_start.elapsed();
+
+            outcome.checkpoints_tested += 1;
+            if let Some(report) = verdict.into_report(workload, self.spec.name(), info.id) {
+                outcome.bugs.push(report);
+            }
+        }
+
+        outcome.timing = PhaseTiming {
+            profile: profile_time,
+            crash_state_construction: construct_time,
+            checking: check_time,
+            total: total_start.elapsed(),
+            modeled_kernel_delay_seconds: self.config.modeled_kernel_delay_seconds(),
+        };
+        Ok(outcome)
+    }
+
+    /// Convenience: profile a workload without checking (used by benches).
+    pub fn profile_only(&self, workload: &Workload) -> FsResult<ProfileResult> {
+        Profiler::new(self.spec, &self.config).profile(workload)
+    }
+
+    /// Convenience: build the crash state for one checkpoint of a profile.
+    pub fn crash_state_for(
+        &self,
+        profile: &ProfileResult,
+        checkpoint: u32,
+    ) -> FsResult<b3_block::CowSnapshotDevice> {
+        crash_state(&profile.base_image, &profile.log, checkpoint).map_err(Into::into)
+    }
+
+    /// The initial (pre-mkfs) disk image used for all tests.
+    pub fn base_image(&self) -> DiskImage {
+        DiskImage::empty(self.config.device_blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b3_fs_cow::CowFsSpec;
+    use b3_fs_veri::VeriFsSpec;
+    use b3_vfs::fs::WriteMode;
+    use b3_vfs::workload::{Op, WriteSpec};
+    use b3_vfs::KernelEra;
+
+    fn w(name: &str, setup: Vec<Op>, ops: Vec<Op>) -> Workload {
+        Workload::with_setup(name, setup, ops)
+    }
+
+    #[test]
+    fn patched_cowfs_has_no_false_positives_on_simple_workloads() {
+        let spec = CowFsSpec::patched();
+        let monkey = CrashMonkey::new(&spec);
+        let workloads = vec![
+            w(
+                "create-fsync",
+                vec![Op::Mkdir { path: "A".into() }],
+                vec![
+                    Op::Creat { path: "A/foo".into() },
+                    Op::Fsync { path: "A/foo".into() },
+                ],
+            ),
+            w(
+                "write-sync-rename-fsync",
+                vec![Op::Mkdir { path: "A".into() }, Op::Creat { path: "A/foo".into() }],
+                vec![
+                    Op::Write {
+                        path: "A/foo".into(),
+                        mode: WriteMode::Buffered,
+                        spec: WriteSpec::range(0, 8192),
+                    },
+                    Op::Sync,
+                    Op::Rename {
+                        from: "A/foo".into(),
+                        to: "A/bar".into(),
+                    },
+                    Op::Fsync { path: "A/bar".into() },
+                ],
+            ),
+            w(
+                "link-then-fsync",
+                vec![Op::Creat { path: "foo".into() }],
+                vec![
+                    Op::Write {
+                        path: "foo".into(),
+                        mode: WriteMode::Buffered,
+                        spec: WriteSpec::range(0, 4096),
+                    },
+                    Op::Link {
+                        existing: "foo".into(),
+                        new: "bar".into(),
+                    },
+                    Op::Fsync { path: "foo".into() },
+                ],
+            ),
+        ];
+        for workload in &workloads {
+            let outcome = monkey.test_workload(workload).unwrap();
+            assert!(
+                outcome.bugs.is_empty(),
+                "false positive on patched CowFs for {}: {:?}",
+                workload.name,
+                outcome.bugs
+            );
+            assert!(outcome.skipped.is_none());
+            assert!(outcome.checkpoints_tested >= 1);
+        }
+    }
+
+    #[test]
+    fn buggy_cowfs_hard_link_fsync_is_detected() {
+        // Known workload 16: the file recovers with size 0 on kernel 3.13.
+        let workload = w(
+            "known-16",
+            vec![Op::Mkdir { path: "A".into() }, Op::Creat { path: "A/foo".into() }],
+            vec![
+                Op::Sync,
+                Op::Write {
+                    path: "A/foo".into(),
+                    mode: WriteMode::Buffered,
+                    spec: WriteSpec::range(0, 16 * 1024),
+                },
+                Op::Link {
+                    existing: "A/foo".into(),
+                    new: "A/bar".into(),
+                },
+                Op::Fsync { path: "A/foo".into() },
+            ],
+        );
+
+        let buggy = CowFsSpec::new(KernelEra::V3_13);
+        let outcome = CrashMonkey::new(&buggy).test_workload(&workload).unwrap();
+        assert!(!outcome.bugs.is_empty(), "bug must be detected on 3.13");
+        // The 3.13-era file system exhibits both the hard-link data loss and
+        // (because the still-unfixed "fsync skips other names" bug was also
+        // present back then) the missing hard-link name; data loss must be
+        // among the observed consequences.
+        assert!(outcome.bugs[0]
+            .all_consequences
+            .contains(&Consequence::DataLoss));
+
+        let patched = CowFsSpec::patched();
+        let outcome = CrashMonkey::new(&patched).test_workload(&workload).unwrap();
+        assert!(outcome.bugs.is_empty(), "no bug on patched: {:?}", outcome.bugs);
+    }
+
+    #[test]
+    fn fscq_fdatasync_bug_is_detected() {
+        // New bug 11 on the verified file system.
+        let workload = w(
+            "fscq-11",
+            vec![Op::Creat { path: "foo".into() }],
+            vec![
+                Op::Write {
+                    path: "foo".into(),
+                    mode: WriteMode::Buffered,
+                    spec: WriteSpec::range(0, 4096),
+                },
+                Op::Sync,
+                Op::Write {
+                    path: "foo".into(),
+                    mode: WriteMode::Buffered,
+                    spec: WriteSpec::range(4096, 4096),
+                },
+                Op::Fdatasync { path: "foo".into() },
+            ],
+        );
+        let buggy = VeriFsSpec::new(KernelEra::V4_16);
+        let outcome = CrashMonkey::new(&buggy).test_workload(&workload).unwrap();
+        assert_eq!(outcome.bugs.len(), 1);
+        assert_eq!(outcome.bugs[0].consequence, Consequence::DataLoss);
+
+        let patched = VeriFsSpec::patched();
+        let outcome = CrashMonkey::new(&patched).test_workload(&workload).unwrap();
+        assert!(outcome.bugs.is_empty());
+    }
+
+    #[test]
+    fn invalid_workloads_are_skipped_not_reported() {
+        let spec = CowFsSpec::patched();
+        let monkey = CrashMonkey::new(&spec);
+        let workload = w(
+            "invalid",
+            vec![],
+            vec![
+                Op::Rename {
+                    from: "missing".into(),
+                    to: "elsewhere".into(),
+                },
+                Op::Sync,
+            ],
+        );
+        let outcome = monkey.test_workload(&workload).unwrap();
+        assert!(outcome.skipped.is_some());
+        assert!(outcome.bugs.is_empty());
+    }
+
+    #[test]
+    fn workloads_without_persistence_points_test_nothing() {
+        let spec = CowFsSpec::patched();
+        let monkey = CrashMonkey::new(&spec);
+        let workload = w("no-persist", vec![], vec![Op::Creat { path: "foo".into() }]);
+        let outcome = monkey.test_workload(&workload).unwrap();
+        assert_eq!(outcome.checkpoints_tested, 0);
+        assert!(outcome.bugs.is_empty());
+    }
+}

@@ -1,0 +1,405 @@
+//! Phase 1: profiling a workload.
+//!
+//! The profiler executes the workload on a freshly formatted file system
+//! mounted on a recording wrapper device. After every persistence operation
+//! it inserts a checkpoint marker into the recorded IO stream and captures:
+//!
+//! * the *oracle* — the complete logical state of the file system at that
+//!   instant (equivalent to cleanly unmounting a copy), and
+//! * the *persisted set* — for every explicitly persisted file or directory,
+//!   a snapshot of the state that persistence operation guaranteed. This is
+//!   the fine-grained information that lets the AutoChecker compare exactly
+//!   what must survive, rather than everything that happened to be in memory.
+
+use std::collections::BTreeMap;
+
+use b3_block::{CowSnapshotDevice, DiskImage, IoLog, RecordingDevice};
+use b3_vfs::error::{FsError, FsResult};
+use b3_vfs::exec::Executor;
+use b3_vfs::fs::{FsSpec, WriteMode};
+use b3_vfs::metadata::{FileType, Metadata};
+use b3_vfs::snapshot::{EntrySnapshot, LogicalSnapshot};
+use b3_vfs::workload::{Op, Workload, WriteSpec};
+
+use crate::config::CrashMonkeyConfig;
+
+/// What a persistence operation guaranteed about one path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expectation {
+    /// The persisted state of the entry at the moment of its most recent
+    /// explicit persistence.
+    pub entry: EntrySnapshot,
+    /// When true, only the entry's existence (and type / symlink target) is
+    /// guaranteed — used for children of an fsynced directory that were not
+    /// themselves fsynced.
+    pub existence_only: bool,
+}
+
+/// Everything captured at one persistence point.
+#[derive(Debug, Clone)]
+pub struct CheckpointInfo {
+    /// Checkpoint id in the recorded IO stream (1-based).
+    pub id: u32,
+    /// Index (within setup + ops) of the persistence operation.
+    pub op_index: usize,
+    /// The operation that created this checkpoint (for reporting).
+    pub op_description: String,
+    /// Expectations for every explicitly persisted path.
+    pub persisted: BTreeMap<String, Expectation>,
+    /// Renames (old path, new path) whose source had been explicitly
+    /// persisted before the rename executed. The persisted object may
+    /// legally survive a crash under either name, but never under both —
+    /// which is what the rename-atomicity check verifies.
+    pub persisted_renames: Vec<(String, String)>,
+    /// Full logical state at this instant (the clean-unmount oracle).
+    pub oracle: LogicalSnapshot,
+}
+
+/// The result of profiling one workload.
+#[derive(Debug, Clone)]
+pub struct ProfileResult {
+    /// The initial (pre-mkfs) image crash states are replayed onto.
+    pub base_image: DiskImage,
+    /// The recorded block IO stream, including checkpoint markers.
+    pub log: IoLog,
+    /// One entry per persistence point, in workload order.
+    pub checkpoints: Vec<CheckpointInfo>,
+    /// Set when the workload could not be executed to completion.
+    pub exec_error: Option<FsError>,
+}
+
+/// The workload profiler.
+pub struct Profiler<'a> {
+    spec: &'a dyn FsSpec,
+    config: &'a CrashMonkeyConfig,
+}
+
+impl<'a> Profiler<'a> {
+    /// Creates a profiler for one file system and configuration.
+    pub fn new(spec: &'a dyn FsSpec, config: &'a CrashMonkeyConfig) -> Self {
+        Profiler { spec, config }
+    }
+
+    /// Profiles a workload: runs it start to finish while recording IO,
+    /// inserting checkpoints, and capturing oracles and expectations.
+    pub fn profile(&self, workload: &Workload) -> FsResult<ProfileResult> {
+        let base_image = DiskImage::empty(self.config.device_blocks);
+        let snapshot_device = CowSnapshotDevice::new(base_image.clone());
+        let recording = RecordingDevice::new(Box::new(snapshot_device));
+        let log_handle = recording.log_handle();
+
+        let mut fs = self.spec.mkfs(Box::new(recording))?;
+        let mut executor = Executor::new();
+        let mut persisted: BTreeMap<String, Expectation> = BTreeMap::new();
+        let mut persisted_renames: Vec<(String, String)> = Vec::new();
+        let mut checkpoints = Vec::new();
+        let mut exec_error = None;
+
+        for (op_index, op) in workload.all_ops().enumerate() {
+            if let Err(error) = executor.apply(fs.as_mut(), op) {
+                exec_error = Some(error);
+                break;
+            }
+
+            // A rename moves the persisted object to a new name: the old
+            // path is no longer guaranteed to exist (the new one is not
+            // guaranteed either, unless re-persisted), but the pair is
+            // remembered for the rename-atomicity check.
+            if let Op::Rename { from, to } = op {
+                let from = b3_vfs::path::normalize(from);
+                let to = b3_vfs::path::normalize(to);
+                let moved: Vec<String> = persisted
+                    .keys()
+                    .filter(|p| {
+                        p.as_str() == from || b3_vfs::path::is_ancestor(&from, p)
+                    })
+                    .cloned()
+                    .collect();
+                if moved.iter().any(|p| p == &from) {
+                    persisted_renames.push((from.clone(), to.clone()));
+                }
+                for path in moved {
+                    persisted.remove(&path);
+                }
+            }
+
+            let is_checkpoint = op.is_persistence_point()
+                || (self.config.direct_write_is_persistence_point && is_direct_write(op));
+            if !is_checkpoint {
+                continue;
+            }
+
+            let oracle = LogicalSnapshot::capture(fs.as_ref())?;
+            update_expectations(&mut persisted, &oracle, op, fs.as_ref());
+            let id = log_handle.checkpoint();
+            checkpoints.push(CheckpointInfo {
+                id,
+                op_index,
+                op_description: op.to_string(),
+                persisted: persisted.clone(),
+                persisted_renames: persisted_renames.clone(),
+                oracle,
+            });
+        }
+
+        Ok(ProfileResult {
+            base_image,
+            log: log_handle.snapshot(),
+            checkpoints,
+            exec_error,
+        })
+    }
+}
+
+fn is_direct_write(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Write {
+            mode: WriteMode::Direct,
+            ..
+        }
+    )
+}
+
+/// Updates the persisted-set expectations after the persistence operation
+/// `op` completed, using the oracle captured at that instant.
+fn update_expectations(
+    persisted: &mut BTreeMap<String, Expectation>,
+    oracle: &LogicalSnapshot,
+    op: &Op,
+    fs: &dyn b3_vfs::fs::FileSystem,
+) {
+    match op {
+        Op::Sync => {
+            // A global sync persists everything that exists right now.
+            for (path, entry) in oracle.iter() {
+                persisted.insert(
+                    path.clone(),
+                    Expectation {
+                        entry: entry.clone(),
+                        existence_only: false,
+                    },
+                );
+            }
+            // Paths persisted earlier but no longer present were legitimately
+            // removed and are no longer guaranteed.
+            persisted.retain(|path, _| oracle.contains(path));
+        }
+        Op::Fsync { path } | Op::Fdatasync { path } | Op::Msync { path, .. } => {
+            let path = b3_vfs::path::normalize(path);
+            let Some(entry) = oracle.get(&path) else {
+                return;
+            };
+            persisted.insert(
+                path.clone(),
+                Expectation {
+                    entry: entry.clone(),
+                    existence_only: false,
+                },
+            );
+            // fsync of a directory also guarantees its current entries are
+            // reachable after a crash (Linux file systems provide this
+            // beyond-POSIX guarantee, §5.1).
+            if entry.file_type == FileType::Directory {
+                if let Some(children) = &entry.children {
+                    for child in children {
+                        let child_path = b3_vfs::path::join(&path, child);
+                        if let Some(child_entry) = oracle.get(&child_path) {
+                            persisted
+                                .entry(child_path)
+                                .or_insert_with(|| Expectation {
+                                    entry: child_entry.clone(),
+                                    existence_only: true,
+                                });
+                        }
+                    }
+                }
+            } else if entry.file_type == FileType::Regular
+                && fs.guarantees().fsync_persists_all_names
+            {
+                // fsync of a file persists all of its hard-link names, so
+                // every other path referring to the same inode must also
+                // survive (this is what the paper's new bugs 5 and 7 break).
+                if let Ok(meta) = fs.metadata(&path) {
+                    for (other_path, other_entry) in oracle.iter() {
+                        if other_path == &path || other_entry.file_type != FileType::Regular {
+                            continue;
+                        }
+                        if fs
+                            .metadata(other_path)
+                            .map(|m| m.ino == meta.ino)
+                            .unwrap_or(false)
+                        {
+                            persisted
+                                .entry(other_path.clone())
+                                .or_insert_with(|| Expectation {
+                                    entry: other_entry.clone(),
+                                    existence_only: true,
+                                });
+                        }
+                    }
+                }
+            }
+        }
+        Op::Write {
+            path,
+            mode: WriteMode::Direct,
+            spec,
+        } => {
+            // A direct write makes its own data durable. If the file was
+            // already durable (persisted earlier), extend that expectation
+            // with the directly-written range; otherwise the file's
+            // existence is still not guaranteed and nothing is added.
+            let path = b3_vfs::path::normalize(path);
+            if let Some(expectation) = persisted.get_mut(&path) {
+                if let (Some(entry), WriteSpec::Range { offset, len }) =
+                    (oracle.get(&path), spec)
+                {
+                    apply_direct_write_expectation(expectation, entry, *offset, *len);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Grows a prior expectation to cover a direct write's byte range: the data
+/// in that range, the size needed to read it back, and the corresponding
+/// allocation are now durable.
+fn apply_direct_write_expectation(
+    expectation: &mut Expectation,
+    oracle_entry: &EntrySnapshot,
+    offset: u64,
+    len: u64,
+) {
+    if expectation.entry.file_type != FileType::Regular {
+        return;
+    }
+    let end = offset + len;
+    let mut data = expectation.entry.data.clone().unwrap_or_default();
+    if (data.len() as u64) < end {
+        data.resize(end as usize, 0);
+    }
+    if let Some(oracle_data) = &oracle_entry.data {
+        let upto = (end as usize).min(oracle_data.len());
+        let start = (offset as usize).min(upto);
+        data[start..upto].copy_from_slice(&oracle_data[start..upto]);
+    }
+    expectation.entry.size = expectation.entry.size.max(end);
+    expectation.entry.blocks = expectation
+        .entry
+        .blocks
+        .max(Metadata::sectors_for(end.div_ceil(4096) * 4096));
+    expectation.entry.data = Some(data);
+    expectation.existence_only = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b3_fs_cow::CowFsSpec;
+    use b3_vfs::workload::Op;
+
+    fn profile(workload: &Workload) -> ProfileResult {
+        let spec = CowFsSpec::patched();
+        let config = CrashMonkeyConfig::small();
+        Profiler::new(&spec, &config).profile(workload).unwrap()
+    }
+
+    #[test]
+    fn checkpoints_match_persistence_points() {
+        let workload = Workload::with_setup(
+            "p",
+            vec![Op::Mkdir { path: "A".into() }],
+            vec![
+                Op::Creat { path: "A/foo".into() },
+                Op::Fsync { path: "A/foo".into() },
+                Op::Creat { path: "A/bar".into() },
+                Op::Sync,
+            ],
+        );
+        let result = profile(&workload);
+        assert!(result.exec_error.is_none());
+        assert_eq!(result.checkpoints.len(), 2);
+        assert_eq!(result.log.num_checkpoints(), 2);
+        assert_eq!(result.checkpoints[0].op_description, "fsync A/foo");
+        assert_eq!(result.checkpoints[1].op_description, "sync");
+    }
+
+    #[test]
+    fn fsync_adds_full_expectation_for_the_file() {
+        let workload = Workload::with_setup(
+            "p",
+            vec![Op::Mkdir { path: "A".into() }, Op::Creat { path: "A/foo".into() }],
+            vec![Op::Fsync { path: "A/foo".into() }],
+        );
+        let result = profile(&workload);
+        let cp = &result.checkpoints[0];
+        let exp = cp.persisted.get("A/foo").expect("A/foo persisted");
+        assert!(!exp.existence_only);
+        assert_eq!(exp.entry.file_type, FileType::Regular);
+        assert!(!cp.persisted.contains_key("A"), "parent not explicitly persisted");
+    }
+
+    #[test]
+    fn dir_fsync_adds_existence_expectations_for_children() {
+        let workload = Workload::new(
+            "p",
+            vec![
+                Op::Mkdir { path: "A".into() },
+                Op::Creat { path: "A/foo".into() },
+                Op::Creat { path: "A/bar".into() },
+                Op::Fsync { path: "A".into() },
+            ],
+        );
+        let result = profile(&workload);
+        let cp = &result.checkpoints[0];
+        assert!(!cp.persisted["A"].existence_only);
+        assert!(cp.persisted["A/foo"].existence_only);
+        assert!(cp.persisted["A/bar"].existence_only);
+    }
+
+    #[test]
+    fn sync_persists_everything_and_forgets_removed_paths() {
+        let workload = Workload::new(
+            "p",
+            vec![
+                Op::Creat { path: "keep".into() },
+                Op::Creat { path: "gone".into() },
+                Op::Sync,
+                Op::Unlink { path: "gone".into() },
+                Op::Sync,
+            ],
+        );
+        let result = profile(&workload);
+        assert_eq!(result.checkpoints.len(), 2);
+        assert!(result.checkpoints[0].persisted.contains_key("gone"));
+        assert!(!result.checkpoints[1].persisted.contains_key("gone"));
+        assert!(result.checkpoints[1].persisted.contains_key("keep"));
+    }
+
+    #[test]
+    fn exec_errors_are_captured_not_propagated() {
+        let workload = Workload::new(
+            "bad",
+            vec![
+                Op::Unlink { path: "missing".into() },
+                Op::Sync,
+            ],
+        );
+        let result = profile(&workload);
+        assert!(result.exec_error.is_some());
+        assert!(result.checkpoints.is_empty());
+    }
+
+    #[test]
+    fn recorded_log_contains_write_io() {
+        let workload = Workload::new(
+            "io",
+            vec![Op::Creat { path: "foo".into() }, Op::Sync],
+        );
+        let result = profile(&workload);
+        assert!(result.log.recorded_bytes() > 0);
+        assert!(result.log.len() > 1);
+    }
+}

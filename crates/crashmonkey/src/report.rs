@@ -1,0 +1,276 @@
+//! Bug reports, consequences, and per-workload outcomes.
+
+use std::fmt;
+use std::time::Duration;
+
+use b3_vfs::snapshot::SnapshotDiff;
+use b3_vfs::workload::Workload;
+
+/// The observable consequence of a crash-consistency bug, ordered by
+/// severity. These mirror the consequence classes of the paper's Tables 1,
+/// 2 and 5 ("corruption", "data inconsistency", "un-mountable file system",
+/// broken rename atomicity, missing files/directories, lost blocks, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Consequence {
+    /// Extended attributes differ from what was persisted.
+    XattrInconsistent,
+    /// A symlink recovered with an empty target.
+    SymlinkEmpty,
+    /// Allocated blocks (st_blocks) were lost.
+    BlocksLost,
+    /// The file size differs from the persisted size (but grew, or changed
+    /// without data loss).
+    WrongSize,
+    /// Persisted file contents are corrupted.
+    DataCorruption,
+    /// Persisted data or size was lost (file recovered shorter or empty).
+    DataLoss,
+    /// A rename left the file visible in both the old and the new location.
+    FileInBothLocations,
+    /// A persisted directory is missing after recovery.
+    DirectoryMissing,
+    /// A persisted file is missing after recovery.
+    FileMissing,
+    /// A directory cannot be removed after recovery (stale entries/size).
+    DirectoryUnremovable,
+    /// New files cannot be created after recovery.
+    CannotCreateFiles,
+    /// The file system cannot be mounted at all.
+    Unmountable,
+}
+
+impl Consequence {
+    /// Short human-readable description matching the paper's wording.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Consequence::XattrInconsistent => "extended attributes inconsistent",
+            Consequence::SymlinkEmpty => "symlink recovered empty",
+            Consequence::BlocksLost => "allocated blocks lost",
+            Consequence::WrongSize => "file recovers to incorrect size",
+            Consequence::DataCorruption => "persisted data corrupted",
+            Consequence::DataLoss => "persisted data lost",
+            Consequence::FileInBothLocations => "rename persists file in both locations",
+            Consequence::DirectoryMissing => "persisted directory missing",
+            Consequence::FileMissing => "persisted file missing",
+            Consequence::DirectoryUnremovable => "directory un-removable",
+            Consequence::CannotCreateFiles => "unable to create new files",
+            Consequence::Unmountable => "file system unmountable",
+        }
+    }
+
+    /// The coarse study category used by Table 1 (corruption / data
+    /// inconsistency / un-mountable).
+    pub fn study_category(&self) -> &'static str {
+        match self {
+            Consequence::Unmountable => "un-mountable",
+            Consequence::DataLoss
+            | Consequence::DataCorruption
+            | Consequence::WrongSize
+            | Consequence::BlocksLost
+            | Consequence::XattrInconsistent
+            | Consequence::SymlinkEmpty => "data inconsistency",
+            _ => "corruption",
+        }
+    }
+}
+
+impl fmt::Display for Consequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// A single crash-consistency bug report, as produced by the AutoChecker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugReport {
+    /// Name of the workload that exposed the bug.
+    pub workload_name: String,
+    /// The workload's skeleton (core operation kinds), the grouping key used
+    /// for post-processing (§5.3, Figure 5).
+    pub skeleton: String,
+    /// The target file system.
+    pub fs_name: String,
+    /// The checkpoint (persistence point) after which the crash was
+    /// simulated.
+    pub crash_point: u32,
+    /// Primary (most severe) consequence.
+    pub consequence: Consequence,
+    /// Every consequence observed at this crash point (the primary one is
+    /// the maximum of these).
+    pub all_consequences: Vec<Consequence>,
+    /// The expected state of the persisted files, human-readable.
+    pub expected: String,
+    /// The observed state after recovery, human-readable.
+    pub actual: String,
+    /// Detailed read-check differences.
+    pub diffs: Vec<SnapshotDiff>,
+    /// Write-check failures (un-removable directories, failed creates).
+    pub write_check_failures: Vec<String>,
+}
+
+impl BugReport {
+    /// The key used to group reports that are manifestations of the same
+    /// underlying bug: identical skeleton and consequence (§5.3).
+    pub fn group_key(&self) -> (String, Consequence) {
+        (self.skeleton.clone(), self.consequence)
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} on {} (crash point {}): {}",
+            self.workload_name, self.skeleton, self.fs_name, self.crash_point, self.consequence
+        )?;
+        writeln!(f, "  expected: {}", self.expected)?;
+        writeln!(f, "  actual:   {}", self.actual)?;
+        for diff in &self.diffs {
+            writeln!(f, "  - {diff}")?;
+        }
+        for failure in &self.write_check_failures {
+            writeln!(f, "  - write check: {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock timing of the three CrashMonkey phases (§6.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTiming {
+    /// Profiling the workload.
+    pub profile: Duration,
+    /// Constructing crash states.
+    pub crash_state_construction: Duration,
+    /// Consistency checking.
+    pub checking: Duration,
+    /// End-to-end time.
+    pub total: Duration,
+    /// The modeled kernel-imposed delay (mount + settle) that the real
+    /// CrashMonkey pays per workload; zero unless the configuration enables
+    /// modeling (see `CrashMonkeyConfig::model_kernel_delays`).
+    pub modeled_kernel_delay_seconds: f64,
+}
+
+impl PhaseTiming {
+    /// End-to-end latency including the modeled kernel delays, in seconds —
+    /// the number to compare against the paper's 4.6 s.
+    pub fn modeled_total_seconds(&self) -> f64 {
+        self.total.as_secs_f64() + self.modeled_kernel_delay_seconds
+    }
+}
+
+/// Resource accounting for one workload (§6.5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceStats {
+    /// Bytes of block IO recorded while profiling.
+    pub recorded_io_bytes: u64,
+    /// Bytes held in copy-on-write overlays across all constructed crash
+    /// states (the paper's ~20 MB average memory consumption figure).
+    pub crash_state_overlay_bytes: u64,
+    /// Bytes of persistent storage used by the serialized workload (the
+    /// paper reports ~480 KB per workload).
+    pub workload_storage_bytes: u64,
+}
+
+/// The outcome of testing one workload on one file system.
+#[derive(Debug, Clone)]
+pub struct WorkloadOutcome {
+    /// The workload's name.
+    pub workload_name: String,
+    /// The workload's skeleton string.
+    pub skeleton: String,
+    /// The file system under test.
+    pub fs_name: String,
+    /// Bug reports (empty when the workload passed).
+    pub bugs: Vec<BugReport>,
+    /// Number of crash points tested.
+    pub checkpoints_tested: u32,
+    /// Set when the workload could not be executed (invalid op sequence).
+    pub skipped: Option<String>,
+    /// Phase timings.
+    pub timing: PhaseTiming,
+    /// Resource accounting.
+    pub resource: ResourceStats,
+}
+
+impl WorkloadOutcome {
+    /// Creates an empty outcome for a workload.
+    pub fn new(workload: &Workload, fs_name: &str) -> Self {
+        WorkloadOutcome {
+            workload_name: workload.name.clone(),
+            skeleton: workload.skeleton_string(),
+            fs_name: fs_name.to_string(),
+            bugs: Vec::new(),
+            checkpoints_tested: 0,
+            skipped: None,
+            timing: PhaseTiming::default(),
+            resource: ResourceStats::default(),
+        }
+    }
+
+    /// True if the workload ran and revealed at least one bug.
+    pub fn found_bug(&self) -> bool {
+        !self.bugs.is_empty()
+    }
+
+    /// The most severe consequence among this outcome's bug reports.
+    pub fn worst_consequence(&self) -> Option<Consequence> {
+        self.bugs.iter().map(|b| b.consequence).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consequence_ordering_puts_unmountable_on_top() {
+        assert!(Consequence::Unmountable > Consequence::FileMissing);
+        assert!(Consequence::FileMissing > Consequence::DataLoss);
+        assert!(Consequence::DataLoss > Consequence::BlocksLost);
+        assert!(Consequence::CannotCreateFiles > Consequence::DirectoryUnremovable);
+    }
+
+    #[test]
+    fn study_categories_match_table1_buckets() {
+        assert_eq!(Consequence::Unmountable.study_category(), "un-mountable");
+        assert_eq!(Consequence::DataLoss.study_category(), "data inconsistency");
+        assert_eq!(Consequence::FileMissing.study_category(), "corruption");
+        assert_eq!(
+            Consequence::DirectoryUnremovable.study_category(),
+            "corruption"
+        );
+    }
+
+    #[test]
+    fn report_display_includes_expected_and_actual() {
+        let report = BugReport {
+            workload_name: "w1".into(),
+            skeleton: "link-write".into(),
+            fs_name: "cowfs".into(),
+            crash_point: 2,
+            consequence: Consequence::DataLoss,
+            all_consequences: vec![Consequence::DataLoss],
+            expected: "foo: 16384 bytes".into(),
+            actual: "foo: 0 bytes".into(),
+            diffs: vec![],
+            write_check_failures: vec![],
+        };
+        let text = report.to_string();
+        assert!(text.contains("persisted data lost"));
+        assert!(text.contains("16384"));
+        assert!(text.contains("crash point 2"));
+        assert_eq!(report.group_key().1, Consequence::DataLoss);
+    }
+
+    #[test]
+    fn modeled_total_adds_delay() {
+        let timing = PhaseTiming {
+            total: Duration::from_millis(100),
+            modeled_kernel_delay_seconds: 3.9,
+            ..PhaseTiming::default()
+        };
+        assert!((timing.modeled_total_seconds() - 4.0).abs() < 1e-9);
+    }
+}

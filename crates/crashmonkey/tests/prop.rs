@@ -1,0 +1,99 @@
+//! Property-based test of the central soundness claim: on a fully patched
+//! file system, CrashMonkey must not report bugs for any workload in the
+//! bounded space (no false positives), for any of the simulated file
+//! systems.
+
+use proptest::prelude::*;
+
+use b3_crashmonkey::{CrashMonkey, CrashMonkeyConfig};
+use b3_fs_cow::CowFsSpec;
+use b3_fs_flash::FlashFsSpec;
+use b3_fs_journal::JournalFsSpec;
+use b3_fs_veri::VeriFsSpec;
+use b3_vfs::fs::{FsSpec, WriteMode};
+use b3_vfs::workload::{Op, Workload, WriteSpec};
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "foo".to_string(),
+        "bar".to_string(),
+        "A/foo".to_string(),
+        "A/bar".to_string(),
+        "B/foo".to_string(),
+    ])
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        path_strategy().prop_map(|path| Op::Creat { path }),
+        (path_strategy(), path_strategy()).prop_map(|(existing, new)| Op::Link { existing, new }),
+        (path_strategy(), path_strategy()).prop_map(|(from, to)| Op::Rename { from, to }),
+        path_strategy().prop_map(|path| Op::Unlink { path }),
+        (path_strategy(), 0u64..32_768, 1u64..16_384).prop_map(|(path, offset, len)| Op::Write {
+            path,
+            mode: WriteMode::Buffered,
+            spec: WriteSpec::Range { offset, len },
+        }),
+        path_strategy().prop_map(|path| Op::Fsync { path }),
+        Just(Op::Sync),
+    ]
+}
+
+/// Setup creating the bounded file set so most random ops are applicable.
+fn standard_setup() -> Vec<Op> {
+    vec![
+        Op::Mkdir { path: "A".into() },
+        Op::Mkdir { path: "B".into() },
+        Op::Creat { path: "foo".into() },
+        Op::Creat { path: "bar".into() },
+        Op::Creat { path: "A/foo".into() },
+        Op::Creat { path: "A/bar".into() },
+        Op::Creat { path: "B/foo".into() },
+    ]
+}
+
+fn check_no_false_positive(spec: &dyn FsSpec, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut ops = ops;
+    ops.push(Op::Sync);
+    let workload = Workload::with_setup("prop", standard_setup(), ops);
+    let monkey = CrashMonkey::with_config(spec, CrashMonkeyConfig::exhaustive_crash_points());
+    let outcome = monkey
+        .test_workload(&workload)
+        .map_err(|e| TestCaseError::fail(format!("harness error: {e}")))?;
+    if outcome.skipped.is_some() {
+        // The random sequence was not executable; nothing to check.
+        return Ok(());
+    }
+    prop_assert!(
+        outcome.bugs.is_empty(),
+        "false positive on patched {}: {:?}\nworkload:\n{}",
+        spec.name(),
+        outcome.bugs,
+        workload
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn patched_cowfs_has_no_false_positives(ops in prop::collection::vec(op_strategy(), 1..6)) {
+        check_no_false_positive(&CowFsSpec::patched(), ops)?;
+    }
+
+    #[test]
+    fn patched_flashfs_has_no_false_positives(ops in prop::collection::vec(op_strategy(), 1..6)) {
+        check_no_false_positive(&FlashFsSpec::patched(), ops)?;
+    }
+
+    #[test]
+    fn patched_journalfs_has_no_false_positives(ops in prop::collection::vec(op_strategy(), 1..6)) {
+        check_no_false_positive(&JournalFsSpec::patched(), ops)?;
+    }
+
+    #[test]
+    fn patched_verifs_has_no_false_positives(ops in prop::collection::vec(op_strategy(), 1..6)) {
+        check_no_false_positive(&VeriFsSpec::patched(), ops)?;
+    }
+}

@@ -1,0 +1,309 @@
+//! The catalogue of injectable CowFs crash-consistency bugs.
+//!
+//! Each flag corresponds to one distinct *mechanism* from the paper's btrfs
+//! corpus (several reported workloads can share a mechanism, exactly as
+//! several reported bugs shared a root cause in the real kernel). Flags are
+//! era-gated: [`CowBugs::for_era`] enables exactly the bugs that were
+//! unfixed in the given kernel release, so a `KernelEra::Patched` file
+//! system has no injected bugs at all and `KernelEra::V4_16` (the paper's
+//! evaluation kernel) has exactly the still-unfixed "new" bugs of Table 5.
+
+use b3_vfs::KernelEra;
+
+/// Which CowFs crash-consistency bugs are active.
+///
+/// The `Default` value has every bug disabled (a fully patched file system).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(clippy::struct_excessive_bools)]
+pub struct CowBugs {
+    // ----- inode / data logging bugs -------------------------------------------------
+
+    /// fsync of a file that gained a hard link in the current transaction
+    /// logs the *committed* (stale) inode size and contents, so the file
+    /// recovers with size 0 / old data. (Known bug: "fsync data loss after
+    /// adding hard link to inode", workload 16.)
+    pub link_fsync_stale_inode: bool,
+
+    /// fsync of a file whose link count is greater than one only logs data
+    /// up to the committed size, losing appends. (Known bug: "fsync data
+    /// loss after append write", workload 23.)
+    pub append_after_link_stale_extent: bool,
+
+    /// Blocks allocated beyond EOF with `fallocate(KEEP_SIZE)` are not
+    /// logged by fsync and disappear after recovery. (New bug 8.)
+    pub falloc_keep_size_not_logged: bool,
+
+    /// Holes punched since the last commit are not logged: recovery restores
+    /// the committed data for the punched range. (Known bugs: workloads 12
+    /// and 17, hole punching not persisted.)
+    pub punch_hole_not_logged: bool,
+
+    /// fsync logs the union of committed and working xattrs, so xattrs
+    /// removed in this transaction reappear after recovery. (Known bug:
+    /// workload 18, "remove deleted xattrs on fsync log replay".)
+    pub xattr_removal_not_logged: bool,
+
+    /// A symlink logged through an fsync of its parent directory loses its
+    /// target, recovering as an empty symlink. (Known bug: workload 10.)
+    pub symlink_target_not_logged: bool,
+
+    /// A ranged `msync` logs only the synced range *and* clears the whole
+    /// file's dirty state, so a second ranged msync of a different range
+    /// logs nothing. (Known bug: workload 14, "fsync data loss after a
+    /// ranged fsync".)
+    pub ranged_msync_clears_dirty: bool,
+
+    // ----- name / dentry logging bugs -------------------------------------------------
+
+    /// fsync of a file logs only the directory entry for the path that was
+    /// fsynced; hard-link names added this transaction under other paths
+    /// are not logged (and a second fsync of the same inode skips name
+    /// logging entirely). (New bugs 5 and 7.)
+    pub fsync_skips_other_names: bool,
+
+    /// fsync of a file that was renamed in the current transaction fails to
+    /// log the name change; the file recovers under its old name. (Known
+    /// bugs: workloads 11 and 22; the file-rename half of new bug 4.)
+    pub fsync_renamed_file_skips_new_name: bool,
+
+    /// When fsyncing a file created at a name that used to belong to a
+    /// different (renamed-away) inode, the renamed inode's new location is
+    /// not logged and the old file disappears entirely. (Known bug:
+    /// workload 1, also reported against F2FS.)
+    pub rename_source_not_logged: bool,
+
+    /// fsync of a file also logs directory entries for *sibling* names
+    /// created in the same directory during this transaction, without
+    /// logging the sibling inodes — leaving entries whose link counts are
+    /// wrong after replay and making the directory un-removable. (Known bug:
+    /// workload 13, "stale directory entries after fsync log replay".)
+    pub fsync_logs_sibling_dentries: bool,
+
+    /// fsync of a directory logs entries for newly created child *files*
+    /// but not the child inodes themselves, so the children are missing
+    /// after recovery. (New bug 6.)
+    pub dir_fsync_skips_new_files: bool,
+
+    /// fsync of a directory does not log newly created child *directories*
+    /// (nor anything under them). (New bug 3.)
+    pub dir_fsync_skips_new_subdirs: bool,
+
+    /// fsync of a directory fails to persist renames of files into or out of
+    /// the directory's subtree performed in this transaction. (Known bugs:
+    /// workloads 7, 8 and 20; the directory half of new bug 4.)
+    pub dir_fsync_misses_renames: bool,
+
+    /// When a rename replaces a name belonging to an already-logged inode,
+    /// fsync of the directory logs the replacing entry but not the replacing
+    /// inode, so *both* the old and the new file vanish — broken rename
+    /// atomicity. (New bug 1.)
+    pub rename_over_logged_skips_new_inode: bool,
+
+    // ----- log replay bugs --------------------------------------------------------------
+
+    /// Log replay increments the directory size for every dentry item even
+    /// when the entry already exists, leaving the directory claiming a
+    /// larger size than its entries and making it un-removable. (Known bugs:
+    /// workloads 21 and 24, "fix directory recovery from fsync log".)
+    pub replay_dup_dentry_double_count: bool,
+
+    /// Log replay skips dentry *removals* for inodes with multiple hard
+    /// links, resurrecting removed names with broken link counts and making
+    /// the directory un-removable. (Known bugs: workloads 15 and 19.)
+    pub replay_skips_dentry_removal_multilink: bool,
+
+    /// Log replay does not remove the old name of a renamed entry when the
+    /// new name appears in the same log, so the file is visible in both
+    /// directories after recovery. (Known bug: workload 9; new bug 2.)
+    pub replay_keeps_old_dentry_after_rename: bool,
+
+    /// Log replay aborts when a logged dentry targets a name that exists in
+    /// the committed tree with a different inode (the unlink+link /
+    /// unlink+create name-reuse pattern), leaving the file system
+    /// un-mountable. (Known bugs: Figure 1 / workloads 3 and 5.)
+    pub name_reuse_breaks_replay: bool,
+
+    /// Log replay restores the committed inode-allocator cursor, so the
+    /// first creation after recovery collides with a replayed inode and the
+    /// file system refuses to create new files. (Known bug: workload 6.)
+    pub replay_resets_inode_allocator: bool,
+}
+
+/// One row of the era table: which flag, when the bug appeared, and when it
+/// was fixed (`None` = still unfixed at the paper's evaluation kernel 4.16).
+struct BugWindow {
+    set: fn(&mut CowBugs, bool),
+    introduced: KernelEra,
+    fixed_in: Option<KernelEra>,
+}
+
+macro_rules! window {
+    ($field:ident, $introduced:expr, $fixed:expr) => {
+        BugWindow {
+            set: |bugs, value| bugs.$field = value,
+            introduced: $introduced,
+            fixed_in: $fixed,
+        }
+    };
+}
+
+/// The era table. Known (previously reported) bugs were all fixed by the
+/// kernel release following their report; the ten bugs CrashMonkey and ACE
+/// found (Table 5) were still present in 4.16 and are only disabled for
+/// [`KernelEra::Patched`].
+fn bug_windows() -> Vec<BugWindow> {
+    use KernelEra::*;
+    vec![
+        // --- previously reported (known) bugs -------------------------------
+        window!(link_fsync_stale_inode, V3_12, Some(V4_1_1)),
+        window!(append_after_link_stale_extent, V3_12, Some(V4_4)),
+        window!(punch_hole_not_logged, V3_12, Some(V4_4)),
+        window!(xattr_removal_not_logged, V3_12, Some(V4_1_1)),
+        window!(symlink_target_not_logged, V3_12, Some(V4_15)),
+        window!(ranged_msync_clears_dirty, V3_12, Some(V3_16)),
+        window!(fsync_renamed_file_skips_new_name, V3_12, Some(V4_15)),
+        window!(rename_source_not_logged, V3_12, Some(V4_15)),
+        window!(fsync_logs_sibling_dentries, V3_12, Some(V4_4)),
+        // This mechanism covers both previously-reported workloads (7, 8,
+        // 20) and the still-unfixed "rename not persisted by fsync" new bug
+        // 4 of Table 5, so its window never closes.
+        window!(dir_fsync_misses_renames, V3_12, None),
+        window!(replay_dup_dentry_double_count, V3_12, Some(V3_16)),
+        window!(replay_skips_dentry_removal_multilink, V3_12, Some(V4_4)),
+        window!(replay_keeps_old_dentry_after_rename, V3_12, Some(V4_15)),
+        window!(name_reuse_breaks_replay, V3_12, Some(V4_16)),
+        window!(replay_resets_inode_allocator, V3_12, Some(V4_16)),
+        // --- new bugs found by CrashMonkey + ACE (Table 5) -------------------
+        window!(rename_over_logged_skips_new_inode, V3_13, None), // new bug 1 (2014)
+        window!(replay_keeps_old_dentry_after_rename, V4_15, None), // new bug 2 (2018) reuses the mechanism
+        window!(dir_fsync_skips_new_subdirs, V3_13, None),        // new bug 3 (2014)
+        window!(fsync_skips_other_names, V3_13, None),            // new bugs 5 & 7 (2014)
+        window!(dir_fsync_skips_new_files, V3_16, None),          // new bug 6 (2014)
+        window!(falloc_keep_size_not_logged, V3_13, None),        // new bug 8 (2014)
+    ]
+}
+
+impl CowBugs {
+    /// No bugs at all (equivalent to `for_era(KernelEra::Patched)`).
+    pub fn none() -> Self {
+        CowBugs::default()
+    }
+
+    /// Every bug enabled (useful for adversarial testing of CrashMonkey).
+    pub fn all() -> Self {
+        let mut bugs = CowBugs::default();
+        for window in bug_windows() {
+            (window.set)(&mut bugs, true);
+        }
+        bugs
+    }
+
+    /// The bugs present in the given kernel era.
+    pub fn for_era(era: KernelEra) -> Self {
+        let mut bugs = CowBugs::default();
+        for window in bug_windows() {
+            if era.bug_present(window.introduced, window.fixed_in) {
+                (window.set)(&mut bugs, true);
+            }
+        }
+        bugs
+    }
+
+    /// Number of enabled bug flags.
+    pub fn count_enabled(&self) -> usize {
+        let CowBugs {
+            link_fsync_stale_inode,
+            append_after_link_stale_extent,
+            falloc_keep_size_not_logged,
+            punch_hole_not_logged,
+            xattr_removal_not_logged,
+            symlink_target_not_logged,
+            ranged_msync_clears_dirty,
+            fsync_skips_other_names,
+            fsync_renamed_file_skips_new_name,
+            rename_source_not_logged,
+            fsync_logs_sibling_dentries,
+            dir_fsync_skips_new_files,
+            dir_fsync_skips_new_subdirs,
+            dir_fsync_misses_renames,
+            rename_over_logged_skips_new_inode,
+            replay_dup_dentry_double_count,
+            replay_skips_dentry_removal_multilink,
+            replay_keeps_old_dentry_after_rename,
+            name_reuse_breaks_replay,
+            replay_resets_inode_allocator,
+        } = *self;
+        [
+            link_fsync_stale_inode,
+            append_after_link_stale_extent,
+            falloc_keep_size_not_logged,
+            punch_hole_not_logged,
+            xattr_removal_not_logged,
+            symlink_target_not_logged,
+            ranged_msync_clears_dirty,
+            fsync_skips_other_names,
+            fsync_renamed_file_skips_new_name,
+            rename_source_not_logged,
+            fsync_logs_sibling_dentries,
+            dir_fsync_skips_new_files,
+            dir_fsync_skips_new_subdirs,
+            dir_fsync_misses_renames,
+            rename_over_logged_skips_new_inode,
+            replay_dup_dentry_double_count,
+            replay_skips_dentry_removal_multilink,
+            replay_keeps_old_dentry_after_rename,
+            name_reuse_breaks_replay,
+            replay_resets_inode_allocator,
+        ]
+        .iter()
+        .filter(|&&flag| flag)
+        .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patched_era_has_no_bugs() {
+        assert_eq!(CowBugs::for_era(KernelEra::Patched), CowBugs::none());
+        assert_eq!(CowBugs::for_era(KernelEra::Patched).count_enabled(), 0);
+    }
+
+    #[test]
+    fn evaluation_kernel_has_only_new_bugs() {
+        let bugs = CowBugs::for_era(KernelEra::V4_16);
+        // The new bugs of Table 5 are present…
+        assert!(bugs.rename_over_logged_skips_new_inode);
+        assert!(bugs.dir_fsync_skips_new_subdirs);
+        assert!(bugs.dir_fsync_skips_new_files);
+        assert!(bugs.fsync_skips_other_names);
+        assert!(bugs.falloc_keep_size_not_logged);
+        assert!(bugs.replay_keeps_old_dentry_after_rename);
+        // …while long-fixed known bugs are not.
+        assert!(!bugs.link_fsync_stale_inode);
+        assert!(!bugs.ranged_msync_clears_dirty);
+        assert!(!bugs.replay_dup_dentry_double_count);
+    }
+
+    #[test]
+    fn old_kernels_have_more_bugs_than_new_ones() {
+        let old = CowBugs::for_era(KernelEra::V3_13).count_enabled();
+        let new = CowBugs::for_era(KernelEra::V4_16).count_enabled();
+        assert!(old > new, "expected {old} > {new}");
+    }
+
+    #[test]
+    fn known_bug_window_closes() {
+        assert!(CowBugs::for_era(KernelEra::V3_13).replay_dup_dentry_double_count);
+        assert!(!CowBugs::for_era(KernelEra::V4_4).replay_dup_dentry_double_count);
+        assert!(CowBugs::for_era(KernelEra::V4_15).name_reuse_breaks_replay);
+        assert!(!CowBugs::for_era(KernelEra::V4_16).name_reuse_breaks_replay);
+    }
+
+    #[test]
+    fn all_enables_everything() {
+        assert_eq!(CowBugs::all().count_enabled(), 20);
+    }
+}

@@ -1,0 +1,144 @@
+//! Baselines B3 is compared against.
+//!
+//! §2 argues that the state of the practice — xfstests' small set of
+//! handcrafted, regression-oriented crash tests — cannot find *new* bugs,
+//! and §7 contrasts B3's exhaustive bounded generation with fuzz-style
+//! random input selection. This module provides both baselines so the
+//! benches can put numbers behind the comparison:
+//!
+//! * [`xfstests_suite`] — a fixed regression suite: one handcrafted test per
+//!   previously-reported bug (exactly what gets written after a bug report),
+//!   which by construction cannot cover bugs nobody has reported yet.
+//! * [`RandomWorkloads`] — a random workload generator drawing from the same
+//!   operation and file bounds as ACE, but sampling instead of enumerating.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use b3_ace::Bounds;
+use b3_ace::phases::{phase2_candidates, phase4_dependencies, persistence_options};
+use b3_vfs::workload::{Op, Workload};
+
+use crate::corpus::{known_bugs, CorpusEntry};
+
+/// The regression suite a careful maintainer would have today: one test per
+/// previously reported bug (the paper counts 26 crash-consistency tests in
+/// xfstests). These are exactly the known-bug corpus workloads.
+pub fn xfstests_suite() -> Vec<Workload> {
+    known_bugs()
+        .iter()
+        .filter(|entry| entry.is_runnable())
+        .map(CorpusEntry::workload)
+        .collect()
+}
+
+/// Returns true if a workload's skeleton appears in the regression suite —
+/// i.e. whether the suite would have had any chance of catching it.
+pub fn regression_suite_covers(workload: &Workload) -> bool {
+    let skeleton = workload.skeleton_string();
+    xfstests_suite()
+        .iter()
+        .any(|test| test.skeleton_string() == skeleton)
+}
+
+/// A random (fuzz-style) workload generator over the same bounds as ACE.
+pub struct RandomWorkloads {
+    bounds: Bounds,
+    rng: StdRng,
+    counter: u64,
+}
+
+impl RandomWorkloads {
+    /// Creates a generator with a fixed seed (deterministic for tests).
+    pub fn new(bounds: Bounds, seed: u64) -> Self {
+        RandomWorkloads {
+            bounds,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
+    }
+}
+
+impl Iterator for RandomWorkloads {
+    type Item = Workload;
+
+    fn next(&mut self) -> Option<Workload> {
+        // Keep sampling until a valid workload emerges (phase 4 can reject).
+        for _ in 0..256 {
+            self.counter += 1;
+            let mut core = Vec::with_capacity(self.bounds.seq_len);
+            for _ in 0..self.bounds.seq_len {
+                let kind = *self.bounds.ops.choose(&mut self.rng)?;
+                let candidates = phase2_candidates(kind, &self.bounds);
+                if candidates.is_empty() {
+                    return None;
+                }
+                core.push(candidates.choose(&mut self.rng)?.clone());
+            }
+            // Random persistence points: each op optionally followed by one
+            // of its options; the last always gets one.
+            let mut ops: Vec<Op> = Vec::with_capacity(core.len() * 2);
+            let core_len = core.len();
+            for (i, op) in core.into_iter().enumerate() {
+                let is_last = i + 1 == core_len;
+                let options = persistence_options(&op, is_last, &self.bounds);
+                ops.push(op);
+                if let Some(choice) = options.choose(&mut self.rng) {
+                    if let Some(persist) = choice.clone() {
+                        ops.push(persist);
+                    }
+                } else if is_last {
+                    ops.push(Op::Sync);
+                }
+                if is_last && !ops.last().is_some_and(Op::is_persistence_point) {
+                    ops.push(Op::Sync);
+                }
+            }
+            let name = format!("fuzz-{:07}", self.counter);
+            if let Some(workload) = phase4_dependencies(&name, ops, &self.bounds) {
+                return Some(workload);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_suite_has_one_test_per_reproduced_bug() {
+        assert_eq!(xfstests_suite().len(), 25);
+    }
+
+    #[test]
+    fn regression_suite_covers_its_own_workloads_but_not_everything() {
+        let suite = xfstests_suite();
+        assert!(regression_suite_covers(&suite[0]));
+        // A workload with a skeleton no regression test has.
+        let novel = Workload::new(
+            "novel",
+            vec![
+                Op::Mkfifo { path: "p".into() },
+                Op::Truncate { path: "p".into(), size: 0 },
+                Op::Sync,
+            ],
+        );
+        assert!(!regression_suite_covers(&novel));
+    }
+
+    #[test]
+    fn random_generator_is_deterministic_per_seed_and_valid() {
+        let a: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 42).take(50).collect();
+        let b: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 42).take(50).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for workload in &a {
+            assert!(workload.ends_with_persistence_point(), "{workload}");
+        }
+        let c: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 7).take(50).collect();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,31 @@
+//! The B3 harness: everything needed to run the paper's evaluation.
+//!
+//! * [`study`] — the crash-consistency bug study of §3 (Tables 1 and 2) as
+//!   data, with the breakdown computations that regenerate the tables.
+//! * [`corpus`] — the reproduction corpus: the 26 previously-reported bugs of
+//!   Appendix 9.1 and the 11 new bugs of Table 5 / Appendix 9.2, each as an
+//!   executable workload plus metadata (file system, kernel era, expected
+//!   consequence), and the machinery to replay them under CrashMonkey.
+//! * [`runner`] — a multi-threaded runner that drives CrashMonkey over a
+//!   stream of ACE-generated workloads (the in-process analogue of the
+//!   paper's 65-node / 780-VM Chameleon cluster).
+//! * [`postprocess`] — bug-report de-duplication: grouping by skeleton and
+//!   consequence, and filtering against the database of known bugs (§5.3,
+//!   Figure 5).
+//! * [`baseline`] — the comparison points discussed in §2 and §7: an
+//!   xfstests-style handcrafted regression suite and a random (fuzz-style)
+//!   workload generator.
+//! * [`report`] — plain-text table formatting used by the benches and
+//!   examples that regenerate the paper's tables.
+
+pub mod baseline;
+pub mod corpus;
+pub mod postprocess;
+pub mod report;
+pub mod runner;
+pub mod study;
+
+pub use corpus::{CorpusEntry, FsKind, ReproStatus};
+pub use postprocess::{group_reports, BugGroup, KnownBugDatabase};
+pub use report::Table;
+pub use runner::{run_stream, RunConfig, RunSummary};

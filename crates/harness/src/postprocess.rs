@@ -1,0 +1,152 @@
+//! Bug-report post-processing (§5.3, Figure 5).
+//!
+//! A single underlying bug typically causes many generated workloads to fail
+//! their checks. The paper groups reports by *skeleton* (the sequence of
+//! core operations) and *consequence*, inspects one representative per
+//! group, and suppresses reports that match an already-known bug recorded in
+//! a database of (workload, consequence) pairs.
+
+use std::collections::BTreeMap;
+
+use b3_crashmonkey::{BugReport, Consequence};
+
+/// A group of bug reports believed to stem from the same underlying bug.
+#[derive(Debug, Clone)]
+pub struct BugGroup {
+    /// The shared skeleton.
+    pub skeleton: String,
+    /// The shared consequence.
+    pub consequence: Consequence,
+    /// Number of reports in the group.
+    pub count: usize,
+    /// A representative report.
+    pub example: BugReport,
+}
+
+/// Groups reports by (skeleton, consequence), as in Figure 5.
+pub fn group_reports(reports: &[BugReport]) -> Vec<BugGroup> {
+    let mut groups: BTreeMap<(String, Consequence), Vec<&BugReport>> = BTreeMap::new();
+    for report in reports {
+        groups.entry(report.group_key()).or_default().push(report);
+    }
+    groups
+        .into_iter()
+        .map(|((skeleton, consequence), members)| BugGroup {
+            skeleton,
+            consequence,
+            count: members.len(),
+            example: members[0].clone(),
+        })
+        .collect()
+}
+
+/// The database of previously found bugs ACE consults before reporting a new
+/// one to the user: "it first compares the workload and the consequence with
+/// the database of known bugs. If there is a match, ACE does not report the
+/// bug to the user."
+#[derive(Debug, Default, Clone)]
+pub struct KnownBugDatabase {
+    entries: BTreeMap<(String, Consequence), String>,
+}
+
+impl KnownBugDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        KnownBugDatabase::default()
+    }
+
+    /// Records a known bug by its skeleton, consequence, and a label
+    /// (e.g. the kernel bugzilla reference).
+    pub fn insert(&mut self, skeleton: &str, consequence: Consequence, label: &str) {
+        self.entries
+            .insert((skeleton.to_string(), consequence), label.to_string());
+    }
+
+    /// Number of known bugs recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the database has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the label of the known bug a report matches, if any.
+    pub fn matches(&self, report: &BugReport) -> Option<&str> {
+        self.entries.get(&report.group_key()).map(String::as_str)
+    }
+
+    /// Splits groups into (new, already-known) according to the database.
+    pub fn partition<'a>(
+        &self,
+        groups: &'a [BugGroup],
+    ) -> (Vec<&'a BugGroup>, Vec<&'a BugGroup>) {
+        groups
+            .iter()
+            .partition(|group| self.matches(&group.example).is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(skeleton: &str, consequence: Consequence, workload: &str) -> BugReport {
+        BugReport {
+            workload_name: workload.to_string(),
+            skeleton: skeleton.to_string(),
+            fs_name: "cowfs".into(),
+            crash_point: 1,
+            consequence,
+            all_consequences: vec![consequence],
+            expected: String::new(),
+            actual: String::new(),
+            diffs: vec![],
+            write_check_failures: vec![],
+        }
+    }
+
+    #[test]
+    fn grouping_collapses_same_skeleton_and_consequence() {
+        let reports = vec![
+            report("link-write", Consequence::DataLoss, "w1"),
+            report("link-write", Consequence::DataLoss, "w2"),
+            report("link-write", Consequence::FileMissing, "w3"),
+            report("rename-creat", Consequence::FileMissing, "w4"),
+        ];
+        let groups = group_reports(&reports);
+        assert_eq!(groups.len(), 3);
+        let big = groups
+            .iter()
+            .find(|g| g.skeleton == "link-write" && g.consequence == Consequence::DataLoss)
+            .unwrap();
+        assert_eq!(big.count, 2);
+    }
+
+    #[test]
+    fn known_bug_database_filters_matches() {
+        let reports = vec![
+            report("link-write", Consequence::DataLoss, "w1"),
+            report("rename-creat", Consequence::FileMissing, "w2"),
+        ];
+        let groups = group_reports(&reports);
+        let mut db = KnownBugDatabase::new();
+        db.insert("link-write", Consequence::DataLoss, "btrfs-2015-link-fsync");
+        assert_eq!(db.len(), 1);
+        let (new, known) = db.partition(&groups);
+        assert_eq!(new.len(), 1);
+        assert_eq!(known.len(), 1);
+        assert_eq!(new[0].skeleton, "rename-creat");
+        assert_eq!(
+            db.matches(&known[0].example),
+            Some("btrfs-2015-link-fsync")
+        );
+    }
+
+    #[test]
+    fn empty_reports_give_no_groups() {
+        assert!(group_reports(&[]).is_empty());
+        assert!(KnownBugDatabase::new().is_empty());
+    }
+}

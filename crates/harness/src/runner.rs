@@ -1,0 +1,203 @@
+//! A multi-threaded workload runner.
+//!
+//! The paper tests 3.37 million workloads by fanning them out to 780 virtual
+//! machines on a 65-node Chameleon Cloud cluster; each VM runs one
+//! CrashMonkey instance over its share of the workloads (§6.1). In this
+//! reproduction the fan-out is in-process: a pool of worker threads pulls
+//! workloads from a shared stream, each worker owning its own CrashMonkey
+//! instance, and the per-workload outcomes are folded into one summary.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use b3_crashmonkey::{BugReport, CrashMonkey, CrashMonkeyConfig, WorkloadOutcome};
+use b3_vfs::fs::FsSpec;
+use b3_vfs::workload::Workload;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of worker threads (the paper's analogue is VMs per node).
+    pub threads: usize,
+    /// Stop after this many workloads have produced bug reports (None = run
+    /// the whole stream).
+    pub stop_after_bugs: Option<usize>,
+    /// CrashMonkey configuration used by every worker.
+    pub crashmonkey: CrashMonkeyConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            stop_after_bugs: None,
+            crashmonkey: CrashMonkeyConfig::small(),
+        }
+    }
+}
+
+/// Aggregate results of a run.
+#[derive(Debug, Default)]
+pub struct RunSummary {
+    /// Workloads tested (executed and crash-checked).
+    pub tested: usize,
+    /// Workloads skipped because they could not execute.
+    pub skipped: usize,
+    /// All bug reports produced.
+    pub reports: Vec<BugReport>,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Sum of per-workload end-to-end times (for computing the average
+    /// latency the paper reports in §6.3).
+    pub total_workload_time: Duration,
+}
+
+impl RunSummary {
+    /// Average per-workload latency.
+    pub fn avg_workload_latency(&self) -> Duration {
+        if self.tested == 0 {
+            Duration::ZERO
+        } else {
+            self.total_workload_time / self.tested as u32
+        }
+    }
+
+    /// Workloads tested per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.tested as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Runs CrashMonkey over every workload in `workloads` using `threads`
+/// worker threads.
+pub fn run_stream<I>(spec: &(dyn FsSpec + Sync), workloads: I, config: &RunConfig) -> RunSummary
+where
+    I: IntoIterator<Item = Workload>,
+    I::IntoIter: Send,
+{
+    let start = Instant::now();
+    let queue = Mutex::new(workloads.into_iter());
+    let summary = Mutex::new(RunSummary::default());
+    let bug_count = AtomicUsize::new(0);
+    let threads = config.threads.max(1);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let monkey = CrashMonkey::with_config(spec, config.crashmonkey);
+                loop {
+                    if let Some(limit) = config.stop_after_bugs {
+                        if bug_count.load(Ordering::Relaxed) >= limit {
+                            return;
+                        }
+                    }
+                    let workload = {
+                        let mut iterator = queue.lock().expect("queue poisoned");
+                        iterator.next()
+                    };
+                    let Some(workload) = workload else { return };
+                    match monkey.test_workload(&workload) {
+                        Ok(outcome) => {
+                            if outcome.found_bug() {
+                                bug_count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            record(&summary, outcome);
+                        }
+                        Err(error) => {
+                            let mut summary = summary.lock().expect("summary poisoned");
+                            summary.skipped += 1;
+                            drop(error);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let mut summary = summary.into_inner().expect("summary poisoned");
+    summary.elapsed = start.elapsed();
+    summary
+}
+
+fn record(summary: &Mutex<RunSummary>, outcome: WorkloadOutcome) {
+    let mut summary = summary.lock().expect("summary poisoned");
+    if outcome.skipped.is_some() {
+        summary.skipped += 1;
+        return;
+    }
+    summary.tested += 1;
+    summary.total_workload_time += outcome.timing.total;
+    summary.reports.extend(outcome.bugs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b3_ace::{Bounds, WorkloadGenerator};
+    use b3_fs_cow::CowFsSpec;
+    use b3_vfs::KernelEra;
+
+    #[test]
+    fn parallel_run_over_tiny_bounds_is_clean_on_patched_fs() {
+        let spec = CowFsSpec::patched();
+        let workloads: Vec<Workload> = WorkloadGenerator::new(Bounds::tiny()).collect();
+        let total = workloads.len();
+        let config = RunConfig {
+            threads: 4,
+            ..RunConfig::default()
+        };
+        let summary = run_stream(&spec, workloads, &config);
+        assert_eq!(summary.tested + summary.skipped, total);
+        assert!(
+            summary.reports.is_empty(),
+            "patched CowFs must not produce reports: {:?}",
+            summary.reports
+        );
+        assert!(summary.tested > 0);
+        assert!(summary.throughput() > 0.0);
+    }
+
+    #[test]
+    fn buggy_fs_produces_reports_from_generated_workloads() {
+        // seq-1 creat workloads on the 4.16 kernel find the "fsync file does
+        // not persist all its names" family via link workloads; use a link
+        // oriented tiny bound to keep the test fast.
+        let spec = CowFsSpec::new(KernelEra::V3_13);
+        let bounds = Bounds::tiny();
+        let workloads: Vec<Workload> = WorkloadGenerator::new(bounds).collect();
+        let config = RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        };
+        let summary = run_stream(&spec, workloads, &config);
+        assert!(summary.tested > 0);
+        // The 3.13-era CowFs has many injected bugs; at least one of the
+        // tiny link/rename workloads must trip one.
+        assert!(
+            !summary.reports.is_empty(),
+            "expected at least one report on the 3.13-era file system"
+        );
+    }
+
+    #[test]
+    fn stop_after_bugs_short_circuits() {
+        let spec = CowFsSpec::new(KernelEra::V3_13);
+        let workloads: Vec<Workload> = WorkloadGenerator::new(Bounds::tiny()).collect();
+        let config = RunConfig {
+            threads: 1,
+            stop_after_bugs: Some(1),
+            ..RunConfig::default()
+        };
+        let summary = run_stream(&spec, workloads.clone(), &config);
+        assert!(summary.tested <= workloads.len());
+        assert!(!summary.reports.is_empty());
+    }
+}

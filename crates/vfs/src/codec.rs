@@ -1,0 +1,185 @@
+//! A tiny hand-rolled binary codec.
+//!
+//! The simulated file systems serialize their on-disk structures (committed
+//! trees, fsync logs, journal records, checkpoints) with this codec rather
+//! than pulling in a serialization framework; the format is
+//! length-prefixed, little-endian, and versioned by each caller.
+
+use crate::error::{FsError, FsResult};
+
+/// An append-only byte buffer writer.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length of the encoded output.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, value: &[u8]) {
+        self.put_u64(value.len() as u64);
+        self.buf.extend_from_slice(value);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_bytes(value.as_bytes());
+    }
+
+    /// Writes a boolean as one byte.
+    pub fn put_bool(&mut self, value: bool) {
+        self.put_u8(u8::from(value));
+    }
+}
+
+/// A cursor-based reader over encoded bytes.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Number of bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if all bytes have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> FsResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(FsError::Corrupted(format!(
+                "truncated structure: needed {n} bytes, {} remaining",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> FsResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> FsResult<u32> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> FsResult<u64> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed byte vector.
+    pub fn get_bytes(&mut self) -> FsResult<Vec<u8>> {
+        let len = self.get_u64()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> FsResult<String> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes)
+            .map_err(|_| FsError::Corrupted("invalid UTF-8 in serialized string".to_string()))
+    }
+
+    /// Reads a boolean.
+    pub fn get_bool(&mut self) -> FsResult<bool> {
+        Ok(self.get_u8()? != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xdead_beef);
+        enc.put_u64(u64::MAX - 1);
+        enc.put_str("A/foo");
+        enc.put_bytes(&[1, 2, 3]);
+        enc.put_bool(true);
+        enc.put_bool(false);
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(dec.get_str().unwrap(), "A/foo");
+        assert_eq!(dec.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert!(dec.get_bool().unwrap());
+        assert!(!dec.get_bool().unwrap());
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut enc = Encoder::new();
+        enc.put_u64(99);
+        let mut bytes = enc.finish();
+        bytes.truncate(3);
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.get_u64(), Err(FsError::Corrupted(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xff, 0xfe]);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.get_str(), Err(FsError::Corrupted(_))));
+    }
+}

@@ -1,0 +1,149 @@
+//! Kernel-era model.
+//!
+//! The paper reproduces bugs "across seven kernel versions" (§1) and reports
+//! for each new bug the kernel release it has been present since (Table 5).
+//! Real kernels differ in which crash-consistency fixes they contain; our
+//! simulated file systems expose the same dimension through [`KernelEra`]:
+//! constructing a file system for an era enables exactly the injected bugs
+//! that were unfixed in that era.
+
+use std::fmt;
+
+/// A Linux kernel release relevant to the bug study.
+///
+/// The ordering (`V3_12 < … < V4_16 < Patched`) matches release order;
+/// `Patched` represents a hypothetical kernel with every bug in the corpus
+/// fixed, and is what a "correct" file system is configured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelEra {
+    /// Linux 3.12 (2013).
+    V3_12,
+    /// Linux 3.13 (2014) — the era most studied btrfs bugs date from.
+    V3_13,
+    /// Linux 3.16 (2014).
+    V3_16,
+    /// Linux 4.1.1 (2015).
+    V4_1_1,
+    /// Linux 4.4 (2016).
+    V4_4,
+    /// Linux 4.15 (2018).
+    V4_15,
+    /// Linux 4.16 (2018) — the kernel all of §6's testing ran on.
+    V4_16,
+    /// Every corpus bug fixed (used as the regression-free baseline).
+    Patched,
+}
+
+impl KernelEra {
+    /// All concrete kernel versions from the study, oldest first
+    /// (excluding the synthetic [`KernelEra::Patched`]).
+    pub const ALL_VERSIONS: [KernelEra; 7] = [
+        KernelEra::V3_12,
+        KernelEra::V3_13,
+        KernelEra::V3_16,
+        KernelEra::V4_1_1,
+        KernelEra::V4_4,
+        KernelEra::V4_15,
+        KernelEra::V4_16,
+    ];
+
+    /// The kernel used for the paper's evaluation runs (§6.2: "All the tests
+    /// are run only on 4.16 kernel").
+    pub const EVALUATION: KernelEra = KernelEra::V4_16;
+
+    /// Human-readable version string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelEra::V3_12 => "3.12",
+            KernelEra::V3_13 => "3.13",
+            KernelEra::V3_16 => "3.16",
+            KernelEra::V4_1_1 => "4.1.1",
+            KernelEra::V4_4 => "4.4",
+            KernelEra::V4_15 => "4.15",
+            KernelEra::V4_16 => "4.16",
+            KernelEra::Patched => "patched",
+        }
+    }
+
+    /// Parses a version string as printed by [`KernelEra::as_str`].
+    pub fn parse(s: &str) -> Option<KernelEra> {
+        match s {
+            "3.12" => Some(KernelEra::V3_12),
+            "3.13" => Some(KernelEra::V3_13),
+            "3.16" => Some(KernelEra::V3_16),
+            "4.1.1" => Some(KernelEra::V4_1_1),
+            "4.4" => Some(KernelEra::V4_4),
+            "4.15" => Some(KernelEra::V4_15),
+            "4.16" => Some(KernelEra::V4_16),
+            "patched" => Some(KernelEra::Patched),
+            _ => None,
+        }
+    }
+
+    /// True if a bug introduced in `introduced` and (optionally) fixed in
+    /// `fixed_in` is present in this era.
+    pub fn bug_present(&self, introduced: KernelEra, fixed_in: Option<KernelEra>) -> bool {
+        if *self == KernelEra::Patched {
+            return false;
+        }
+        if *self < introduced {
+            return false;
+        }
+        match fixed_in {
+            Some(fixed) => *self < fixed,
+            None => true,
+        }
+    }
+}
+
+impl fmt::Display for KernelEra {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_release_order() {
+        assert!(KernelEra::V3_12 < KernelEra::V3_13);
+        assert!(KernelEra::V3_16 < KernelEra::V4_1_1);
+        assert!(KernelEra::V4_16 < KernelEra::Patched);
+    }
+
+    #[test]
+    fn round_trip_parse() {
+        for era in KernelEra::ALL_VERSIONS {
+            assert_eq!(KernelEra::parse(era.as_str()), Some(era));
+        }
+        assert_eq!(KernelEra::parse("patched"), Some(KernelEra::Patched));
+        assert_eq!(KernelEra::parse("2.6"), None);
+    }
+
+    #[test]
+    fn bug_presence_window() {
+        // Bug introduced in 3.13, fixed in 4.4.
+        let introduced = KernelEra::V3_13;
+        let fixed = Some(KernelEra::V4_4);
+        assert!(!KernelEra::V3_12.bug_present(introduced, fixed));
+        assert!(KernelEra::V3_13.bug_present(introduced, fixed));
+        assert!(KernelEra::V3_16.bug_present(introduced, fixed));
+        assert!(!KernelEra::V4_4.bug_present(introduced, fixed));
+        assert!(!KernelEra::V4_16.bug_present(introduced, fixed));
+        assert!(!KernelEra::Patched.bug_present(introduced, fixed));
+    }
+
+    #[test]
+    fn unfixed_bug_present_in_all_later_eras() {
+        let introduced = KernelEra::V3_13;
+        assert!(KernelEra::V4_16.bug_present(introduced, None));
+        assert!(!KernelEra::Patched.bug_present(introduced, None));
+    }
+
+    #[test]
+    fn evaluation_kernel_is_4_16() {
+        assert_eq!(KernelEra::EVALUATION.as_str(), "4.16");
+    }
+}

@@ -1,0 +1,118 @@
+//! File metadata types used by the `FileSystem` trait and the AutoChecker.
+
+use std::collections::BTreeMap;
+
+/// The type of a directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+    /// Named pipe (`mkfifo` in the paper's Workload 3).
+    Fifo,
+}
+
+impl FileType {
+    /// Short human-readable name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FileType::Regular => "file",
+            FileType::Directory => "dir",
+            FileType::Symlink => "symlink",
+            FileType::Fifo => "fifo",
+        }
+    }
+}
+
+/// Metadata of one file or directory, as reported by `stat`.
+///
+/// The AutoChecker compares exactly the fields the paper calls out (§4.1):
+/// "B3 checks for both data and metadata (size, link count, and block count)
+/// consistency for files and directories."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metadata {
+    /// Inode number (stable while mounted; not compared across remounts).
+    pub ino: u64,
+    /// Entry type.
+    pub file_type: FileType,
+    /// Logical size in bytes (`st_size`).
+    pub size: u64,
+    /// Number of hard links (`st_nlink`).
+    pub nlink: u32,
+    /// Number of 512-byte sectors allocated (`st_blocks`), which is how the
+    /// paper reports the "blocks allocated beyond EOF are lost" bugs
+    /// (e.g. known bug workload 2: "expected 32 sectors, actual 16").
+    pub blocks: u64,
+    /// Extended attributes, sorted by name.
+    pub xattrs: BTreeMap<String, Vec<u8>>,
+}
+
+impl Metadata {
+    /// Creates metadata for a new empty entry of the given type.
+    pub fn new(ino: u64, file_type: FileType) -> Self {
+        Metadata {
+            ino,
+            file_type,
+            size: 0,
+            nlink: if file_type == FileType::Directory { 2 } else { 1 },
+            blocks: 0,
+            xattrs: BTreeMap::new(),
+        }
+    }
+
+    /// Number of 512-byte sectors corresponding to `bytes` of allocation.
+    pub fn sectors_for(bytes: u64) -> u64 {
+        bytes.div_ceil(512)
+    }
+
+    /// True if this entry is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.file_type == FileType::Directory
+    }
+
+    /// True if this entry is a regular file.
+    pub fn is_file(&self) -> bool {
+        self.file_type == FileType::Regular
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_directory_has_two_links() {
+        let meta = Metadata::new(1, FileType::Directory);
+        assert_eq!(meta.nlink, 2);
+        assert!(meta.is_dir());
+        assert!(!meta.is_file());
+    }
+
+    #[test]
+    fn new_file_has_one_link() {
+        let meta = Metadata::new(2, FileType::Regular);
+        assert_eq!(meta.nlink, 1);
+        assert_eq!(meta.size, 0);
+        assert!(meta.is_file());
+    }
+
+    #[test]
+    fn sector_rounding() {
+        assert_eq!(Metadata::sectors_for(0), 0);
+        assert_eq!(Metadata::sectors_for(1), 1);
+        assert_eq!(Metadata::sectors_for(512), 1);
+        assert_eq!(Metadata::sectors_for(513), 2);
+        assert_eq!(Metadata::sectors_for(16 * 1024), 32);
+    }
+
+    #[test]
+    fn file_type_names() {
+        assert_eq!(FileType::Regular.as_str(), "file");
+        assert_eq!(FileType::Directory.as_str(), "dir");
+        assert_eq!(FileType::Symlink.as_str(), "symlink");
+        assert_eq!(FileType::Fifo.as_str(), "fifo");
+    }
+}

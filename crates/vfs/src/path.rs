@@ -1,0 +1,156 @@
+//! Path handling for the simulated file systems.
+//!
+//! Paths are plain `/`-separated strings relative to the file-system root
+//! (e.g. `"A/foo"`). The root itself is written `""` or `"/"`. This module
+//! provides the normalization and decomposition helpers shared by every file
+//! system implementation, so that path semantics (and therefore workload
+//! semantics) are identical across all of them.
+
+use crate::error::{FsError, FsResult};
+
+/// Maximum length of a single path component, mirroring `NAME_MAX`.
+pub const NAME_MAX: usize = 255;
+
+/// Normalizes a path: strips leading/trailing slashes and collapses empty
+/// components. Returns the canonical relative path ("" for the root).
+pub fn normalize(path: &str) -> String {
+    path.split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Splits a normalized path into its components.
+pub fn components(path: &str) -> Vec<String> {
+    let normalized = normalize(path);
+    if normalized.is_empty() {
+        Vec::new()
+    } else {
+        normalized.split('/').map(str::to_string).collect()
+    }
+}
+
+/// Returns true if the path denotes the file-system root.
+pub fn is_root(path: &str) -> bool {
+    components(path).is_empty()
+}
+
+/// Splits a path into `(parent, name)`. Fails for the root.
+pub fn split_parent(path: &str) -> FsResult<(String, String)> {
+    let mut comps = components(path);
+    let name = comps
+        .pop()
+        .ok_or_else(|| FsError::InvalidArgument("cannot split the root path".to_string()))?;
+    Ok((comps.join("/"), name))
+}
+
+/// Returns the final component of a path, or an error for the root.
+pub fn file_name(path: &str) -> FsResult<String> {
+    Ok(split_parent(path)?.1)
+}
+
+/// Returns the parent of a path ("" for top-level entries).
+pub fn parent(path: &str) -> FsResult<String> {
+    Ok(split_parent(path)?.0)
+}
+
+/// Joins a parent path with a child name.
+pub fn join(parent: &str, name: &str) -> String {
+    let parent = normalize(parent);
+    let name = normalize(name);
+    if parent.is_empty() {
+        name
+    } else if name.is_empty() {
+        parent
+    } else {
+        format!("{parent}/{name}")
+    }
+}
+
+/// Depth of a path below the root (root = 0, "A/foo" = 2).
+pub fn depth(path: &str) -> usize {
+    components(path).len()
+}
+
+/// Returns true if `ancestor` is a (non-strict) prefix directory of `path`.
+pub fn is_ancestor(ancestor: &str, path: &str) -> bool {
+    let anc = components(ancestor);
+    let comps = components(path);
+    comps.len() >= anc.len() && comps[..anc.len()] == anc[..]
+}
+
+/// Validates a path for use in a file-system operation: no empty name, no
+/// over-long components, no `..` traversal (the workload language never
+/// produces one).
+pub fn validate(path: &str) -> FsResult<()> {
+    for comp in components(path) {
+        if comp == ".." {
+            return Err(FsError::InvalidArgument(format!(
+                "parent traversal not supported: {path}"
+            )));
+        }
+        if comp.len() > NAME_MAX {
+            return Err(FsError::InvalidArgument(format!(
+                "path component longer than {NAME_MAX} bytes"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_slashes() {
+        assert_eq!(normalize("/A/foo/"), "A/foo");
+        assert_eq!(normalize("A//foo"), "A/foo");
+        assert_eq!(normalize("/"), "");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("./A/./foo"), "A/foo");
+    }
+
+    #[test]
+    fn components_of_root_is_empty() {
+        assert!(components("/").is_empty());
+        assert_eq!(components("A/B/foo"), vec!["A", "B", "foo"]);
+    }
+
+    #[test]
+    fn split_parent_works() {
+        assert_eq!(
+            split_parent("A/B/foo").unwrap(),
+            ("A/B".to_string(), "foo".to_string())
+        );
+        assert_eq!(split_parent("foo").unwrap(), (String::new(), "foo".to_string()));
+        assert!(split_parent("/").is_err());
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("", "foo"), "foo");
+        assert_eq!(join("A", "foo"), "A/foo");
+        assert_eq!(join("A/", "/foo"), "A/foo");
+        assert_eq!(join("A", ""), "A");
+    }
+
+    #[test]
+    fn depth_and_ancestor() {
+        assert_eq!(depth("/"), 0);
+        assert_eq!(depth("A/C/foo"), 3);
+        assert!(is_ancestor("A", "A/C/foo"));
+        assert!(is_ancestor("", "A"));
+        assert!(is_ancestor("A/C", "A/C"));
+        assert!(!is_ancestor("A/C", "A"));
+        assert!(!is_ancestor("B", "A/C/foo"));
+    }
+
+    #[test]
+    fn validate_rejects_traversal_and_long_names() {
+        assert!(validate("A/foo").is_ok());
+        assert!(validate("A/../etc").is_err());
+        let long = "x".repeat(NAME_MAX + 1);
+        assert!(validate(&long).is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! Logical snapshots of a file system and the differences between them.
+//!
+//! CrashMonkey's *oracle* is "a reference file-system image … captured by
+//! safely unmounting it so the file system completes any pending operations"
+//! (§5.1). In this reproduction an oracle is a [`LogicalSnapshot`]: the
+//! complete logical state (names, types, sizes, link counts, block counts,
+//! data, xattrs) of the file system at a persistence point. The AutoChecker
+//! compares an oracle against the recovered crash state using
+//! [`LogicalSnapshot::diff_path`] and reports any [`SnapshotDiff`]s for
+//! explicitly-persisted files.
+
+use std::collections::BTreeMap;
+
+use crate::error::{FsError, FsResult};
+use crate::fs::FileSystem;
+use crate::metadata::FileType;
+use crate::path::join;
+
+/// The captured state of a single file, directory, symlink, or fifo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntrySnapshot {
+    /// Entry type.
+    pub file_type: FileType,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Allocated 512-byte sectors.
+    pub blocks: u64,
+    /// File contents (regular files only).
+    pub data: Option<Vec<u8>>,
+    /// Symlink target (symlinks only).
+    pub symlink_target: Option<String>,
+    /// Sorted child names (directories only).
+    pub children: Option<Vec<String>>,
+    /// Extended attributes.
+    pub xattrs: BTreeMap<String, Vec<u8>>,
+}
+
+/// A full logical capture of a file system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogicalSnapshot {
+    entries: BTreeMap<String, EntrySnapshot>,
+}
+
+impl LogicalSnapshot {
+    /// Captures the complete state of `fs` by walking it from the root.
+    pub fn capture(fs: &dyn FileSystem) -> FsResult<LogicalSnapshot> {
+        let mut snapshot = LogicalSnapshot::default();
+        snapshot.walk(fs, "")?;
+        Ok(snapshot)
+    }
+
+    fn walk(&mut self, fs: &dyn FileSystem, path: &str) -> FsResult<()> {
+        let meta = fs.metadata(path)?;
+        let mut entry = EntrySnapshot {
+            file_type: meta.file_type,
+            size: meta.size,
+            nlink: meta.nlink,
+            blocks: meta.blocks,
+            data: None,
+            symlink_target: None,
+            children: None,
+            xattrs: meta.xattrs.clone(),
+        };
+        match meta.file_type {
+            FileType::Regular => {
+                entry.data = Some(fs.read(path, 0, meta.size)?);
+            }
+            FileType::Symlink => {
+                entry.symlink_target = Some(fs.readlink(path)?);
+            }
+            FileType::Directory => {
+                let mut names = fs.readdir(path)?;
+                names.sort();
+                entry.children = Some(names.clone());
+                self.entries.insert(path.to_string(), entry);
+                for name in names {
+                    match self.walk(fs, &join(path, &name)) {
+                        Ok(()) => {}
+                        // Dangling directory entries (left behind by buggy
+                        // log replay) are treated as absent files.
+                        Err(FsError::NotFound(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                return Ok(());
+            }
+            FileType::Fifo => {}
+        }
+        self.entries.insert(path.to_string(), entry);
+        Ok(())
+    }
+
+    /// Number of captured entries (including the root directory).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the snapshot contains no entries (never the case for a
+    /// successfully captured file system, which always has a root).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up one entry by normalized path.
+    pub fn get(&self, path: &str) -> Option<&EntrySnapshot> {
+        self.entries.get(&crate::path::normalize(path))
+    }
+
+    /// Returns true if a path exists in the snapshot.
+    pub fn contains(&self, path: &str) -> bool {
+        self.get(path).is_some()
+    }
+
+    /// Iterates over `(path, entry)` pairs in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &EntrySnapshot)> {
+        self.entries.iter()
+    }
+
+    /// All captured paths.
+    pub fn paths(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Compares a single path between `self` (the oracle) and `other` (the
+    /// recovered crash state), returning every observed difference.
+    pub fn diff_path(&self, other: &LogicalSnapshot, path: &str) -> Vec<SnapshotDiff> {
+        let path = crate::path::normalize(path);
+        let mut diffs = Vec::new();
+        match (self.entries.get(&path), other.entries.get(&path)) {
+            (None, None) => {}
+            (Some(_), None) => diffs.push(SnapshotDiff::Missing { path }),
+            (None, Some(_)) => diffs.push(SnapshotDiff::Unexpected { path }),
+            (Some(expected), Some(actual)) => {
+                diff_entry(&path, expected, actual, &mut diffs);
+            }
+        }
+        diffs
+    }
+
+    /// Compares every path present in either snapshot.
+    pub fn diff_all(&self, other: &LogicalSnapshot) -> Vec<SnapshotDiff> {
+        let mut paths: Vec<&String> = self.entries.keys().collect();
+        for path in other.entries.keys() {
+            if !self.entries.contains_key(path) {
+                paths.push(path);
+            }
+        }
+        paths
+            .into_iter()
+            .flat_map(|p| self.diff_path(other, p))
+            .collect()
+    }
+}
+
+fn diff_entry(
+    path: &str,
+    expected: &EntrySnapshot,
+    actual: &EntrySnapshot,
+    diffs: &mut Vec<SnapshotDiff>,
+) {
+    if expected.file_type != actual.file_type {
+        diffs.push(SnapshotDiff::TypeMismatch {
+            path: path.to_string(),
+            expected: expected.file_type,
+            actual: actual.file_type,
+        });
+        return;
+    }
+    if expected.size != actual.size {
+        diffs.push(SnapshotDiff::SizeMismatch {
+            path: path.to_string(),
+            expected: expected.size,
+            actual: actual.size,
+        });
+    }
+    if expected.nlink != actual.nlink {
+        diffs.push(SnapshotDiff::NlinkMismatch {
+            path: path.to_string(),
+            expected: expected.nlink,
+            actual: actual.nlink,
+        });
+    }
+    if expected.blocks != actual.blocks {
+        diffs.push(SnapshotDiff::BlocksMismatch {
+            path: path.to_string(),
+            expected: expected.blocks,
+            actual: actual.blocks,
+        });
+    }
+    if expected.data != actual.data {
+        let first_diff = match (&expected.data, &actual.data) {
+            (Some(e), Some(a)) => e
+                .iter()
+                .zip(a.iter())
+                .position(|(x, y)| x != y)
+                .map(|i| i as u64)
+                .or(Some(e.len().min(a.len()) as u64)),
+            _ => None,
+        };
+        diffs.push(SnapshotDiff::DataMismatch {
+            path: path.to_string(),
+            first_difference: first_diff,
+        });
+    }
+    if expected.symlink_target != actual.symlink_target {
+        diffs.push(SnapshotDiff::SymlinkMismatch {
+            path: path.to_string(),
+            expected: expected.symlink_target.clone(),
+            actual: actual.symlink_target.clone(),
+        });
+    }
+    if expected.xattrs != actual.xattrs {
+        diffs.push(SnapshotDiff::XattrMismatch {
+            path: path.to_string(),
+            expected: expected.xattrs.keys().cloned().collect(),
+            actual: actual.xattrs.keys().cloned().collect(),
+        });
+    }
+}
+
+/// A single difference between an oracle and a recovered crash state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotDiff {
+    /// The path exists in the oracle but not in the crash state.
+    Missing { path: String },
+    /// The path exists in the crash state but not in the oracle.
+    Unexpected { path: String },
+    /// The entry type changed.
+    TypeMismatch {
+        path: String,
+        expected: FileType,
+        actual: FileType,
+    },
+    /// `st_size` differs.
+    SizeMismatch {
+        path: String,
+        expected: u64,
+        actual: u64,
+    },
+    /// `st_nlink` differs.
+    NlinkMismatch {
+        path: String,
+        expected: u32,
+        actual: u32,
+    },
+    /// `st_blocks` differs.
+    BlocksMismatch {
+        path: String,
+        expected: u64,
+        actual: u64,
+    },
+    /// File contents differ.
+    DataMismatch {
+        path: String,
+        /// Offset of the first differing byte, when both sides have data.
+        first_difference: Option<u64>,
+    },
+    /// Symlink target differs.
+    SymlinkMismatch {
+        path: String,
+        expected: Option<String>,
+        actual: Option<String>,
+    },
+    /// Extended-attribute sets differ.
+    XattrMismatch {
+        path: String,
+        expected: Vec<String>,
+        actual: Vec<String>,
+    },
+}
+
+impl SnapshotDiff {
+    /// The path the difference is about.
+    pub fn path(&self) -> &str {
+        match self {
+            SnapshotDiff::Missing { path }
+            | SnapshotDiff::Unexpected { path }
+            | SnapshotDiff::TypeMismatch { path, .. }
+            | SnapshotDiff::SizeMismatch { path, .. }
+            | SnapshotDiff::NlinkMismatch { path, .. }
+            | SnapshotDiff::BlocksMismatch { path, .. }
+            | SnapshotDiff::DataMismatch { path, .. }
+            | SnapshotDiff::SymlinkMismatch { path, .. }
+            | SnapshotDiff::XattrMismatch { path, .. } => path,
+        }
+    }
+
+    /// Short tag used when grouping bug reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SnapshotDiff::Missing { .. } => "missing",
+            SnapshotDiff::Unexpected { .. } => "unexpected",
+            SnapshotDiff::TypeMismatch { .. } => "type",
+            SnapshotDiff::SizeMismatch { .. } => "size",
+            SnapshotDiff::NlinkMismatch { .. } => "nlink",
+            SnapshotDiff::BlocksMismatch { .. } => "blocks",
+            SnapshotDiff::DataMismatch { .. } => "data",
+            SnapshotDiff::SymlinkMismatch { .. } => "symlink",
+            SnapshotDiff::XattrMismatch { .. } => "xattr",
+        }
+    }
+}
+
+impl std::fmt::Display for SnapshotDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotDiff::Missing { path } => write!(f, "{path}: missing after recovery"),
+            SnapshotDiff::Unexpected { path } => {
+                write!(f, "{path}: present after recovery but absent in oracle")
+            }
+            SnapshotDiff::TypeMismatch { path, expected, actual } => write!(
+                f,
+                "{path}: type {} expected, found {}",
+                expected.as_str(),
+                actual.as_str()
+            ),
+            SnapshotDiff::SizeMismatch { path, expected, actual } => {
+                write!(f, "{path}: size {expected} expected, found {actual}")
+            }
+            SnapshotDiff::NlinkMismatch { path, expected, actual } => {
+                write!(f, "{path}: nlink {expected} expected, found {actual}")
+            }
+            SnapshotDiff::BlocksMismatch { path, expected, actual } => {
+                write!(f, "{path}: {expected} sectors expected, found {actual}")
+            }
+            SnapshotDiff::DataMismatch { path, first_difference } => match first_difference {
+                Some(offset) => write!(f, "{path}: data differs at offset {offset}"),
+                None => write!(f, "{path}: data differs"),
+            },
+            SnapshotDiff::SymlinkMismatch { path, expected, actual } => write!(
+                f,
+                "{path}: symlink target {:?} expected, found {:?}",
+                expected, actual
+            ),
+            SnapshotDiff::XattrMismatch { path, expected, actual } => write!(
+                f,
+                "{path}: xattrs {:?} expected, found {:?}",
+                expected, actual
+            ),
+        }
+    }
+}
+
+/// Helper used by the file-system test suites: asserts two live file systems
+/// have identical logical contents.
+pub fn assert_logically_equal(a: &dyn FileSystem, b: &dyn FileSystem) -> FsResult<()> {
+    let snap_a = LogicalSnapshot::capture(a)?;
+    let snap_b = LogicalSnapshot::capture(b)?;
+    let diffs = snap_a.diff_all(&snap_b);
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(FsError::Corrupted(format!(
+            "file systems differ: {}",
+            diffs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(file_type: FileType, size: u64) -> EntrySnapshot {
+        EntrySnapshot {
+            file_type,
+            size,
+            nlink: 1,
+            blocks: size.div_ceil(512),
+            data: if file_type == FileType::Regular {
+                Some(vec![7u8; size as usize])
+            } else {
+                None
+            },
+            symlink_target: None,
+            children: None,
+            xattrs: BTreeMap::new(),
+        }
+    }
+
+    fn snapshot_with(entries: Vec<(&str, EntrySnapshot)>) -> LogicalSnapshot {
+        let mut snapshot = LogicalSnapshot::default();
+        for (path, e) in entries {
+            snapshot.entries.insert(path.to_string(), e);
+        }
+        snapshot
+    }
+
+    #[test]
+    fn diff_reports_missing_and_unexpected() {
+        let oracle = snapshot_with(vec![("foo", entry(FileType::Regular, 10))]);
+        let crash = snapshot_with(vec![("bar", entry(FileType::Regular, 10))]);
+        let diffs = oracle.diff_all(&crash);
+        assert_eq!(diffs.len(), 2);
+        assert!(diffs
+            .iter()
+            .any(|d| matches!(d, SnapshotDiff::Missing { path } if path == "foo")));
+        assert!(diffs
+            .iter()
+            .any(|d| matches!(d, SnapshotDiff::Unexpected { path } if path == "bar")));
+    }
+
+    #[test]
+    fn diff_reports_size_and_data() {
+        let oracle = snapshot_with(vec![("foo", entry(FileType::Regular, 4096))]);
+        let mut small = entry(FileType::Regular, 2048);
+        small.data = Some(vec![9u8; 2048]);
+        let crash = snapshot_with(vec![("foo", small)]);
+        let diffs = oracle.diff_path(&crash, "foo");
+        assert!(diffs.iter().any(|d| d.tag() == "size"));
+        assert!(diffs.iter().any(|d| d.tag() == "blocks"));
+        assert!(diffs.iter().any(|d| d.tag() == "data"));
+    }
+
+    #[test]
+    fn type_mismatch_short_circuits() {
+        let oracle = snapshot_with(vec![("foo", entry(FileType::Regular, 4096))]);
+        let crash = snapshot_with(vec![("foo", entry(FileType::Directory, 0))]);
+        let diffs = oracle.diff_path(&crash, "foo");
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].tag(), "type");
+    }
+
+    #[test]
+    fn identical_snapshots_have_no_diffs() {
+        let a = snapshot_with(vec![
+            ("", entry(FileType::Directory, 0)),
+            ("foo", entry(FileType::Regular, 512)),
+        ]);
+        assert!(a.diff_all(&a.clone()).is_empty());
+    }
+
+    #[test]
+    fn data_mismatch_reports_first_difference() {
+        let mut left = entry(FileType::Regular, 8);
+        left.data = Some(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut right = left.clone();
+        right.data = Some(vec![1, 2, 3, 9, 5, 6, 7, 8]);
+        let oracle = snapshot_with(vec![("f", left)]);
+        let crash = snapshot_with(vec![("f", right)]);
+        let diffs = oracle.diff_path(&crash, "f");
+        assert_eq!(diffs.len(), 1);
+        match &diffs[0] {
+            SnapshotDiff::DataMismatch { first_difference, .. } => {
+                assert_eq!(*first_difference, Some(3));
+            }
+            other => panic!("expected data mismatch, got {other:?}"),
+        }
+    }
+}

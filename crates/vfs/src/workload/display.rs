@@ -1,0 +1,157 @@
+//! Text serialization of workloads (the "high-level language" of §5.2).
+//!
+//! The format is line-oriented: one operation per line, a `[setup]` section
+//! for dependency operations and an `[ops]` section for the core sequence.
+//! [`super::parse_workload`] parses exactly what `Display` prints, and the
+//! round-trip property is tested with proptest in the crate's test suite.
+
+use std::fmt;
+
+use crate::workload::{Op, Workload, WriteSpec};
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Creat { path } => write!(f, "creat {}", root_name(path)),
+            Op::Mkdir { path } => write!(f, "mkdir {}", root_name(path)),
+            Op::Mkfifo { path } => write!(f, "mkfifo {}", root_name(path)),
+            Op::Symlink { target, linkpath } => {
+                write!(f, "symlink {} {}", root_name(target), root_name(linkpath))
+            }
+            Op::Link { existing, new } => {
+                write!(f, "link {} {}", root_name(existing), root_name(new))
+            }
+            Op::Unlink { path } => write!(f, "unlink {}", root_name(path)),
+            Op::Remove { path } => write!(f, "remove {}", root_name(path)),
+            Op::Rmdir { path } => write!(f, "rmdir {}", root_name(path)),
+            Op::Rename { from, to } => write!(f, "rename {} {}", root_name(from), root_name(to)),
+            Op::Write { path, mode, spec } => match spec {
+                WriteSpec::Range { offset, len } => {
+                    write!(f, "{} {} {} {}", mode.as_str(), root_name(path), offset, len)
+                }
+                WriteSpec::Pattern(p) => {
+                    write!(f, "{} {} {}", mode.as_str(), root_name(path), p.as_str())
+                }
+            },
+            Op::Mmap { path, offset, len } => {
+                write!(f, "mmap {} {} {}", root_name(path), offset, len)
+            }
+            Op::Msync { path, offset, len } => {
+                write!(f, "msync {} {} {}", root_name(path), offset, len)
+            }
+            Op::Truncate { path, size } => write!(f, "truncate {} {}", root_name(path), size),
+            Op::Falloc {
+                path,
+                mode,
+                offset,
+                len,
+            } => write!(
+                f,
+                "falloc {} {} {} {}",
+                root_name(path),
+                mode.as_str(),
+                offset,
+                len
+            ),
+            Op::SetXattr { path, name, value } => {
+                write!(f, "setxattr {} {} {}", root_name(path), name, value)
+            }
+            Op::RemoveXattr { path, name } => {
+                write!(f, "removexattr {} {}", root_name(path), name)
+            }
+            Op::Fsync { path } => write!(f, "fsync {}", root_name(path)),
+            Op::Fdatasync { path } => write!(f, "fdatasync {}", root_name(path)),
+            Op::Sync => write!(f, "sync"),
+        }
+    }
+}
+
+/// The root directory is spelled `/` in the text format so that every
+/// operation has a non-empty argument.
+fn root_name(path: &str) -> &str {
+    if path.is_empty() {
+        "/"
+    } else {
+        path
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# workload {}", self.name)?;
+        if !self.setup.is_empty() {
+            writeln!(f, "[setup]")?;
+            for op in &self.setup {
+                writeln!(f, "{op}")?;
+            }
+        }
+        writeln!(f, "[ops]")?;
+        for op in &self.ops {
+            writeln!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::WriteMode;
+    use crate::workload::{FallocMode, WritePattern};
+
+    #[test]
+    fn op_display_matches_language() {
+        assert_eq!(Op::Creat { path: "A/foo".into() }.to_string(), "creat A/foo");
+        assert_eq!(
+            Op::Rename {
+                from: "A/foo".into(),
+                to: "B/bar".into()
+            }
+            .to_string(),
+            "rename A/foo B/bar"
+        );
+        assert_eq!(
+            Op::Write {
+                path: "foo".into(),
+                mode: WriteMode::Buffered,
+                spec: WriteSpec::range(0, 4096),
+            }
+            .to_string(),
+            "write foo 0 4096"
+        );
+        assert_eq!(
+            Op::Write {
+                path: "foo".into(),
+                mode: WriteMode::Direct,
+                spec: WriteSpec::Pattern(WritePattern::Append),
+            }
+            .to_string(),
+            "dwrite foo append"
+        );
+        assert_eq!(
+            Op::Falloc {
+                path: "foo".into(),
+                mode: FallocMode::KeepSize,
+                offset: 8192,
+                len: 8192
+            }
+            .to_string(),
+            "falloc foo keep_size 8192 8192"
+        );
+        assert_eq!(Op::Fsync { path: "".into() }.to_string(), "fsync /");
+        assert_eq!(Op::Sync.to_string(), "sync");
+    }
+
+    #[test]
+    fn workload_display_has_sections() {
+        let w = Workload::with_setup(
+            "demo",
+            vec![Op::Mkdir { path: "A".into() }],
+            vec![Op::Creat { path: "A/foo".into() }, Op::Fsync { path: "A/foo".into() }],
+        );
+        let text = w.to_string();
+        assert!(text.contains("# workload demo"));
+        assert!(text.contains("[setup]\nmkdir A"));
+        assert!(text.contains("[ops]\ncreat A/foo\nfsync A/foo"));
+    }
+}

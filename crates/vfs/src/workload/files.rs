@@ -1,0 +1,145 @@
+//! The bounded file-and-directory sets ACE draws operation arguments from.
+//!
+//! Table 3: the paper bounds workloads to "2 directories of depth 2, each
+//! with 2 unique files"; phase 2 "uses two files at the top level and two
+//! sub-directories with two files each as arguments for metadata-related
+//! operations". The `seq-3-nested` workloads additionally use a directory at
+//! depth 3.
+
+/// A bounded set of directories and file names available to a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileSet {
+    /// Directories (not including the root), in canonical order.
+    dirs: Vec<String>,
+    /// Regular-file paths, in canonical order.
+    files: Vec<String>,
+}
+
+impl FileSet {
+    /// Builds a file set from explicit directory and file lists.
+    pub fn new(dirs: Vec<String>, files: Vec<String>) -> Self {
+        FileSet { dirs, files }
+    }
+
+    /// The paper's default bound (Table 3): two top-level files (`foo`,
+    /// `bar`), two directories (`A`, `B`), and two files in each directory.
+    pub fn paper_default() -> Self {
+        FileSet {
+            dirs: vec!["A".into(), "B".into()],
+            files: vec![
+                "foo".into(),
+                "bar".into(),
+                "A/foo".into(),
+                "A/bar".into(),
+                "B/foo".into(),
+                "B/bar".into(),
+            ],
+        }
+    }
+
+    /// The `seq-3-nested` bound: adds one nested directory `A/C` with two
+    /// files at depth 3 (§6.2: "metadata operations involving a file at depth
+    /// three").
+    pub fn nested() -> Self {
+        let mut set = FileSet::paper_default();
+        set.dirs.push("A/C".into());
+        set.files.push("A/C/foo".into());
+        set.files.push("A/C/bar".into());
+        set
+    }
+
+    /// A deliberately tiny set (one directory, two files) for unit tests and
+    /// quick demos.
+    pub fn minimal() -> Self {
+        FileSet {
+            dirs: vec!["A".into()],
+            files: vec!["foo".into(), "A/foo".into()],
+        }
+    }
+
+    /// Directories available to workloads (excluding the root).
+    pub fn dirs(&self) -> &[String] {
+        &self.dirs
+    }
+
+    /// Files available to workloads.
+    pub fn files(&self) -> &[String] {
+        &self.files
+    }
+
+    /// All paths (directories then files).
+    pub fn all_paths(&self) -> Vec<String> {
+        let mut all = self.dirs.clone();
+        all.extend(self.files.iter().cloned());
+        all
+    }
+
+    /// Directories plus the root path (`""`), the candidates for `fsync` of a
+    /// directory.
+    pub fn dirs_and_root(&self) -> Vec<String> {
+        let mut all = vec![String::new()];
+        all.extend(self.dirs.iter().cloned());
+        all
+    }
+
+    /// Maximum directory depth of any path in the set.
+    pub fn max_depth(&self) -> usize {
+        self.all_paths()
+            .iter()
+            .map(|p| crate::path::depth(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of files per directory level, used when reporting bounds.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of directories (excluding the root).
+    pub fn num_dirs(&self) -> usize {
+        self.dirs.len()
+    }
+}
+
+impl Default for FileSet {
+    fn default() -> Self {
+        FileSet::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table3() {
+        let set = FileSet::paper_default();
+        assert_eq!(set.num_dirs(), 2);
+        assert_eq!(set.num_files(), 6);
+        assert_eq!(set.max_depth(), 2);
+        assert!(set.files().contains(&"A/bar".to_string()));
+    }
+
+    #[test]
+    fn nested_adds_depth_three() {
+        let set = FileSet::nested();
+        assert_eq!(set.max_depth(), 3);
+        assert!(set.files().contains(&"A/C/foo".to_string()));
+        assert_eq!(set.num_dirs(), 3);
+    }
+
+    #[test]
+    fn dirs_and_root_includes_root() {
+        let set = FileSet::paper_default();
+        let dirs = set.dirs_and_root();
+        assert_eq!(dirs[0], "");
+        assert_eq!(dirs.len(), 3);
+    }
+
+    #[test]
+    fn all_paths_is_dirs_then_files() {
+        let set = FileSet::minimal();
+        assert_eq!(set.all_paths(), vec!["A", "foo", "A/foo"]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Parser for the workload text format produced by the `Display` impls in
+//! [`super::display`].
+
+use std::fmt;
+
+use crate::fs::WriteMode;
+use crate::workload::{FallocMode, Op, Workload, WritePattern, WriteSpec};
+
+/// Error produced while parsing a serialized workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the text form of a workload (as produced by `Workload::to_string`).
+///
+/// Lines starting with `#` are comments; the workload name is taken from a
+/// leading `# workload <name>` comment if present, otherwise `fallback_name`
+/// is used.
+pub fn parse_workload(text: &str, fallback_name: &str) -> Result<Workload, ParseError> {
+    let mut name = fallback_name.to_string();
+    let mut setup = Vec::new();
+    let mut ops = Vec::new();
+    let mut in_setup = false;
+    let mut seen_section = false;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(n) = rest.strip_prefix("workload ") {
+                name = n.trim().to_string();
+            }
+            continue;
+        }
+        if line == "[setup]" {
+            in_setup = true;
+            seen_section = true;
+            continue;
+        }
+        if line == "[ops]" {
+            in_setup = false;
+            seen_section = true;
+            continue;
+        }
+        let op = parse_op(line, line_no)?;
+        if in_setup {
+            setup.push(op);
+        } else {
+            if !seen_section {
+                // Section-less files are treated as all-core ops.
+            }
+            ops.push(op);
+        }
+    }
+
+    Ok(Workload { name, setup, ops })
+}
+
+/// Parses one operation line.
+pub fn parse_op(line: &str, line_no: usize) -> Result<Op, ParseError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let cmd = tokens
+        .first()
+        .copied()
+        .ok_or_else(|| err(line_no, "empty operation"))?;
+    let arg = |i: usize| -> Result<String, ParseError> {
+        tokens
+            .get(i)
+            .map(|s| normalize_root(s))
+            .ok_or_else(|| err(line_no, format!("`{cmd}` is missing argument {i}")))
+    };
+    let num = |i: usize| -> Result<u64, ParseError> {
+        let token = tokens
+            .get(i)
+            .ok_or_else(|| err(line_no, format!("`{cmd}` is missing numeric argument {i}")))?;
+        token
+            .parse::<u64>()
+            .map_err(|_| err(line_no, format!("`{token}` is not a number")))
+    };
+
+    let op = match cmd {
+        "creat" | "touch" => Op::Creat { path: arg(1)? },
+        "mkdir" => Op::Mkdir { path: arg(1)? },
+        "mkfifo" => Op::Mkfifo { path: arg(1)? },
+        "symlink" => Op::Symlink {
+            target: arg(1)?,
+            linkpath: arg(2)?,
+        },
+        "link" => Op::Link {
+            existing: arg(1)?,
+            new: arg(2)?,
+        },
+        "unlink" => Op::Unlink { path: arg(1)? },
+        "remove" => Op::Remove { path: arg(1)? },
+        "rmdir" => Op::Rmdir { path: arg(1)? },
+        "rename" | "mv" => Op::Rename {
+            from: arg(1)?,
+            to: arg(2)?,
+        },
+        "write" | "dwrite" | "mwrite" => {
+            let mode = match cmd {
+                "write" => WriteMode::Buffered,
+                "dwrite" => WriteMode::Direct,
+                _ => WriteMode::Mmap,
+            };
+            let path = arg(1)?;
+            let spec_token = tokens
+                .get(2)
+                .ok_or_else(|| err(line_no, "write needs a range or pattern"))?;
+            let spec = if let Some(pattern) = WritePattern::parse(spec_token) {
+                WriteSpec::Pattern(pattern)
+            } else {
+                WriteSpec::Range {
+                    offset: num(2)?,
+                    len: num(3)?,
+                }
+            };
+            Op::Write { path, mode, spec }
+        }
+        "mmap" => Op::Mmap {
+            path: arg(1)?,
+            offset: num(2)?,
+            len: num(3)?,
+        },
+        "msync" => Op::Msync {
+            path: arg(1)?,
+            offset: num(2)?,
+            len: num(3)?,
+        },
+        "truncate" => Op::Truncate {
+            path: arg(1)?,
+            size: num(2)?,
+        },
+        "falloc" => {
+            let mode_token = tokens
+                .get(2)
+                .ok_or_else(|| err(line_no, "falloc needs a mode"))?;
+            let mode = FallocMode::parse(mode_token)
+                .ok_or_else(|| err(line_no, format!("unknown falloc mode `{mode_token}`")))?;
+            Op::Falloc {
+                path: arg(1)?,
+                mode,
+                offset: num(3)?,
+                len: num(4)?,
+            }
+        }
+        "setxattr" => Op::SetXattr {
+            path: arg(1)?,
+            name: arg(2)?,
+            value: arg(3)?,
+        },
+        "removexattr" => Op::RemoveXattr {
+            path: arg(1)?,
+            name: arg(2)?,
+        },
+        "fsync" => Op::Fsync { path: arg(1)? },
+        "fdatasync" => Op::Fdatasync { path: arg(1)? },
+        "sync" => Op::Sync,
+        other => return Err(err(line_no, format!("unknown operation `{other}`"))),
+    };
+    Ok(op)
+}
+
+fn normalize_root(token: &str) -> String {
+    if token == "/" {
+        String::new()
+    } else {
+        token.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_ops() {
+        assert_eq!(
+            parse_op("creat A/foo", 1).unwrap(),
+            Op::Creat { path: "A/foo".into() }
+        );
+        assert_eq!(
+            parse_op("rename A/foo B/bar", 1).unwrap(),
+            Op::Rename {
+                from: "A/foo".into(),
+                to: "B/bar".into()
+            }
+        );
+        assert_eq!(parse_op("sync", 1).unwrap(), Op::Sync);
+        assert_eq!(parse_op("fsync /", 1).unwrap(), Op::Fsync { path: "".into() });
+    }
+
+    #[test]
+    fn parses_write_variants() {
+        assert_eq!(
+            parse_op("write foo 0 4096", 1).unwrap(),
+            Op::Write {
+                path: "foo".into(),
+                mode: WriteMode::Buffered,
+                spec: WriteSpec::range(0, 4096)
+            }
+        );
+        assert_eq!(
+            parse_op("dwrite foo append", 1).unwrap(),
+            Op::Write {
+                path: "foo".into(),
+                mode: WriteMode::Direct,
+                spec: WriteSpec::Pattern(WritePattern::Append)
+            }
+        );
+        assert_eq!(
+            parse_op("falloc foo zero_range_keep_size 16384 4096", 1).unwrap(),
+            Op::Falloc {
+                path: "foo".into(),
+                mode: FallocMode::ZeroRangeKeepSize,
+                offset: 16384,
+                len: 4096
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_ops_and_bad_numbers() {
+        assert!(parse_op("explode foo", 3).is_err());
+        let e = parse_op("truncate foo abc", 7).unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn workload_round_trip() {
+        let text = "\
+# workload demo
+[setup]
+mkdir A
+creat A/foo
+[ops]
+link A/foo A/bar
+fsync A/bar
+";
+        let workload = parse_workload(text, "fallback").unwrap();
+        assert_eq!(workload.name, "demo");
+        assert_eq!(workload.setup.len(), 2);
+        assert_eq!(workload.ops.len(), 2);
+        let reparsed = parse_workload(&workload.to_string(), "x").unwrap();
+        assert_eq!(reparsed, workload);
+    }
+
+    #[test]
+    fn sectionless_text_is_all_core_ops() {
+        let workload = parse_workload("creat foo\nfsync foo\n", "w").unwrap();
+        assert_eq!(workload.name, "w");
+        assert!(workload.setup.is_empty());
+        assert_eq!(workload.ops.len(), 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Print the §3 bug-study tables (Tables 1 and 2 of the paper).
+//!
+//! Run with: `cargo run --example bug_study`
+
+use b3_harness::study;
+
+fn main() {
+    println!("Table 1: the 26 unique (28 total) reported crash-consistency bugs\n");
+    println!("{}", study::render_table1());
+    println!("\nTable 2: example reported bugs\n");
+    println!("{}", study::render_table2());
+}
