@@ -38,7 +38,14 @@ mod tests {
         let workload = Workload::with_setup(
             "adapter-demo",
             vec![Op::Mkdir { path: "A".into() }],
-            vec![Op::Creat { path: "A/foo".into() }, Op::Fsync { path: "A/foo".into() }],
+            vec![
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+                Op::Fsync {
+                    path: "A/foo".into(),
+                },
+            ],
         );
         let text = to_crashmonkey_test(&workload).unwrap();
         let parsed = parse_workload(&text, "x").unwrap();

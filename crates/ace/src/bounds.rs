@@ -33,6 +33,19 @@ impl Default for PersistenceChoices {
 }
 
 /// The named workload sets of Table 4.
+///
+/// Each preset resolves to a full [`Bounds`] via [`SequencePreset::bounds`]:
+///
+/// ```
+/// use b3_ace::SequencePreset;
+///
+/// for preset in SequencePreset::ALL {
+///     let bounds = preset.bounds();
+///     assert!(bounds.name_prefix.starts_with(preset.name()));
+/// }
+/// assert_eq!(SequencePreset::Seq2.bounds().seq_len, 2);
+/// assert_eq!(SequencePreset::Seq3Nested.bounds().files.max_depth(), 3);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SequencePreset {
     /// Single-operation workloads over all 14 operations.
@@ -81,6 +94,48 @@ impl SequencePreset {
 }
 
 /// The bounds ACE explores exhaustively.
+///
+/// Start from a paper preset (or [`Bounds::tiny`] for tests) and narrow or
+/// relax individual knobs:
+///
+/// ```
+/// use b3_ace::{generate_all, Bounds};
+/// use b3_vfs::workload::OpKind;
+///
+/// // The paper's seq-1 bound: every one of the 14 operations, once.
+/// let seq1 = Bounds::paper_seq1();
+/// assert_eq!((seq1.seq_len, seq1.ops.len()), (1, 14));
+///
+/// // Narrow the operation set: only link and rename skeletons remain.
+/// let narrowed = seq1.with_ops(vec![OpKind::Link, OpKind::Rename]);
+/// assert!(generate_all(&narrowed)
+///     .iter()
+///     .all(|w| w.skeleton_string() == "link" || w.skeleton_string() == "rename"));
+///
+/// // Relax the file-set bound with a depth-3 nested directory (§5.2).
+/// let relaxed = Bounds::paper_seq3_metadata().with_nested_files();
+/// assert_eq!(relaxed.files.max_depth(), 3);
+/// assert_eq!(relaxed.name_prefix, "seq-3-metadata-relaxed");
+/// ```
+///
+/// Disabling persistence choices shrinks phase 3's alternatives; the last
+/// operation always keeps at least one persistence point so no generated
+/// workload is equivalent to a shorter one:
+///
+/// ```
+/// use b3_ace::{generate_all, Bounds, PersistenceChoices};
+///
+/// let mut bounds = Bounds::tiny();
+/// bounds.persistence = PersistenceChoices {
+///     fsync: false,
+///     fdatasync: false,
+///     sync: true,
+///     allow_none: true,
+/// };
+/// for workload in generate_all(&bounds) {
+///     assert!(workload.ends_with_persistence_point(), "{workload}");
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct Bounds {
     /// Workload name prefix (e.g. `"seq-2"`).
@@ -153,10 +208,7 @@ impl Bounds {
                 OpKind::WriteDirect,
                 OpKind::Falloc,
             ],
-            files: FileSet::new(
-                vec!["A".into()],
-                vec!["foo".into(), "A/foo".into()],
-            ),
+            files: FileSet::new(vec!["A".into()], vec!["foo".into(), "A/foo".into()]),
             ..Bounds::paper_seq1()
         }
     }

@@ -31,11 +31,20 @@ pub fn phase2_candidates(kind: OpKind, bounds: &Bounds) -> Vec<Op> {
     let files = bounds.files.files();
     let dirs = bounds.files.dirs();
     match kind {
-        OpKind::Creat => files.iter().map(|f| Op::Creat { path: f.clone() }).collect(),
-        OpKind::Mkfifo => files.iter().map(|f| Op::Mkfifo { path: f.clone() }).collect(),
+        OpKind::Creat => files
+            .iter()
+            .map(|f| Op::Creat { path: f.clone() })
+            .collect(),
+        OpKind::Mkfifo => files
+            .iter()
+            .map(|f| Op::Mkfifo { path: f.clone() })
+            .collect(),
         OpKind::Mkdir => dirs.iter().map(|d| Op::Mkdir { path: d.clone() }).collect(),
         OpKind::Rmdir => dirs.iter().map(|d| Op::Rmdir { path: d.clone() }).collect(),
-        OpKind::Unlink => files.iter().map(|f| Op::Unlink { path: f.clone() }).collect(),
+        OpKind::Unlink => files
+            .iter()
+            .map(|f| Op::Unlink { path: f.clone() })
+            .collect(),
         OpKind::Remove => files
             .iter()
             .map(|f| Op::Remove { path: f.clone() })
@@ -70,14 +79,14 @@ pub fn phase2_candidates(kind: OpKind, bounds: &Bounds) -> Vec<Op> {
             .flat_map(|f| {
                 bounds.falloc_modes.iter().flat_map(move |mode| {
                     // One range inside a typical file, one past a typical EOF.
-                    [(0u64, 8192u64), (16_384, 8192)].into_iter().map(move |(offset, len)| {
-                        Op::Falloc {
+                    [(0u64, 8192u64), (16_384, 8192)]
+                        .into_iter()
+                        .map(move |(offset, len)| Op::Falloc {
                             path: f.clone(),
                             mode: *mode,
                             offset,
                             len,
-                        }
-                    })
+                        })
                 })
             })
             .collect(),
@@ -140,7 +149,9 @@ pub fn phase2_candidates(kind: OpKind, bounds: &Bounds) -> Vec<Op> {
             // bugs involve renaming directories.
             for a in dirs {
                 for b in dirs {
-                    if a != b && !b3_vfs::path::is_ancestor(a, b) && !b3_vfs::path::is_ancestor(b, a)
+                    if a != b
+                        && !b3_vfs::path::is_ancestor(a, b)
+                        && !b3_vfs::path::is_ancestor(b, a)
                     {
                         ops.push(Op::Rename {
                             from: a.clone(),
@@ -367,7 +378,9 @@ mod tests {
                 existing: "B/bar".into(),
                 new: "A/bar".into(),
             },
-            Op::Fsync { path: "A/bar".into() },
+            Op::Fsync {
+                path: "A/bar".into(),
+            },
         ];
         // Note: phase 3 attaches fsync to the first path of the operation,
         // which for link(B/bar, A/bar) is B/bar; the Figure 4 variant that
@@ -387,7 +400,9 @@ mod tests {
             workload.setup,
             vec![
                 Op::Mkdir { path: "A".into() },
-                Op::Creat { path: "A/foo".into() },
+                Op::Creat {
+                    path: "A/foo".into()
+                },
                 Op::Mkdir { path: "B".into() },
             ]
         );

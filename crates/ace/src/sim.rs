@@ -103,10 +103,14 @@ impl SimState {
         self.ensure_parents(path)?;
         let normalized = normalize(path);
         let kind = if files.dirs().contains(&normalized) {
-            self.setup.push(Op::Mkdir { path: normalized.clone() });
+            self.setup.push(Op::Mkdir {
+                path: normalized.clone(),
+            });
             SimKind::Dir
         } else {
-            self.setup.push(Op::Creat { path: normalized.clone() });
+            self.setup.push(Op::Creat {
+                path: normalized.clone(),
+            });
             SimKind::File
         };
         self.insert(&normalized, kind);
@@ -260,7 +264,10 @@ impl SimState {
                         name: name.clone(),
                         value: "val1".into(),
                     });
-                    self.xattrs.entry(key.clone()).or_default().push(name.clone());
+                    self.xattrs
+                        .entry(key.clone())
+                        .or_default()
+                        .push(name.clone());
                 }
                 if let Some(names) = self.xattrs.get_mut(&key) {
                     names.retain(|n| n != name);
@@ -317,7 +324,9 @@ mod tests {
                 existing: "B/bar".into(),
                 new: "A/bar".into(),
             },
-            Op::Fsync { path: "A/bar".into() },
+            Op::Fsync {
+                path: "A/bar".into(),
+            },
         ];
         match SimState::plan(&ops, &files()) {
             SimOutcome::Valid { setup } => {
@@ -325,7 +334,9 @@ mod tests {
                     setup,
                     vec![
                         Op::Mkdir { path: "A".into() },
-                        Op::Creat { path: "A/foo".into() },
+                        Op::Creat {
+                            path: "A/foo".into()
+                        },
                         Op::Mkdir { path: "B".into() },
                     ],
                     "phase 4 must create A, A/foo, and B exactly as in Figure 4"
@@ -374,12 +385,16 @@ mod tests {
     fn rename_moves_subtrees() {
         let ops = vec![
             Op::Mkdir { path: "A".into() },
-            Op::Creat { path: "A/foo".into() },
+            Op::Creat {
+                path: "A/foo".into(),
+            },
             Op::Rename {
                 from: "A".into(),
                 to: "B".into(),
             },
-            Op::Fsync { path: "B/foo".into() },
+            Op::Fsync {
+                path: "B/foo".into(),
+            },
         ];
         assert!(matches!(
             SimState::plan(&ops, &files()),
@@ -390,7 +405,9 @@ mod tests {
     #[test]
     fn rmdir_of_nonempty_directory_is_invalid() {
         let ops = vec![
-            Op::Creat { path: "A/foo".into() },
+            Op::Creat {
+                path: "A/foo".into(),
+            },
             Op::Rmdir { path: "A".into() },
             Op::Sync,
         ];
@@ -402,14 +419,21 @@ mod tests {
 
     #[test]
     fn unlink_of_missing_file_gets_created_as_dependency() {
-        let ops = vec![Op::Unlink { path: "B/bar".into() }, Op::Sync];
+        let ops = vec![
+            Op::Unlink {
+                path: "B/bar".into(),
+            },
+            Op::Sync,
+        ];
         match SimState::plan(&ops, &files()) {
             SimOutcome::Valid { setup } => {
                 assert_eq!(
                     setup,
                     vec![
                         Op::Mkdir { path: "B".into() },
-                        Op::Creat { path: "B/bar".into() },
+                        Op::Creat {
+                            path: "B/bar".into()
+                        },
                     ]
                 );
             }

@@ -43,7 +43,10 @@ fn print_ablation() {
                 &Bounds::paper_seq3_metadata().with_ops(vec![OpKind::Link, OpKind::Rename]),
             ),
         ),
-        ("xfstests-style regression suite", xfstests_suite().len() as u64),
+        (
+            "xfstests-style regression suite",
+            xfstests_suite().len() as u64,
+        ),
     ];
     for (label, count) in rows {
         table.row(vec![label.to_string(), count.to_string()]);
@@ -51,9 +54,8 @@ fn print_ablation() {
     println!("{}", table.render());
 
     let base = WorkloadGenerator::estimate_candidates(&Bounds::paper_seq3_metadata());
-    let relaxed = WorkloadGenerator::estimate_candidates(
-        &Bounds::paper_seq3_metadata().with_nested_files(),
-    );
+    let relaxed =
+        WorkloadGenerator::estimate_candidates(&Bounds::paper_seq3_metadata().with_nested_files());
     println!(
         "relaxing the file-set bound grows the seq-3-metadata space {:.1}x (paper: 2.5x)\n",
         relaxed as f64 / base as f64

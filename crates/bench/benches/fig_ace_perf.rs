@@ -19,7 +19,11 @@ fn print_throughput() {
     for (label, bounds, limit) in [
         ("seq-1 (exhaustive)", Bounds::paper_seq1(), usize::MAX),
         ("seq-2 (first 50k)", Bounds::paper_seq2(), 50_000),
-        ("seq-3-metadata (first 50k)", Bounds::paper_seq3_metadata(), 50_000),
+        (
+            "seq-3-metadata (first 50k)",
+            Bounds::paper_seq3_metadata(),
+            50_000,
+        ),
     ] {
         let start = Instant::now();
         let count = WorkloadGenerator::new(bounds).take(limit).count();
@@ -47,7 +51,9 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
-    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq2()).take(1000).collect();
+    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq2())
+        .take(1000)
+        .collect();
     c.bench_function("ace/serialize_1000_workloads", |b| {
         b.iter(|| {
             let bytes: usize = sample

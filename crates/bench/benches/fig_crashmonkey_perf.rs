@@ -24,7 +24,11 @@ fn print_phase_breakdown() {
     let outcome = monkey.test_workload(&workload).expect("workload runs");
 
     println!("\n=== §6.3 CrashMonkey performance (representative seq-2 workload) ===\n");
-    let mut table = Table::new(vec!["phase", "measured (simulator)", "paper (real kernels)"]);
+    let mut table = Table::new(vec![
+        "phase",
+        "measured (simulator)",
+        "paper (real kernels)",
+    ]);
     table.row(vec![
         "profiling".into(),
         format!("{:.1?}", outcome.timing.profile),

@@ -17,7 +17,9 @@ use b3_vfs::KernelEra;
 
 fn print_resource_accounting() {
     let spec = CowFsSpec::new(KernelEra::V4_16);
-    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq2()).take(200).collect();
+    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq2())
+        .take(200)
+        .collect();
     let mut overlay = 0u64;
     let mut recorded = 0u64;
     let mut storage = 0u64;

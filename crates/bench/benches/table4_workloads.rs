@@ -35,7 +35,9 @@ fn print_table4() {
 
     // Measure single-workload testing latency to project run times.
     let spec = CowFsSpec::new(KernelEra::V4_16);
-    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq1()).take(100).collect();
+    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq1())
+        .take(100)
+        .collect();
     let start = Instant::now();
     for workload in &sample {
         let _ = test_workload(&spec, workload);

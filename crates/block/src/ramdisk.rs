@@ -72,7 +72,8 @@ impl BlockDevice for RamDisk {
 
     fn write_block(&mut self, index: BlockIndex, data: &[u8], flags: IoFlags) -> BlockResult<()> {
         check_write(index, self.num_blocks, data)?;
-        self.stats.record_write(data.len(), flags.contains(IoFlags::FUA));
+        self.stats
+            .record_write(data.len(), flags.contains(IoFlags::FUA));
         self.blocks.insert(index, Bytes::from(pad_block(data)));
         Ok(())
     }

@@ -55,9 +55,9 @@ impl IoRecord {
     /// The record's sequence number.
     pub fn seq(&self) -> u64 {
         match self {
-            IoRecord::Write { seq, .. } | IoRecord::Flush { seq } | IoRecord::Checkpoint { seq, .. } => {
-                *seq
-            }
+            IoRecord::Write { seq, .. }
+            | IoRecord::Flush { seq }
+            | IoRecord::Checkpoint { seq, .. } => *seq,
         }
     }
 
@@ -309,7 +309,9 @@ mod tests {
         let snapshot = log.snapshot();
         assert_eq!(snapshot.len(), 1);
         match &snapshot.records()[0] {
-            IoRecord::Write { index, data, flags, .. } => {
+            IoRecord::Write {
+                index, data, flags, ..
+            } => {
                 assert_eq!(*index, 3);
                 assert_eq!(&data[..], b"recorded");
                 assert!(flags.contains(IoFlags::DATA));

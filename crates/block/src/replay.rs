@@ -27,7 +27,9 @@ pub fn replay_until_checkpoint(
     let mut applied = 0;
     for record in log.records() {
         match record {
-            IoRecord::Write { index, data, flags, .. } => {
+            IoRecord::Write {
+                index, data, flags, ..
+            } => {
                 target.write_block(*index, data, *flags)?;
                 applied += 1;
             }
@@ -63,7 +65,9 @@ fn replay_records(records: &[IoRecord], target: &mut dyn BlockDevice) -> BlockRe
     let mut applied = 0;
     for record in records {
         match record {
-            IoRecord::Write { index, data, flags, .. } => {
+            IoRecord::Write {
+                index, data, flags, ..
+            } => {
                 target.write_block(*index, data, *flags)?;
                 applied += 1;
             }
@@ -84,7 +88,8 @@ mod tests {
     /// Builds a base image, then records a three-checkpoint run on top of it.
     fn recorded_run() -> (DiskImage, IoLog) {
         let mut base = RamDisk::new(32);
-        base.write_block(0, b"superblock-v0", IoFlags::META).unwrap();
+        base.write_block(0, b"superblock-v0", IoFlags::META)
+            .unwrap();
         let image = base.snapshot();
 
         let mut dev = RecordingDevice::new(Box::new(CowSnapshotDevice::new(image.clone())));

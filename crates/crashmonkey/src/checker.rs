@@ -156,7 +156,7 @@ impl<'a> AutoChecker<'a> {
         };
 
         self.read_checks(info, &crash_snapshot, &mut verdict);
-        self.rename_atomicity_check(workload, info, &crash_snapshot, &mut verdict);
+        self.rename_atomicity_check(workload, info, &crash_snapshot, fs.as_ref(), &mut verdict);
         self.write_checks(info, fs.as_mut(), &mut verdict);
 
         if verdict.expected.is_empty() {
@@ -190,7 +190,9 @@ impl<'a> AutoChecker<'a> {
                 continue;
             }
             let Some(actual) = crash.get(path) else {
-                verdict.diffs.push(SnapshotDiff::Missing { path: path.clone() });
+                verdict
+                    .diffs
+                    .push(SnapshotDiff::Missing { path: path.clone() });
                 verdict
                     .read_consequences
                     .push(match expectation.entry.file_type {
@@ -220,16 +222,23 @@ impl<'a> AutoChecker<'a> {
         }
     }
 
-    /// Rename atomicity: if a rename's destination was persisted, recovery
-    /// must not leave the file visible under both the old and new name.
+    /// Rename atomicity: if a persisted file was renamed, recovery must not
+    /// leave the *same object* visible under both the old and new name.
+    ///
+    /// Both names being present is not by itself a violation: when the
+    /// rename overwrote an existing destination, a crash state that simply
+    /// predates the rename legally shows the source alongside the old
+    /// destination file. Only when the recovered `from` and `to` entries
+    /// resolve to one inode has a rename been half-applied.
     fn rename_atomicity_check(
         &self,
         workload: &Workload,
         info: &CheckpointInfo,
         crash: &LogicalSnapshot,
+        fs: &dyn FileSystem,
         verdict: &mut CheckVerdict,
     ) {
-        // Renames whose destination was explicitly persisted afterwards.
+        // Renames whose destination was explicitly persisted.
         let explicit = workload.all_ops().filter_map(|op| match op {
             Op::Rename { from, to } => {
                 let to = normalize(to);
@@ -242,9 +251,19 @@ impl<'a> AutoChecker<'a> {
         // Renames whose source had been persisted before the rename.
         let tracked = info.persisted_renames.iter().cloned();
 
-        for (from, to) in explicit.chain(tracked) {
-            if crash.contains(&to) && crash.contains(&from) && !info.oracle.contains(&from) {
-                verdict.diffs.push(SnapshotDiff::Unexpected { path: from.clone() });
+        let mut candidates: Vec<(String, String)> = explicit.chain(tracked).collect();
+        candidates.sort();
+        candidates.dedup();
+
+        for (from, to) in candidates {
+            if crash.contains(&to)
+                && crash.contains(&from)
+                && !info.oracle.contains(&from)
+                && same_inode(fs, &from, &to)
+            {
+                verdict
+                    .diffs
+                    .push(SnapshotDiff::Unexpected { path: from.clone() });
                 verdict
                     .read_consequences
                     .push(Consequence::FileInBothLocations);
@@ -270,7 +289,9 @@ impl<'a> AutoChecker<'a> {
                 verdict
                     .write_failures
                     .push(format!("cannot create new files after recovery: {error}"));
-                verdict.write_consequences.push(Consequence::CannotCreateFiles);
+                verdict
+                    .write_consequences
+                    .push(Consequence::CannotCreateFiles);
             }
         }
 
@@ -306,6 +327,16 @@ impl<'a> AutoChecker<'a> {
     }
 }
 
+/// True when both paths resolve to the same inode in the recovered file
+/// system. Directories cannot be hard-linked, so for a rename pair this
+/// means the rename was applied without the old name being removed.
+fn same_inode(fs: &dyn FileSystem, from: &str, to: &str) -> bool {
+    match (fs.metadata(from), fs.metadata(to)) {
+        (Ok(from_meta), Ok(to_meta)) => from_meta.ino == to_meta.ino,
+        _ => false,
+    }
+}
+
 /// Recursively removes a directory and its contents.
 fn remove_recursively(fs: &mut dyn FileSystem, path: &str) -> Result<(), FsError> {
     let entries = fs.readdir(path)?;
@@ -323,7 +354,11 @@ fn remove_recursively(fs: &mut dyn FileSystem, path: &str) -> Result<(), FsError
 }
 
 /// Differences when only existence (and identity) is guaranteed.
-fn existence_diffs(path: &str, expected: &EntrySnapshot, actual: &EntrySnapshot) -> Vec<SnapshotDiff> {
+fn existence_diffs(
+    path: &str,
+    expected: &EntrySnapshot,
+    actual: &EntrySnapshot,
+) -> Vec<SnapshotDiff> {
     let mut diffs = Vec::new();
     if expected.file_type != actual.file_type {
         diffs.push(SnapshotDiff::TypeMismatch {
@@ -420,7 +455,9 @@ fn classify_diff(diff: &SnapshotDiff) -> Consequence {
         SnapshotDiff::Missing { .. } => Consequence::FileMissing,
         SnapshotDiff::Unexpected { .. } => Consequence::FileInBothLocations,
         SnapshotDiff::TypeMismatch { .. } => Consequence::DataCorruption,
-        SnapshotDiff::SizeMismatch { expected, actual, .. } => {
+        SnapshotDiff::SizeMismatch {
+            expected, actual, ..
+        } => {
             if actual < expected {
                 Consequence::DataLoss
             } else {
@@ -428,7 +465,9 @@ fn classify_diff(diff: &SnapshotDiff) -> Consequence {
             }
         }
         SnapshotDiff::NlinkMismatch { .. } => Consequence::DataCorruption,
-        SnapshotDiff::BlocksMismatch { expected, actual, .. } => {
+        SnapshotDiff::BlocksMismatch {
+            expected, actual, ..
+        } => {
             if actual < expected {
                 Consequence::BlocksLost
             } else {
@@ -546,8 +585,13 @@ mod tests {
         let mut verdict = CheckVerdict::default();
         assert!(verdict.consequence().is_none());
         verdict.read_consequences.push(Consequence::DataLoss);
-        verdict.write_consequences.push(Consequence::DirectoryUnremovable);
-        assert_eq!(verdict.consequence(), Some(Consequence::DirectoryUnremovable));
+        verdict
+            .write_consequences
+            .push(Consequence::DirectoryUnremovable);
+        assert_eq!(
+            verdict.consequence(),
+            Some(Consequence::DirectoryUnremovable)
+        );
         verdict.unmountable = Some("boom".into());
         assert_eq!(verdict.consequence(), Some(Consequence::Unmountable));
     }

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn modeled_delay_only_when_enabled() {
-        assert_eq!(CrashMonkeyConfig::default().modeled_kernel_delay_seconds(), 0.0);
+        assert_eq!(
+            CrashMonkeyConfig::default().modeled_kernel_delay_seconds(),
+            0.0
+        );
         let modeled = CrashMonkeyConfig {
             model_kernel_delays: true,
             ..CrashMonkeyConfig::default()

@@ -1,8 +1,8 @@
 //! CrashMonkey: automatic crash-consistency testing of arbitrary workloads.
 //!
 //! CrashMonkey implements the testing half of the B3 approach (§5.1 of the
-//! paper). Given a file system (any [`FsSpec`](b3_vfs::FsSpec)) and a
-//! workload (any [`Workload`](b3_vfs::Workload)), it:
+//! paper). Given a file system (any [`FsSpec`]) and a workload (any
+//! [`Workload`]), it:
 //!
 //! 1. **Profiles** the workload: executes it on a freshly formatted file
 //!    system mounted on an IO-recording wrapper device, inserting a
@@ -167,13 +167,22 @@ mod tests {
                 "create-fsync",
                 vec![Op::Mkdir { path: "A".into() }],
                 vec![
-                    Op::Creat { path: "A/foo".into() },
-                    Op::Fsync { path: "A/foo".into() },
+                    Op::Creat {
+                        path: "A/foo".into(),
+                    },
+                    Op::Fsync {
+                        path: "A/foo".into(),
+                    },
                 ],
             ),
             w(
                 "write-sync-rename-fsync",
-                vec![Op::Mkdir { path: "A".into() }, Op::Creat { path: "A/foo".into() }],
+                vec![
+                    Op::Mkdir { path: "A".into() },
+                    Op::Creat {
+                        path: "A/foo".into(),
+                    },
+                ],
                 vec![
                     Op::Write {
                         path: "A/foo".into(),
@@ -185,7 +194,9 @@ mod tests {
                         from: "A/foo".into(),
                         to: "A/bar".into(),
                     },
-                    Op::Fsync { path: "A/bar".into() },
+                    Op::Fsync {
+                        path: "A/bar".into(),
+                    },
                 ],
             ),
             w(
@@ -223,7 +234,12 @@ mod tests {
         // Known workload 16: the file recovers with size 0 on kernel 3.13.
         let workload = w(
             "known-16",
-            vec![Op::Mkdir { path: "A".into() }, Op::Creat { path: "A/foo".into() }],
+            vec![
+                Op::Mkdir { path: "A".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+            ],
             vec![
                 Op::Sync,
                 Op::Write {
@@ -235,7 +251,9 @@ mod tests {
                     existing: "A/foo".into(),
                     new: "A/bar".into(),
                 },
-                Op::Fsync { path: "A/foo".into() },
+                Op::Fsync {
+                    path: "A/foo".into(),
+                },
             ],
         );
 
@@ -252,7 +270,11 @@ mod tests {
 
         let patched = CowFsSpec::patched();
         let outcome = CrashMonkey::new(&patched).test_workload(&workload).unwrap();
-        assert!(outcome.bugs.is_empty(), "no bug on patched: {:?}", outcome.bugs);
+        assert!(
+            outcome.bugs.is_empty(),
+            "no bug on patched: {:?}",
+            outcome.bugs
+        );
     }
 
     #[test]

@@ -110,9 +110,7 @@ impl<'a> Profiler<'a> {
                 let to = b3_vfs::path::normalize(to);
                 let moved: Vec<String> = persisted
                     .keys()
-                    .filter(|p| {
-                        p.as_str() == from || b3_vfs::path::is_ancestor(&from, p)
-                    })
+                    .filter(|p| p.as_str() == from || b3_vfs::path::is_ancestor(&from, p))
                     .cloned()
                     .collect();
                 if moved.iter().any(|p| p == &from) {
@@ -205,12 +203,10 @@ fn update_expectations(
                     for child in children {
                         let child_path = b3_vfs::path::join(&path, child);
                         if let Some(child_entry) = oracle.get(&child_path) {
-                            persisted
-                                .entry(child_path)
-                                .or_insert_with(|| Expectation {
-                                    entry: child_entry.clone(),
-                                    existence_only: true,
-                                });
+                            persisted.entry(child_path).or_insert_with(|| Expectation {
+                                entry: child_entry.clone(),
+                                existence_only: true,
+                            });
                         }
                     }
                 }
@@ -252,9 +248,7 @@ fn update_expectations(
             // existence is still not guaranteed and nothing is added.
             let path = b3_vfs::path::normalize(path);
             if let Some(expectation) = persisted.get_mut(&path) {
-                if let (Some(entry), WriteSpec::Range { offset, len }) =
-                    (oracle.get(&path), spec)
-                {
+                if let (Some(entry), WriteSpec::Range { offset, len }) = (oracle.get(&path), spec) {
                     apply_direct_write_expectation(expectation, entry, *offset, *len);
                 }
             }
@@ -312,9 +306,15 @@ mod tests {
             "p",
             vec![Op::Mkdir { path: "A".into() }],
             vec![
-                Op::Creat { path: "A/foo".into() },
-                Op::Fsync { path: "A/foo".into() },
-                Op::Creat { path: "A/bar".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+                Op::Fsync {
+                    path: "A/foo".into(),
+                },
+                Op::Creat {
+                    path: "A/bar".into(),
+                },
                 Op::Sync,
             ],
         );
@@ -330,15 +330,25 @@ mod tests {
     fn fsync_adds_full_expectation_for_the_file() {
         let workload = Workload::with_setup(
             "p",
-            vec![Op::Mkdir { path: "A".into() }, Op::Creat { path: "A/foo".into() }],
-            vec![Op::Fsync { path: "A/foo".into() }],
+            vec![
+                Op::Mkdir { path: "A".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+            ],
+            vec![Op::Fsync {
+                path: "A/foo".into(),
+            }],
         );
         let result = profile(&workload);
         let cp = &result.checkpoints[0];
         let exp = cp.persisted.get("A/foo").expect("A/foo persisted");
         assert!(!exp.existence_only);
         assert_eq!(exp.entry.file_type, FileType::Regular);
-        assert!(!cp.persisted.contains_key("A"), "parent not explicitly persisted");
+        assert!(
+            !cp.persisted.contains_key("A"),
+            "parent not explicitly persisted"
+        );
     }
 
     #[test]
@@ -347,8 +357,12 @@ mod tests {
             "p",
             vec![
                 Op::Mkdir { path: "A".into() },
-                Op::Creat { path: "A/foo".into() },
-                Op::Creat { path: "A/bar".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+                Op::Creat {
+                    path: "A/bar".into(),
+                },
                 Op::Fsync { path: "A".into() },
             ],
         );
@@ -364,10 +378,16 @@ mod tests {
         let workload = Workload::new(
             "p",
             vec![
-                Op::Creat { path: "keep".into() },
-                Op::Creat { path: "gone".into() },
+                Op::Creat {
+                    path: "keep".into(),
+                },
+                Op::Creat {
+                    path: "gone".into(),
+                },
                 Op::Sync,
-                Op::Unlink { path: "gone".into() },
+                Op::Unlink {
+                    path: "gone".into(),
+                },
                 Op::Sync,
             ],
         );
@@ -383,7 +403,9 @@ mod tests {
         let workload = Workload::new(
             "bad",
             vec![
-                Op::Unlink { path: "missing".into() },
+                Op::Unlink {
+                    path: "missing".into(),
+                },
                 Op::Sync,
             ],
         );
@@ -394,10 +416,7 @@ mod tests {
 
     #[test]
     fn recorded_log_contains_write_io() {
-        let workload = Workload::new(
-            "io",
-            vec![Op::Creat { path: "foo".into() }, Op::Sync],
-        );
+        let workload = Workload::new("io", vec![Op::Creat { path: "foo".into() }, Op::Sync]);
         let result = profile(&workload);
         assert!(result.log.recorded_bytes() > 0);
         assert!(result.log.len() > 1);

@@ -46,9 +46,15 @@ fn standard_setup() -> Vec<Op> {
         Op::Mkdir { path: "B".into() },
         Op::Creat { path: "foo".into() },
         Op::Creat { path: "bar".into() },
-        Op::Creat { path: "A/foo".into() },
-        Op::Creat { path: "A/bar".into() },
-        Op::Creat { path: "B/foo".into() },
+        Op::Creat {
+            path: "A/foo".into(),
+        },
+        Op::Creat {
+            path: "A/bar".into(),
+        },
+        Op::Creat {
+            path: "B/foo".into(),
+        },
     ]
 }
 

@@ -17,7 +17,6 @@ use b3_vfs::KernelEra;
 #[allow(clippy::struct_excessive_bools)]
 pub struct CowBugs {
     // ----- inode / data logging bugs -------------------------------------------------
-
     /// fsync of a file that gained a hard link in the current transaction
     /// logs the *committed* (stale) inode size and contents, so the file
     /// recovers with size 0 / old data. (Known bug: "fsync data loss after
@@ -54,7 +53,6 @@ pub struct CowBugs {
     pub ranged_msync_clears_dirty: bool,
 
     // ----- name / dentry logging bugs -------------------------------------------------
-
     /// fsync of a file logs only the directory entry for the path that was
     /// fsynced; hard-link names added this transaction under other paths
     /// are not logged (and a second fsync of the same inode skips name
@@ -100,7 +98,6 @@ pub struct CowBugs {
     pub rename_over_logged_skips_new_inode: bool,
 
     // ----- log replay bugs --------------------------------------------------------------
-
     /// Log replay increments the directory size for every dentry item even
     /// when the entry already exists, leaving the directory claiming a
     /// larger size than its entries and making it un-removable. (Known bugs:
@@ -176,10 +173,10 @@ fn bug_windows() -> Vec<BugWindow> {
         // --- new bugs found by CrashMonkey + ACE (Table 5) -------------------
         window!(rename_over_logged_skips_new_inode, V3_13, None), // new bug 1 (2014)
         window!(replay_keeps_old_dentry_after_rename, V4_15, None), // new bug 2 (2018) reuses the mechanism
-        window!(dir_fsync_skips_new_subdirs, V3_13, None),        // new bug 3 (2014)
-        window!(fsync_skips_other_names, V3_13, None),            // new bugs 5 & 7 (2014)
-        window!(dir_fsync_skips_new_files, V3_16, None),          // new bug 6 (2014)
-        window!(falloc_keep_size_not_logged, V3_13, None),        // new bug 8 (2014)
+        window!(dir_fsync_skips_new_subdirs, V3_13, None),          // new bug 3 (2014)
+        window!(fsync_skips_other_names, V3_13, None),              // new bugs 5 & 7 (2014)
+        window!(dir_fsync_skips_new_files, V3_16, None),            // new bug 6 (2014)
+        window!(falloc_keep_size_not_logged, V3_13, None),          // new bug 8 (2014)
     ]
 }
 

@@ -371,7 +371,8 @@ mod tests {
         let mut fs = fresh_fs(KernelEra::Patched);
         fs.mkdir("A").unwrap();
         fs.create("A/foo").unwrap();
-        fs.write("A/foo", 0, b"hello world", WriteMode::Buffered).unwrap();
+        fs.write("A/foo", 0, b"hello world", WriteMode::Buffered)
+            .unwrap();
         assert_eq!(fs.read_all("A/foo").unwrap(), b"hello world");
         assert_eq!(fs.readdir("A").unwrap(), vec!["foo"]);
         assert_eq!(fs.metadata("A/foo").unwrap().size, 11);
@@ -402,7 +403,8 @@ mod tests {
         let mut fs = fresh_fs(KernelEra::Patched);
         fs.mkdir("A").unwrap();
         fs.create("A/foo").unwrap();
-        fs.write("A/foo", 0, &[3u8; 5000], WriteMode::Buffered).unwrap();
+        fs.write("A/foo", 0, &[3u8; 5000], WriteMode::Buffered)
+            .unwrap();
         fs.sync().unwrap();
         fs.create("A/unsynced").unwrap();
         let dev = Box::new(fs).into_device_without_unmount();
@@ -416,7 +418,8 @@ mod tests {
         let mut fs = fresh_fs(KernelEra::Patched);
         fs.mkdir("A").unwrap();
         fs.create("A/foo").unwrap();
-        fs.write("A/foo", 0, &[9u8; 4096], WriteMode::Buffered).unwrap();
+        fs.write("A/foo", 0, &[9u8; 4096], WriteMode::Buffered)
+            .unwrap();
         fs.fsync("A/foo").unwrap();
         let dev = Box::new(fs).into_device_without_unmount();
         let fs = CowFs::mount(dev, KernelEra::Patched).unwrap();
@@ -442,13 +445,20 @@ mod tests {
         let mut fs = fresh_fs(KernelEra::Patched);
         let workload = Workload::with_setup(
             "demo",
-            vec![Op::Mkdir { path: "A".into() }, Op::Creat { path: "A/foo".into() }],
+            vec![
+                Op::Mkdir { path: "A".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+            ],
             vec![
                 Op::Link {
                     existing: "A/foo".into(),
                     new: "A/bar".into(),
                 },
-                Op::Fsync { path: "A/bar".into() },
+                Op::Fsync {
+                    path: "A/bar".into(),
+                },
             ],
         );
         apply_workload(&mut fs, &workload).unwrap();
@@ -476,7 +486,12 @@ mod tests {
         let mut exec = Executor::new();
         let workload = Workload::with_setup(
             "w16",
-            vec![Op::Mkdir { path: "A".into() }, Op::Creat { path: "A/foo".into() }],
+            vec![
+                Op::Mkdir { path: "A".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+            ],
             vec![
                 Op::Sync,
                 Op::Write {
@@ -488,7 +503,9 @@ mod tests {
                     existing: "A/foo".into(),
                     new: "A/bar".into(),
                 },
-                Op::Fsync { path: "A/foo".into() },
+                Op::Fsync {
+                    path: "A/foo".into(),
+                },
             ],
         );
         exec.apply_all(&mut fs, &workload).unwrap();

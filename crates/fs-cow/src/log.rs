@@ -79,9 +79,9 @@ impl LogTree {
 
     /// Returns true if the log contains a `DentryAdd` whose child is `ino`.
     pub fn has_add_for_child(&self, ino: InodeId) -> bool {
-        self.items.iter().any(|item| {
-            matches!(item, LogItem::DentryAdd { child_ino, .. } if *child_ino == ino)
-        })
+        self.items
+            .iter()
+            .any(|item| matches!(item, LogItem::DentryAdd { child_ino, .. } if *child_ino == ino))
     }
 
     /// Serializes the log.
@@ -139,7 +139,9 @@ impl LogTree {
                     name: dec.get_str()?,
                 },
                 other => {
-                    return Err(FsError::Unmountable(format!("unknown log item tag {other}")));
+                    return Err(FsError::Unmountable(format!(
+                        "unknown log item tag {other}"
+                    )));
                 }
             };
             items.push(item);
@@ -300,7 +302,9 @@ impl Recorder<'_> {
         if self.bugs.punch_hole_not_logged {
             if let (Some(c), Some(ranges)) = (committed, self.state.punched.get(&ino)) {
                 for &(offset, len) in ranges {
-                    let end = ((offset + len) as usize).min(c.data.len()).min(logged.data.len());
+                    let end = ((offset + len) as usize)
+                        .min(c.data.len())
+                        .min(logged.data.len());
                     let start = (offset as usize).min(end);
                     logged.data[start..end].copy_from_slice(&c.data[start..end]);
                 }
@@ -321,7 +325,10 @@ impl Recorder<'_> {
         if self.bugs.xattr_removal_not_logged {
             if let Some(c) = committed {
                 for (name, value) in &c.xattrs {
-                    logged.xattrs.entry(name.clone()).or_insert_with(|| value.clone());
+                    logged
+                        .xattrs
+                        .entry(name.clone())
+                        .or_insert_with(|| value.clone());
                 }
             }
         }
@@ -641,12 +648,13 @@ impl Recorder<'_> {
                     }
                     let mut logged_child = child_inode.clone();
                     logged_child.entries.clear();
-                    if self.bugs.symlink_target_not_logged
-                        && logged_child.kind == FileType::Symlink
+                    if self.bugs.symlink_target_not_logged && logged_child.kind == FileType::Symlink
                     {
                         logged_child.symlink_target.clear();
                     }
-                    items.push(LogItem::Inode { inode: logged_child });
+                    items.push(LogItem::Inode {
+                        inode: logged_child,
+                    });
                     items.push(LogItem::DentryAdd {
                         dir_ino,
                         name: name.clone(),
@@ -1044,7 +1052,13 @@ mod tests {
         assert!(matches!(err, FsError::Unmountable(_)));
 
         // A patched kernel replays the same log cleanly.
-        let good_items = record(&working, &committed, &CowBugs::none(), "bar", SyncKind::Fsync);
+        let good_items = record(
+            &working,
+            &committed,
+            &CowBugs::none(),
+            "bar",
+            SyncKind::Fsync,
+        );
         let recovered =
             replay(&committed, &LogTree { items: good_items }, &CowBugs::none()).unwrap();
         assert!(recovered.exists("bar"));
@@ -1114,7 +1128,13 @@ mod tests {
         assert!(recovered.exists("test"));
         assert!(!recovered.exists("test/foo"), "new child file must be lost");
 
-        let good = record(&working, &committed, &CowBugs::none(), "test", SyncKind::Fsync);
+        let good = record(
+            &working,
+            &committed,
+            &CowBugs::none(),
+            "test",
+            SyncKind::Fsync,
+        );
         let recovered = replay(&committed, &LogTree { items: good }, &CowBugs::none()).unwrap();
         assert!(recovered.exists("test/foo"));
         assert!(recovered.exists("test/A/foo"));
@@ -1139,7 +1159,13 @@ mod tests {
         assert!(recovered.exists("foo"));
         assert!(!recovered.exists("A/bar"));
 
-        let good = record(&working, &committed, &CowBugs::none(), "foo", SyncKind::Fsync);
+        let good = record(
+            &working,
+            &committed,
+            &CowBugs::none(),
+            "foo",
+            SyncKind::Fsync,
+        );
         let recovered = replay(&committed, &LogTree { items: good }, &CowBugs::none()).unwrap();
         assert!(recovered.exists("A/bar"));
     }
@@ -1163,7 +1189,13 @@ mod tests {
         assert!(recovered.exists("A/foo"), "old name persists with the bug");
         assert!(!recovered.exists("A/bar"));
 
-        let good = record(&working, &committed, &CowBugs::none(), "A/bar", SyncKind::Fsync);
+        let good = record(
+            &working,
+            &committed,
+            &CowBugs::none(),
+            "A/bar",
+            SyncKind::Fsync,
+        );
         let recovered = replay(&committed, &LogTree { items: good }, &CowBugs::none()).unwrap();
         assert!(recovered.exists("A/bar"));
         assert!(!recovered.exists("A/foo"));

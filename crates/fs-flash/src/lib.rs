@@ -575,7 +575,8 @@ mod tests {
         fs.mkdir("A").unwrap();
         fs.sync().unwrap();
         fs.create("A/foo").unwrap();
-        fs.write("A/foo", 0, &[5u8; 6000], WriteMode::Buffered).unwrap();
+        fs.write("A/foo", 0, &[5u8; 6000], WriteMode::Buffered)
+            .unwrap();
         fs.fsync("A/foo").unwrap();
         fs.create("A/other").unwrap();
         let fs = crash_and_remount(fs, FlashBugs::none());
@@ -589,7 +590,8 @@ mod tests {
         let run = |bugs: FlashBugs| -> u64 {
             let mut fs = fresh(bugs);
             fs.create("foo").unwrap();
-            fs.write("foo", 0, &[1u8; 16 * 1024], WriteMode::Buffered).unwrap();
+            fs.write("foo", 0, &[1u8; 16 * 1024], WriteMode::Buffered)
+                .unwrap();
             fs.fsync("foo").unwrap();
             fs.fallocate("foo", FallocMode::ZeroRangeKeepSize, 16 * 1024, 4096)
                 .unwrap();
@@ -638,11 +640,13 @@ mod tests {
             let mut fs = fresh(bugs);
             fs.mkdir("A").unwrap();
             fs.create("A/foo").unwrap();
-            fs.write("A/foo", 0, &[2u8; 16 * 1024], WriteMode::Buffered).unwrap();
+            fs.write("A/foo", 0, &[2u8; 16 * 1024], WriteMode::Buffered)
+                .unwrap();
             fs.sync().unwrap();
             fs.rename("A/foo", "A/bar").unwrap();
             fs.create("A/foo").unwrap();
-            fs.write("A/foo", 0, &[3u8; 4096], WriteMode::Buffered).unwrap();
+            fs.write("A/foo", 0, &[3u8; 4096], WriteMode::Buffered)
+                .unwrap();
             fs.fsync("A/foo").unwrap();
             let fs = crash_and_remount(fs, bugs);
             let bar = fs.exists("A/bar");
@@ -665,9 +669,11 @@ mod tests {
         let run = |bugs: FlashBugs| -> u64 {
             let mut fs = fresh(bugs);
             fs.create("foo").unwrap();
-            fs.write("foo", 0, &[1u8; 8192], WriteMode::Buffered).unwrap();
+            fs.write("foo", 0, &[1u8; 8192], WriteMode::Buffered)
+                .unwrap();
             fs.fsync("foo").unwrap();
-            fs.fallocate("foo", FallocMode::KeepSize, 8192, 8192).unwrap();
+            fs.fallocate("foo", FallocMode::KeepSize, 8192, 8192)
+                .unwrap();
             fs.fdatasync("foo").unwrap();
             let fs = crash_and_remount(fs, bugs);
             fs.metadata("foo").unwrap().blocks

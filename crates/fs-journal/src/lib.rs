@@ -361,7 +361,8 @@ mod tests {
         let mut fs = fresh(JournalBugs::none());
         fs.mkdir("A").unwrap();
         fs.create("A/foo").unwrap();
-        fs.write("A/foo", 0, &[7u8; 3000], WriteMode::Buffered).unwrap();
+        fs.write("A/foo", 0, &[7u8; 3000], WriteMode::Buffered)
+            .unwrap();
         fs.fsync("A/foo").unwrap();
         fs.create("A/volatile").unwrap();
         let fs = crash_and_remount(fs, JournalBugs::none());
@@ -375,9 +376,11 @@ mod tests {
         let run = |bugs: JournalBugs| -> u64 {
             let mut fs = fresh(bugs);
             fs.create("foo").unwrap();
-            fs.write("foo", 0, &[1u8; 8192], WriteMode::Buffered).unwrap();
+            fs.write("foo", 0, &[1u8; 8192], WriteMode::Buffered)
+                .unwrap();
             fs.fsync("foo").unwrap();
-            fs.fallocate("foo", FallocMode::KeepSize, 8192, 8192).unwrap();
+            fs.fallocate("foo", FallocMode::KeepSize, 8192, 8192)
+                .unwrap();
             fs.fdatasync("foo").unwrap();
             let fs = crash_and_remount(fs, bugs);
             fs.metadata("foo").unwrap().blocks
@@ -400,7 +403,8 @@ mod tests {
             let mut fs = fresh(bugs);
             fs.create("foo").unwrap();
             fs.sync().unwrap();
-            fs.write("foo", 16 * 1024, &[2u8; 4096], WriteMode::Buffered).unwrap();
+            fs.write("foo", 16 * 1024, &[2u8; 4096], WriteMode::Buffered)
+                .unwrap();
             fs.write("foo", 0, &[3u8; 4096], WriteMode::Direct).unwrap();
             let fs = crash_and_remount(fs, bugs);
             fs.metadata("foo").unwrap().size
@@ -426,7 +430,10 @@ mod tests {
 
     #[test]
     fn era_table_matches_paper() {
-        assert_eq!(JournalBugs::for_era(KernelEra::Patched), JournalBugs::none());
+        assert_eq!(
+            JournalBugs::for_era(KernelEra::Patched),
+            JournalBugs::none()
+        );
         assert_eq!(JournalBugs::for_era(KernelEra::V4_16), JournalBugs::none());
         let old = JournalBugs::for_era(KernelEra::V4_15);
         assert!(old.fdatasync_skips_falloc_beyond_eof);

@@ -205,9 +205,9 @@ impl FileSystem for VeriFs {
                 if let Some(inode) = tree.inode_mut(ino) {
                     if inode.data.len() as u64 > committed_meta.size {
                         inode.data.truncate(committed_meta.size as usize);
-                        inode.allocated = inode.allocated.min(
-                            committed_meta.size.div_ceil(4096) * 4096,
-                        );
+                        inode.allocated = inode
+                            .allocated
+                            .min(committed_meta.size.div_ceil(4096) * 4096);
                     }
                 }
             }
@@ -293,7 +293,8 @@ mod tests {
     fn persistence_calls_commit_everything() {
         let mut fs = fresh(VeriBugs::none());
         fs.create("foo").unwrap();
-        fs.write("foo", 0, &[1u8; 4096], WriteMode::Buffered).unwrap();
+        fs.write("foo", 0, &[1u8; 4096], WriteMode::Buffered)
+            .unwrap();
         fs.fsync("foo").unwrap();
         fs.create("volatile").unwrap();
         let fs = crash_and_remount(fs, VeriBugs::none());
@@ -307,9 +308,11 @@ mod tests {
         let run = |bugs: VeriBugs| -> u64 {
             let mut fs = fresh(bugs);
             fs.create("foo").unwrap();
-            fs.write("foo", 0, &[1u8; 4096], WriteMode::Buffered).unwrap();
+            fs.write("foo", 0, &[1u8; 4096], WriteMode::Buffered)
+                .unwrap();
             fs.sync().unwrap();
-            fs.write("foo", 4096, &[2u8; 4096], WriteMode::Buffered).unwrap();
+            fs.write("foo", 4096, &[2u8; 4096], WriteMode::Buffered)
+                .unwrap();
             fs.fdatasync("foo").unwrap();
             let fs = crash_and_remount(fs, bugs);
             fs.metadata("foo").unwrap().size
@@ -322,9 +325,11 @@ mod tests {
     fn fdatasync_of_overwrite_is_not_affected_by_the_bug() {
         let mut fs = fresh(VeriBugs::all());
         fs.create("foo").unwrap();
-        fs.write("foo", 0, &[1u8; 4096], WriteMode::Buffered).unwrap();
+        fs.write("foo", 0, &[1u8; 4096], WriteMode::Buffered)
+            .unwrap();
         fs.sync().unwrap();
-        fs.write("foo", 0, &[9u8; 2048], WriteMode::Buffered).unwrap();
+        fs.write("foo", 0, &[9u8; 2048], WriteMode::Buffered)
+            .unwrap();
         fs.fdatasync("foo").unwrap();
         let fs = crash_and_remount(fs, VeriBugs::all());
         assert_eq!(fs.read("foo", 0, 4).unwrap(), vec![9u8; 4]);

@@ -16,8 +16,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use b3_ace::phases::{persistence_options, phase2_candidates, phase4_dependencies};
 use b3_ace::Bounds;
-use b3_ace::phases::{phase2_candidates, phase4_dependencies, persistence_options};
 use b3_vfs::workload::{Op, Workload};
 
 use crate::corpus::{known_bugs, CorpusEntry};
@@ -122,7 +122,10 @@ mod tests {
             "novel",
             vec![
                 Op::Mkfifo { path: "p".into() },
-                Op::Truncate { path: "p".into(), size: 0 },
+                Op::Truncate {
+                    path: "p".into(),
+                    size: 0,
+                },
                 Op::Sync,
             ],
         );
@@ -131,14 +134,20 @@ mod tests {
 
     #[test]
     fn random_generator_is_deterministic_per_seed_and_valid() {
-        let a: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 42).take(50).collect();
-        let b: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 42).take(50).collect();
+        let a: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 42)
+            .take(50)
+            .collect();
+        let b: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 42)
+            .take(50)
+            .collect();
         assert_eq!(a, b);
         assert_eq!(a.len(), 50);
         for workload in &a {
             assert!(workload.ends_with_persistence_point(), "{workload}");
         }
-        let c: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 7).take(50).collect();
+        let c: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 7)
+            .take(50)
+            .collect();
         assert_ne!(a, c);
     }
 }

@@ -595,7 +595,9 @@ mod tests {
             if !entry.is_runnable() {
                 continue;
             }
-            let check = entry.replay().unwrap_or_else(|e| panic!("{}: {e}", entry.id));
+            let check = entry
+                .replay()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.id));
             if !check.detected_expected {
                 failures.push(format!(
                     "{}: expected one of {:?}, observed {:?} (skipped: {:?})",
@@ -603,7 +605,11 @@ mod tests {
                 ));
             }
         }
-        assert!(failures.is_empty(), "undetected corpus bugs:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "undetected corpus bugs:\n{}",
+            failures.join("\n")
+        );
     }
 
     #[test]
@@ -617,12 +623,19 @@ mod tests {
                 .replay_patched()
                 .unwrap_or_else(|e| panic!("{}: {e}", entry.id));
             if outcome.skipped.is_some() {
-                failures.push(format!("{}: workload skipped: {:?}", entry.id, outcome.skipped));
+                failures.push(format!(
+                    "{}: workload skipped: {:?}",
+                    entry.id, outcome.skipped
+                ));
             } else if outcome.found_bug() {
                 failures.push(format!(
                     "{}: false positive on patched fs: {:?}",
                     entry.id,
-                    outcome.bugs.iter().map(|b| b.consequence).collect::<Vec<_>>()
+                    outcome
+                        .bugs
+                        .iter()
+                        .map(|b| b.consequence)
+                        .collect::<Vec<_>>()
                 ));
             }
         }

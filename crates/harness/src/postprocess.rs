@@ -78,10 +78,7 @@ impl KnownBugDatabase {
     }
 
     /// Splits groups into (new, already-known) according to the database.
-    pub fn partition<'a>(
-        &self,
-        groups: &'a [BugGroup],
-    ) -> (Vec<&'a BugGroup>, Vec<&'a BugGroup>) {
+    pub fn partition<'a>(&self, groups: &'a [BugGroup]) -> (Vec<&'a BugGroup>, Vec<&'a BugGroup>) {
         groups
             .iter()
             .partition(|group| self.matches(&group.example).is_none())
@@ -138,10 +135,7 @@ mod tests {
         assert_eq!(new.len(), 1);
         assert_eq!(known.len(), 1);
         assert_eq!(new[0].skeleton, "rename-creat");
-        assert_eq!(
-            db.matches(&known[0].example),
-            Some("btrfs-2015-link-fsync")
-        );
+        assert_eq!(db.matches(&known[0].example), Some("btrfs-2015-link-fsync"));
     }
 
     #[test]

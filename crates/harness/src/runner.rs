@@ -88,9 +88,9 @@ where
     let bug_count = AtomicUsize::new(0);
     let threads = config.threads.max(1);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let monkey = CrashMonkey::with_config(spec, config.crashmonkey);
                 loop {
                     if let Some(limit) = config.stop_after_bugs {
@@ -119,8 +119,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     let mut summary = summary.into_inner().expect("summary poisoned");
     summary.elapsed = start.elapsed();

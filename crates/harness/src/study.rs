@@ -93,13 +93,15 @@ pub fn study_bugs() -> Vec<StudyBug> {
         (26, "btrfs", Corruption, "3.12", 3),
     ];
     rows.into_iter()
-        .map(|(id, file_system, consequence, kernel_version, num_ops)| StudyBug {
-            id,
-            file_system,
-            consequence,
-            kernel_version,
-            num_ops,
-        })
+        .map(
+            |(id, file_system, consequence, kernel_version, num_ops)| StudyBug {
+                id,
+                file_system,
+                consequence,
+                kernel_version,
+                num_ops,
+            },
+        )
         .collect()
 }
 
@@ -238,7 +240,13 @@ pub fn render_table1() -> String {
 
 /// Renders Table 2.
 pub fn render_table2() -> String {
-    let mut table = Table::new(vec!["Bug #", "File System", "Consequence", "# of ops", "ops involved"]);
+    let mut table = Table::new(vec![
+        "Bug #",
+        "File System",
+        "Consequence",
+        "# of ops",
+        "ops involved",
+    ]);
     for bug in example_bugs() {
         table.row(vec![
             bug.number.to_string(),
@@ -257,7 +265,11 @@ mod tests {
 
     #[test]
     fn totals_match_the_paper() {
-        assert_eq!(study_bugs().len(), 28, "28 bugs including cross-FS duplicates");
+        assert_eq!(
+            study_bugs().len(),
+            28,
+            "28 bugs including cross-FS duplicates"
+        );
         let unique: usize = by_num_ops().values().sum();
         assert_eq!(unique, 26, "26 unique bugs");
     }

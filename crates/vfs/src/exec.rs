@@ -208,15 +208,27 @@ mod tests {
     #[test]
     fn pattern_resolution_on_empty_file() {
         assert_eq!(resolve_pattern(WritePattern::Append, 0), (0, WRITE_BLOCK));
-        assert_eq!(resolve_pattern(WritePattern::OverwriteStart, 0), (0, WRITE_BLOCK));
-        assert_eq!(resolve_pattern(WritePattern::OverwriteMiddle, 0), (0, WRITE_BLOCK));
-        assert_eq!(resolve_pattern(WritePattern::OverwriteEnd, 0), (0, WRITE_BLOCK));
+        assert_eq!(
+            resolve_pattern(WritePattern::OverwriteStart, 0),
+            (0, WRITE_BLOCK)
+        );
+        assert_eq!(
+            resolve_pattern(WritePattern::OverwriteMiddle, 0),
+            (0, WRITE_BLOCK)
+        );
+        assert_eq!(
+            resolve_pattern(WritePattern::OverwriteEnd, 0),
+            (0, WRITE_BLOCK)
+        );
     }
 
     #[test]
     fn pattern_resolution_on_16k_file() {
         let size = 16 * 1024;
-        assert_eq!(resolve_pattern(WritePattern::Append, size), (size, WRITE_BLOCK));
+        assert_eq!(
+            resolve_pattern(WritePattern::Append, size),
+            (size, WRITE_BLOCK)
+        );
         assert_eq!(
             resolve_pattern(WritePattern::AppendUnaligned, size),
             (size, UNALIGNED_LEN)
@@ -241,7 +253,10 @@ mod tests {
         assert_ne!(a, shifted);
         let other_op = fill_data(4, 0, 1024);
         assert_ne!(a, other_op);
-        assert!(a.iter().all(|&byte| byte != 0), "fill data must be non-zero");
+        assert!(
+            a.iter().all(|&byte| byte != 0),
+            "fill data must be non-zero"
+        );
     }
 
     #[test]

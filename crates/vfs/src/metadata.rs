@@ -57,7 +57,11 @@ impl Metadata {
             ino,
             file_type,
             size: 0,
-            nlink: if file_type == FileType::Directory { 2 } else { 1 },
+            nlink: if file_type == FileType::Directory {
+                2
+            } else {
+                1
+            },
             blocks: 0,
             xattrs: BTreeMap::new(),
         }

@@ -123,7 +123,10 @@ mod tests {
             split_parent("A/B/foo").unwrap(),
             ("A/B".to_string(), "foo".to_string())
         );
-        assert_eq!(split_parent("foo").unwrap(), (String::new(), "foo".to_string()));
+        assert_eq!(
+            split_parent("foo").unwrap(),
+            (String::new(), "foo".to_string())
+        );
         assert!(split_parent("/").is_err());
     }
 

@@ -310,31 +310,58 @@ impl std::fmt::Display for SnapshotDiff {
             SnapshotDiff::Unexpected { path } => {
                 write!(f, "{path}: present after recovery but absent in oracle")
             }
-            SnapshotDiff::TypeMismatch { path, expected, actual } => write!(
+            SnapshotDiff::TypeMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{path}: type {} expected, found {}",
                 expected.as_str(),
                 actual.as_str()
             ),
-            SnapshotDiff::SizeMismatch { path, expected, actual } => {
+            SnapshotDiff::SizeMismatch {
+                path,
+                expected,
+                actual,
+            } => {
                 write!(f, "{path}: size {expected} expected, found {actual}")
             }
-            SnapshotDiff::NlinkMismatch { path, expected, actual } => {
+            SnapshotDiff::NlinkMismatch {
+                path,
+                expected,
+                actual,
+            } => {
                 write!(f, "{path}: nlink {expected} expected, found {actual}")
             }
-            SnapshotDiff::BlocksMismatch { path, expected, actual } => {
+            SnapshotDiff::BlocksMismatch {
+                path,
+                expected,
+                actual,
+            } => {
                 write!(f, "{path}: {expected} sectors expected, found {actual}")
             }
-            SnapshotDiff::DataMismatch { path, first_difference } => match first_difference {
+            SnapshotDiff::DataMismatch {
+                path,
+                first_difference,
+            } => match first_difference {
                 Some(offset) => write!(f, "{path}: data differs at offset {offset}"),
                 None => write!(f, "{path}: data differs"),
             },
-            SnapshotDiff::SymlinkMismatch { path, expected, actual } => write!(
+            SnapshotDiff::SymlinkMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{path}: symlink target {:?} expected, found {:?}",
                 expected, actual
             ),
-            SnapshotDiff::XattrMismatch { path, expected, actual } => write!(
+            SnapshotDiff::XattrMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{path}: xattrs {:?} expected, found {:?}",
                 expected, actual
@@ -447,7 +474,9 @@ mod tests {
         let diffs = oracle.diff_path(&crash, "f");
         assert_eq!(diffs.len(), 1);
         match &diffs[0] {
-            SnapshotDiff::DataMismatch { first_difference, .. } => {
+            SnapshotDiff::DataMismatch {
+                first_difference, ..
+            } => {
                 assert_eq!(*first_difference, Some(3));
             }
             other => panic!("expected data mismatch, got {other:?}"),

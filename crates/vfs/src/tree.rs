@@ -317,7 +317,10 @@ impl MemTree {
     /// Creates a symbolic link.
     pub fn symlink(&mut self, target: &str, linkpath: &str) -> FsResult<InodeId> {
         let ino = self.create_node(linkpath, FileType::Symlink)?;
-        self.inodes.get_mut(&ino).expect("just created").symlink_target = normalize(target);
+        self.inodes
+            .get_mut(&ino)
+            .expect("just created")
+            .symlink_target = normalize(target);
         Ok(ino)
     }
 
@@ -480,7 +483,9 @@ impl MemTree {
         len: u64,
     ) -> FsResult<()> {
         if len == 0 {
-            return Err(FsError::InvalidArgument("fallocate with zero length".into()));
+            return Err(FsError::InvalidArgument(
+                "fallocate with zero length".into(),
+            ));
         }
         let inode = self.file_mut(path)?;
         let end = offset + len;
@@ -795,7 +800,8 @@ mod tests {
         let meta = tree.metadata("foo").unwrap();
         assert_eq!(meta.size, 16 * 1024);
         assert_eq!(meta.blocks, 40); // 20 KiB allocated
-        tree.fallocate("foo", FallocMode::Allocate, 0, 32 * 1024).unwrap();
+        tree.fallocate("foo", FallocMode::Allocate, 0, 32 * 1024)
+            .unwrap();
         assert_eq!(tree.metadata("foo").unwrap().size, 32 * 1024);
     }
 
@@ -803,7 +809,8 @@ mod tests {
     fn punch_hole_zeroes_and_keeps_size() {
         let mut tree = tree_with_layout();
         tree.write("foo", 0, &[5u8; 16 * 1024]).unwrap();
-        tree.fallocate("foo", FallocMode::PunchHole, 4096, 4096).unwrap();
+        tree.fallocate("foo", FallocMode::PunchHole, 4096, 4096)
+            .unwrap();
         let meta = tree.metadata("foo").unwrap();
         assert_eq!(meta.size, 16 * 1024);
         assert_eq!(tree.read("foo", 4096, 4096).unwrap(), vec![0u8; 4096]);
@@ -923,10 +930,7 @@ mod tests {
         let mut tree = tree_with_layout();
         tree.symlink("foo", "A/bar").unwrap();
         assert_eq!(tree.readlink("A/bar").unwrap(), "foo");
-        assert_eq!(
-            tree.metadata("A/bar").unwrap().file_type,
-            FileType::Symlink
-        );
+        assert_eq!(tree.metadata("A/bar").unwrap().file_type, FileType::Symlink);
         assert!(matches!(
             tree.readlink("foo"),
             Err(FsError::InvalidArgument(_))

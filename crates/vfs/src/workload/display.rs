@@ -27,7 +27,14 @@ impl fmt::Display for Op {
             Op::Rename { from, to } => write!(f, "rename {} {}", root_name(from), root_name(to)),
             Op::Write { path, mode, spec } => match spec {
                 WriteSpec::Range { offset, len } => {
-                    write!(f, "{} {} {} {}", mode.as_str(), root_name(path), offset, len)
+                    write!(
+                        f,
+                        "{} {} {} {}",
+                        mode.as_str(),
+                        root_name(path),
+                        offset,
+                        len
+                    )
                 }
                 WriteSpec::Pattern(p) => {
                     write!(f, "{} {} {}", mode.as_str(), root_name(path), p.as_str())
@@ -101,7 +108,13 @@ mod tests {
 
     #[test]
     fn op_display_matches_language() {
-        assert_eq!(Op::Creat { path: "A/foo".into() }.to_string(), "creat A/foo");
+        assert_eq!(
+            Op::Creat {
+                path: "A/foo".into()
+            }
+            .to_string(),
+            "creat A/foo"
+        );
         assert_eq!(
             Op::Rename {
                 from: "A/foo".into(),
@@ -147,7 +160,14 @@ mod tests {
         let w = Workload::with_setup(
             "demo",
             vec![Op::Mkdir { path: "A".into() }],
-            vec![Op::Creat { path: "A/foo".into() }, Op::Fsync { path: "A/foo".into() }],
+            vec![
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+                Op::Fsync {
+                    path: "A/foo".into(),
+                },
+            ],
         );
         let text = w.to_string();
         assert!(text.contains("# workload demo"));

@@ -10,7 +10,8 @@
 //! language" ACE's workload synthesizer emits, which a custom adapter then
 //! compiles into a C++ test program for CrashMonkey (§5.2). In this
 //! reproduction both tools share the IR directly; the text serialization in
-//! [`parse`]/[`fmt::Display`] plays the role of the intermediate language.
+//! [`parse_workload`]/[`Display`](std::fmt::Display) plays the role of the
+//! intermediate language.
 
 mod display;
 mod files;
@@ -477,7 +478,10 @@ impl Workload {
 
     /// Number of persistence points in the core sequence.
     pub fn num_persistence_points(&self) -> usize {
-        self.ops.iter().filter(|op| op.is_persistence_point()).count()
+        self.ops
+            .iter()
+            .filter(|op| op.is_persistence_point())
+            .count()
     }
 
     /// True if the workload ends with a persistence point, which ACE
@@ -503,7 +507,9 @@ mod tests {
             vec![
                 Op::Mkdir { path: "A".into() },
                 Op::Mkdir { path: "B".into() },
-                Op::Creat { path: "A/foo".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
             ],
             vec![
                 Op::Rename {
@@ -515,7 +521,9 @@ mod tests {
                     existing: "B/bar".into(),
                     new: "A/bar".into(),
                 },
-                Op::Fsync { path: "A/bar".into() },
+                Op::Fsync {
+                    path: "A/bar".into(),
+                },
             ],
         )
     }
@@ -557,7 +565,10 @@ mod tests {
     #[test]
     fn persistence_target() {
         assert_eq!(
-            Op::Fsync { path: "A/foo".into() }.persistence_target(),
+            Op::Fsync {
+                path: "A/foo".into()
+            }
+            .persistence_target(),
             Some("A/foo")
         );
         assert_eq!(Op::Sync.persistence_target(), None);

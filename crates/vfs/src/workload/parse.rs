@@ -200,7 +200,9 @@ mod tests {
     fn parses_simple_ops() {
         assert_eq!(
             parse_op("creat A/foo", 1).unwrap(),
-            Op::Creat { path: "A/foo".into() }
+            Op::Creat {
+                path: "A/foo".into()
+            }
         );
         assert_eq!(
             parse_op("rename A/foo B/bar", 1).unwrap(),
@@ -210,7 +212,10 @@ mod tests {
             }
         );
         assert_eq!(parse_op("sync", 1).unwrap(), Op::Sync);
-        assert_eq!(parse_op("fsync /", 1).unwrap(), Op::Fsync { path: "".into() });
+        assert_eq!(
+            parse_op("fsync /", 1).unwrap(),
+            Op::Fsync { path: "".into() }
+        );
     }
 
     #[test]

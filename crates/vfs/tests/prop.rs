@@ -35,13 +35,15 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             mode: WriteMode::Buffered,
             spec: WriteSpec::Range { offset, len },
         }),
-        (path_strategy(), prop::sample::select(WritePattern::ALL.to_vec())).prop_map(
-            |(path, pattern)| Op::Write {
+        (
+            path_strategy(),
+            prop::sample::select(WritePattern::ALL.to_vec())
+        )
+            .prop_map(|(path, pattern)| Op::Write {
                 path,
                 mode: WriteMode::Direct,
                 spec: WriteSpec::Pattern(pattern),
-            }
-        ),
+            }),
         (
             path_strategy(),
             prop::sample::select(FallocMode::ALL.to_vec()),
@@ -114,11 +116,18 @@ fn apply(tree: &mut MemTree, op: &Op) -> Result<(), b3_vfs::FsError> {
         Op::Link { existing, new } => tree.link(existing, new).map(|_| ()),
         Op::Rename { from, to } => tree.rename(from, to),
         Op::Unlink { path } => tree.unlink(path),
-        Op::Write { path, spec: WriteSpec::Range { offset, len }, .. } => {
-            tree.write(path, *offset, &vec![7u8; (*len as usize).min(65_536)])
-        }
+        Op::Write {
+            path,
+            spec: WriteSpec::Range { offset, len },
+            ..
+        } => tree.write(path, *offset, &vec![7u8; (*len as usize).min(65_536)]),
         Op::Write { path, .. } => tree.write(path, 0, &[7u8; 512]),
-        Op::Falloc { path, mode, offset, len } => tree.fallocate(path, *mode, *offset, *len),
+        Op::Falloc {
+            path,
+            mode,
+            offset,
+            len,
+        } => tree.fallocate(path, *mode, *offset, *len),
         Op::Truncate { path, size } => tree.truncate(path, *size),
         _ => Ok(()),
     }

@@ -17,7 +17,10 @@ fn main() {
     // --- Figure 4: a seq-2 workload through the four phases -------------------
     println!("Figure 4 walk-through (rename + link):\n");
     let bounds = Bounds::paper_seq2();
-    println!("phase 1: {} skeletons of length 2", phase1_skeletons(&bounds).len());
+    println!(
+        "phase 1: {} skeletons of length 2",
+        phase1_skeletons(&bounds).len()
+    );
     let core = vec![
         Op::Rename {
             from: "A/foo".into(),
@@ -30,7 +33,10 @@ fn main() {
     ];
     println!("phase 2 picked: rename(A/foo, B/bar); link(B/bar, A/bar)");
     let with_persistence = phase3_persistence(&core, &bounds);
-    println!("phase 3: {} persistence-point variants", with_persistence.len());
+    println!(
+        "phase 3: {} persistence-point variants",
+        with_persistence.len()
+    );
     let workload = phase4_dependencies("figure-4", with_persistence[0].clone(), &bounds)
         .expect("figure 4 workload is valid");
     println!("phase 4 output:\n{workload}");
@@ -41,16 +47,14 @@ fn main() {
     for preset in SequencePreset::ALL {
         let bounds = preset.bounds();
         let ops = bounds.ops.len();
-        let (count, mode) = if preset == SequencePreset::Seq1
-            || preset == SequencePreset::Seq2
-            || exact
-        {
-            let mut generator = WorkloadGenerator::new(bounds);
-            let emitted = generator.by_ref().count() as u64;
-            (emitted, "exact")
-        } else {
-            (WorkloadGenerator::estimate_candidates(&bounds), "estimated")
-        };
+        let (count, mode) =
+            if preset == SequencePreset::Seq1 || preset == SequencePreset::Seq2 || exact {
+                let mut generator = WorkloadGenerator::new(bounds);
+                let emitted = generator.by_ref().count() as u64;
+                (emitted, "exact")
+            } else {
+                (WorkloadGenerator::estimate_candidates(&bounds), "estimated")
+            };
         table.row(vec![
             preset.name().to_string(),
             ops.to_string(),

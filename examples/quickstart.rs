@@ -1,15 +1,27 @@
-//! Quickstart: reproduce the paper's Figure 1 bug end to end.
+//! Quickstart: reproduce the paper's Figure 1 bug, then run the whole
+//! B3 pipeline (ACE → runner → CrashMonkey → dedup) over the seq-1 bound.
 //!
-//! The workload (create foo; link foo bar; sync; unlink bar; create bar;
-//! fsync bar; CRASH) makes pre-4.16 btrfs un-mountable. This example runs it
+//! Part 1 — the workload (create foo; link foo bar; sync; unlink bar;
+//! create bar; fsync bar; CRASH) makes pre-4.16 btrfs un-mountable. It runs
 //! under CrashMonkey against the btrfs-like CowFs, once with the buggy-era
-//! bug set and once fully patched, and prints the resulting bug report.
+//! bug set and once fully patched.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Part 2 — ACE exhaustively generates every seq-1 workload within the
+//! paper's bounds and the multi-threaded runner fans them out to one
+//! CrashMonkey instance per worker thread; the run's `RunSummary` and the
+//! de-duplicated bug groups are printed (the in-process analogue of the
+//! paper's 65-node cluster run).
+//!
+//! Run with: `cargo run --release --example quickstart`
 
 use b3::prelude::*;
 
 fn main() {
+    figure_1_bug();
+    seq1_pipeline();
+}
+
+fn figure_1_bug() {
     let workload = parse_workload(
         "# workload figure-1\n\
          [ops]\n\
@@ -52,4 +64,55 @@ fn main() {
         outcome.bugs.len(),
         outcome.checkpoints_tested
     );
+}
+
+fn seq1_pipeline() {
+    println!("\n=== seq-1 pipeline: ACE -> runner -> CrashMonkey -> dedup ===\n");
+
+    let bounds = b3::ace::Bounds::paper_seq1();
+    println!("bounds: {}", bounds.describe());
+
+    let spec = CowFsSpec::new(KernelEra::V4_15);
+    // At least four workers even on small machines, so the example always
+    // exercises the concurrent fan-out path.
+    let config = RunConfig {
+        threads: RunConfig::default().threads.max(4),
+        ..RunConfig::default()
+    };
+    println!(
+        "running every seq-1 workload on {} with {} worker threads...",
+        spec.name(),
+        config.threads
+    );
+    let summary = run_stream(&spec, WorkloadGenerator::new(bounds), &config);
+
+    println!("\nRunSummary:");
+    println!("  tested:       {}", summary.tested);
+    println!("  skipped:      {}", summary.skipped);
+    println!("  bug reports:  {}", summary.reports.len());
+    println!("  elapsed:      {:.2?}", summary.elapsed);
+    println!("  avg latency:  {:.2?}", summary.avg_workload_latency());
+    println!("  throughput:   {:.0} workloads/s", summary.throughput());
+
+    let groups = group_reports(&summary.reports);
+    if groups.is_empty() {
+        println!("\nno bugs found in the seq-1 space (unexpected on a 4.15-era fs)");
+        return;
+    }
+    println!("\nde-duplicated bug groups (skeleton x consequence):");
+    let mut table = Table::new(vec![
+        "skeleton",
+        "consequence",
+        "reports",
+        "example workload",
+    ]);
+    for group in &groups {
+        table.row(vec![
+            group.skeleton.clone(),
+            group.consequence.to_string(),
+            group.count.to_string(),
+            group.example.workload_name.clone(),
+        ]);
+    }
+    println!("{}", table.render());
 }

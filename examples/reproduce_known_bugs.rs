@@ -13,7 +13,11 @@ use b3_harness::corpus::{known_bugs, ReproStatus};
 
 fn main() {
     let mut table = Table::new(vec![
-        "bug", "file system", "kernel", "status", "observed consequence",
+        "bug",
+        "file system",
+        "kernel",
+        "status",
+        "observed consequence",
     ]);
     let mut reproduced = 0usize;
     let mut total = 0usize;
@@ -57,5 +61,7 @@ fn main() {
     }
 
     println!("{}", table.render());
-    println!("reproduced {reproduced} of {total} unique previously-reported bugs (paper: 24 of 26)");
+    println!(
+        "reproduced {reproduced} of {total} unique previously-reported bugs (paper: 24 of 26)"
+    );
 }

@@ -19,7 +19,11 @@ fn seq1_exhaustive_run_is_clean_on_patched_cowfs() {
     assert!(
         summary.reports.is_empty(),
         "false positives on patched CowFs: {:?}",
-        summary.reports.iter().map(|r| &r.workload_name).collect::<Vec<_>>()
+        summary
+            .reports
+            .iter()
+            .map(|r| &r.workload_name)
+            .collect::<Vec<_>>()
     );
     assert!(summary.tested > 150, "most seq-1 workloads must execute");
 }
@@ -32,10 +36,15 @@ fn seq1_on_evaluation_kernel_finds_single_op_new_bugs() {
     let workloads: Vec<Workload> = WorkloadGenerator::new(bounds).collect();
     let spec = CowFsSpec::new(KernelEra::V4_16);
     let summary = run_stream(&spec, workloads, &RunConfig::default());
-    assert!(!summary.reports.is_empty(), "seq-1 must reveal bugs on 4.16");
+    assert!(
+        !summary.reports.is_empty(),
+        "seq-1 must reveal bugs on 4.16"
+    );
     let groups = group_reports(&summary.reports);
     assert!(
-        groups.iter().any(|g| g.consequence == Consequence::BlocksLost),
+        groups
+            .iter()
+            .any(|g| g.consequence == Consequence::BlocksLost),
         "the falloc KEEP_SIZE bug (new bug 8) is a seq-1 bug: {groups:?}"
     );
 }
@@ -112,6 +121,47 @@ fn corpus_headline_numbers_match_the_paper() {
     assert_eq!(new.len(), 11, "10 new FS bugs + 1 FSCQ bug");
 }
 
+/// Smoke test for the quickstart path, through the `b3` facade: one
+/// representative known-bug corpus entry per file system must reproduce its
+/// reported consequence under CrashMonkey, and the same workload on the
+/// fully patched file system stays clean. (The exhaustive per-entry replay
+/// of the whole corpus lives in `b3-harness`'s own corpus tests.)
+#[test]
+fn known_bug_corpus_smoke_reproduces_one_bug_per_file_system() {
+    use b3_harness::FsKind;
+
+    let entries = corpus::known_bugs();
+    for kind in [FsKind::Cow, FsKind::Journal, FsKind::Flash] {
+        let entry = entries
+            .iter()
+            .find(|e| e.fs == kind && e.is_runnable())
+            .unwrap_or_else(|| panic!("no runnable corpus entry for {kind:?}"));
+        let check = entry
+            .replay()
+            .unwrap_or_else(|e| panic!("{} failed to replay: {e}", entry.id));
+        assert!(
+            !check.outcome.bugs.is_empty(),
+            "{}: no bug detected on the buggy era",
+            entry.id
+        );
+        assert!(
+            check.detected_expected,
+            "{}: observed {:?}, expected one of {:?}",
+            entry.id, check.observed, entry.expected
+        );
+
+        let patched = entry
+            .replay_patched()
+            .unwrap_or_else(|e| panic!("{} failed on patched fs: {e}", entry.id));
+        assert!(
+            patched.bugs.is_empty(),
+            "{}: false positive on patched fs: {:?}",
+            entry.id,
+            patched.bugs
+        );
+    }
+}
+
 /// The regression-suite baseline (today's xfstests practice) covers the
 /// skeletons of previously reported bugs but not the skeletons of the new
 /// bugs ACE found — the motivation for systematic testing in §2.
@@ -137,7 +187,9 @@ fn regression_baseline_misses_new_bug_skeletons() {
 #[test]
 fn random_baseline_produces_valid_but_redundant_workloads() {
     use std::collections::HashSet;
-    let random: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 1).take(200).collect();
+    let random: Vec<Workload> = RandomWorkloads::new(Bounds::paper_seq2(), 1)
+        .take(200)
+        .collect();
     assert_eq!(random.len(), 200);
     let skeletons: HashSet<String> = random.iter().map(Workload::skeleton_string).collect();
     assert!(

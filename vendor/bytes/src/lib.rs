@@ -1,0 +1,97 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`]: an immutable, cheaply cloneable (`Arc`-backed) byte
+//! buffer covering the surface the B3 block layer uses. Slicing views and
+//! `BytesMut` are not implemented.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer; clones share storage.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The contents as a slice.
+    pub fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(data: [u8; N]) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(data: &str) -> Self {
+        Bytes {
+            data: data.as_bytes().into(),
+        }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &byte in self.data.iter().take(32) {
+            for escaped in std::ascii::escape_default(byte) {
+                write!(f, "{}", escaped as char)?;
+            }
+        }
+        if self.data.len() > 32 {
+            write!(f, "…(+{} bytes)", self.data.len() - 32)?;
+        }
+        write!(f, "\"")
+    }
+}

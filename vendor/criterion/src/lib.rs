@@ -1,0 +1,94 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Covers exactly the surface the `b3-bench` benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a simple
+//! warm-up plus a short fixed wall-clock budget per benchmark — good enough
+//! to compare orders of magnitude, not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` with a [`Bencher`] and prints a one-line timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        match bencher.report() {
+            Some((iters, mean, min)) => {
+                println!("bench {name:<50} {mean:>12?}/iter (min {min:?}, {iters} iters)")
+            }
+            None => println!("bench {name:<50} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Timing loop handed to `bench_function` closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    min: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly: a warm-up iteration, then as many timed
+    /// iterations as fit in a ~200 ms budget (at least 5, at most 1000).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(f());
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        while (self.iters < 5 || started.elapsed() < budget) && self.iters < 1000 {
+            let iter_start = Instant::now();
+            black_box(f());
+            let elapsed = iter_start.elapsed();
+            self.total += elapsed;
+            self.min = Some(self.min.map_or(elapsed, |m| m.min(elapsed)));
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self) -> Option<(u64, Duration, Duration)> {
+        let min = self.min?;
+        Some((self.iters, self.total / self.iters as u32, min))
+    }
+}
+
+/// Declares a benchmark group function calling each target with a
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

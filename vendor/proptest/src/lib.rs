@@ -1,0 +1,163 @@
+//! Minimal, deterministic, offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements exactly the proptest surface the B3 workspace uses (see
+//! `vendor/README.md` for the inventory). Semantics intentionally differ
+//! from real proptest in two ways:
+//!
+//! * **Determinism** — the RNG seed is a stable hash of the test's module
+//!   path, so a given test binary always explores the same cases. There is
+//!   no persistence (`proptest-regressions/`) and there are no flaky runs.
+//! * **No shrinking** — a failing case reports its case index and values
+//!   via the assertion message instead of minimizing.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import used by test files: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop`, the module alias giving access
+    /// to `prop::collection` and `prop::sample`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Runs `cases` iterations of a property, seeding the RNG from `test_name`.
+///
+/// Used by the [`proptest!`] macro expansion; not part of the public
+/// proptest API.
+pub fn run_property<F>(test_name: &str, cases: u32, mut f: F)
+where
+    F: FnMut(&mut test_runner::TestRng, u32) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = test_runner::TestRng::from_name(test_name);
+    let mut rejected = 0u32;
+    for case in 0..cases {
+        match f(&mut rng, case) {
+            Ok(()) => {}
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > cases.saturating_mul(4) {
+                    panic!("{test_name}: too many rejected cases ({rejected})");
+                }
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case {case} failed: {msg}");
+            }
+        }
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Accepts the subset of real proptest syntax the workspace uses: an
+/// optional `#![proptest_config(..)]` header followed by `#[test]` functions
+/// whose arguments use `pattern in strategy` binders.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                config.cases,
+                |rng, _case| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_cases!(($config) $($rest)*);
+    };
+}
+
+/// Uniformly chooses between strategies; all arms must produce one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current test case (with an optional formatted message) unless
+/// the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current test case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
