@@ -1,19 +1,26 @@
-//! The lazy workload generator: walks the phase-1/2/3 combination space with
-//! an odometer and finishes each candidate with phase 4, yielding valid
-//! workloads one at a time. Generation state is a few kilobytes regardless
-//! of how many millions of workloads a bound expands to.
-
-use std::collections::VecDeque;
+//! The streaming workload generator: a pure odometer machine over the
+//! phase-1/2/3 combination space, finishing each candidate with phase 4 and
+//! yielding valid workloads one at a time. No phase output is ever
+//! materialized: generation state is a few hundred bytes regardless of how
+//! many millions of workloads a bound expands to.
+//!
+//! The candidate space is totally ordered (skeletons outermost, then
+//! phase-2 argument choices, then phase-3 persistence choices, rightmost
+//! position fastest), which makes it *addressable*: [`WorkloadGenerator::skip_to`]
+//! positions the generator at any global candidate index in
+//! O(|skeletons| + seq_len), and [`Bounds::shard`] splits the space into
+//! deterministic, independently enumerable chunks whose concatenation is
+//! exactly the unsharded enumeration — including workload names.
 
 use b3_vfs::workload::{Op, OpKind, Workload};
 
 use crate::bounds::Bounds;
-use crate::phases::{phase1_skeletons, phase2_candidates, phase3_persistence, phase4_dependencies};
+use crate::phases::{persistence_options, phase2_candidates, phase4_dependencies};
 
 /// Counters describing one generation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GenerationStats {
-    /// Skeletons produced by phase 1.
+    /// Skeletons produced by phase 1 (for a shard: the whole space's count).
     pub skeletons: u64,
     /// Candidate workloads examined (phase 2 × phase 3 combinations).
     pub candidates: u64,
@@ -23,42 +30,150 @@ pub struct GenerationStats {
     pub emitted: u64,
 }
 
-/// A lazy, exhaustive workload generator for one [`Bounds`] configuration.
+/// One deterministic chunk of a bounded workload space.
+///
+/// Produced by [`Bounds::shard`] / [`Bounds::shards`]; consumed by
+/// [`WorkloadGenerator::for_shard`]. Shards partition the *candidate* space
+/// (phase 1 × 2 × 3, before phase-4 filtering), so every shard can be
+/// enumerated without touching any other shard's state, and
+/// `shards(n)` concatenated in order reproduces the unsharded stream
+/// exactly, workload names included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadShard {
+    /// Shard number, `0..of`.
+    pub index: usize,
+    /// Total number of shards in this split.
+    pub of: usize,
+    /// First global candidate index covered (inclusive).
+    pub start: u64,
+    /// One past the last global candidate index covered.
+    pub end: u64,
+}
+
+impl WorkloadShard {
+    /// Number of candidates this shard covers.
+    pub fn candidates(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the shard covers no candidates at all.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl Bounds {
+    /// Splits the bounded candidate space into `of` near-equal shards and
+    /// returns shard `index` (zero-based).
+    ///
+    /// # Panics
+    /// Panics when `index >= of` or `of == 0`.
+    pub fn shard(&self, index: usize, of: usize) -> WorkloadShard {
+        assert!(of > 0, "cannot split a space into zero shards");
+        assert!(index < of, "shard index {index} out of range 0..{of}");
+        let total = WorkloadGenerator::estimate_candidates(self) as u128;
+        let start = (total * index as u128 / of as u128) as u64;
+        let end = (total * (index as u128 + 1) / of as u128) as u64;
+        WorkloadShard {
+            index,
+            of,
+            start,
+            end,
+        }
+    }
+
+    /// All `of` shards of this space, in order.
+    pub fn shards(&self, of: usize) -> Vec<WorkloadShard> {
+        (0..of).map(|i| self.shard(i, of)).collect()
+    }
+}
+
+/// Per-operation-kind cached facts used by the odometer arithmetic.
+#[derive(Debug, Clone)]
+struct KindInfo {
+    /// Phase-2 argument candidates for this kind.
+    candidates: Vec<Op>,
+    /// Phase-3 option count when the operation is not last.
+    persist_non_last: usize,
+    /// Phase-3 option count when the operation is last.
+    persist_last: usize,
+}
+
+/// A lazy, exhaustive, addressable workload generator for one [`Bounds`]
+/// configuration (optionally restricted to a candidate range — a shard).
 pub struct WorkloadGenerator {
     bounds: Bounds,
-    skeletons: Vec<Vec<OpKind>>,
-    skeleton_idx: usize,
-    /// Per-position argument candidates for the current skeleton.
-    candidates: Vec<Vec<Op>>,
-    /// Odometer over `candidates`; `None` once the current skeleton is done.
-    odometer: Option<Vec<usize>>,
-    /// Phase-3/4 output waiting to be yielded.
-    pending: VecDeque<Workload>,
+    /// Cached per-kind candidates and persistence counts, aligned with
+    /// `bounds.ops`.
+    kinds: Vec<KindInfo>,
+    /// Phase-1 odometer: one digit per sequence position, radix
+    /// `bounds.ops.len()`, rightmost fastest. `None` once exhausted.
+    skeleton: Option<Vec<usize>>,
+    /// Phase-2 odometer: argument choice per position.
+    core_odometer: Vec<usize>,
+    /// The concrete core operations selected by `core_odometer`.
+    core_ops: Vec<Op>,
+    /// Phase-3 options per position for the current core.
+    persist_options: Vec<Vec<Option<Op>>>,
+    /// Phase-3 odometer: persistence choice per position.
+    persist_odometer: Vec<usize>,
+    /// Global candidate index of the next candidate to examine.
+    cursor: u64,
+    /// One past the last candidate this generator may examine.
+    end: u64,
     stats: GenerationStats,
 }
 
 impl WorkloadGenerator {
-    /// Creates a generator for the given bounds.
+    /// Creates a generator for the whole space of the given bounds.
     pub fn new(bounds: Bounds) -> Self {
-        let skeletons = phase1_skeletons(&bounds);
-        let stats = GenerationStats {
-            skeletons: skeletons.len() as u64,
-            ..GenerationStats::default()
-        };
+        Self::with_range(bounds, 0, u64::MAX)
+    }
+
+    /// Creates a generator for one shard of the bounded space.
+    pub fn for_shard(bounds: Bounds, shard: &WorkloadShard) -> Self {
+        Self::with_range(bounds, shard.start, shard.end)
+    }
+
+    /// Creates a generator restricted to global candidate indices
+    /// `start..end`.
+    pub fn with_range(bounds: Bounds, start: u64, end: u64) -> Self {
+        let kinds: Vec<KindInfo> = bounds
+            .ops
+            .iter()
+            .map(|kind| KindInfo {
+                candidates: phase2_candidates(*kind, &bounds),
+                persist_non_last: persistence_option_count(*kind, false, &bounds) as usize,
+                persist_last: persistence_option_count(*kind, true, &bounds) as usize,
+            })
+            .collect();
+        let num_skeletons = (bounds.ops.len() as u64).saturating_pow(bounds.seq_len as u32);
         let mut generator = WorkloadGenerator {
+            skeleton: Some(vec![0; bounds.seq_len]),
+            core_odometer: Vec::new(),
+            core_ops: Vec::new(),
+            persist_options: Vec::new(),
+            persist_odometer: Vec::new(),
+            cursor: 0,
+            end,
+            stats: GenerationStats {
+                skeletons: num_skeletons,
+                ..GenerationStats::default()
+            },
+            kinds,
             bounds,
-            skeletons,
-            skeleton_idx: 0,
-            candidates: Vec::new(),
-            odometer: None,
-            pending: VecDeque::new(),
-            stats,
         };
-        generator.load_skeleton();
+        if generator.bounds.ops.is_empty() && generator.bounds.seq_len > 0 {
+            generator.skeleton = None;
+        } else {
+            generator.seek(start);
+        }
         generator
     }
 
-    /// Statistics so far (complete once the iterator is exhausted).
+    /// Statistics so far (complete once the iterator is exhausted). For a
+    /// sharded generator the candidate/emitted/discarded counters cover only
+    /// this shard.
     pub fn stats(&self) -> GenerationStats {
         self.stats
     }
@@ -68,99 +183,220 @@ impl WorkloadGenerator {
         &self.bounds
     }
 
-    /// An upper-bound estimate of how many candidate workloads the bounds
-    /// expand to, computed analytically (before phase-4 filtering). Useful
-    /// for sizing runs without walking the whole space.
+    /// The global candidate index of the next candidate to be examined.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Repositions the generator at the given global candidate index without
+    /// enumerating the candidates before it. Runs in
+    /// O(|skeletons| + seq_len); the skipped candidates do not appear in
+    /// [`GenerationStats`].
+    pub fn skip_to(&mut self, index: u64) {
+        self.seek(index);
+    }
+
+    /// The exact number of candidate workloads the bounds expand to
+    /// (before phase-4 filtering), computed analytically without walking the
+    /// space.
     pub fn estimate_candidates(bounds: &Bounds) -> u64 {
-        let per_kind: Vec<(OpKind, u64, u64)> = bounds
+        if bounds.ops.is_empty() && bounds.seq_len > 0 {
+            return 0;
+        }
+        let per_kind: Vec<(u64, u64, u64)> = bounds
             .ops
             .iter()
             .map(|kind| {
-                let candidates = phase2_candidates(*kind, bounds);
-                let persistence_non_last = persistence_option_count(*kind, false, bounds);
-                (*kind, candidates.len() as u64, persistence_non_last)
+                (
+                    phase2_candidates(*kind, bounds).len() as u64,
+                    persistence_option_count(*kind, false, bounds),
+                    persistence_option_count(*kind, true, bounds),
+                )
             })
             .collect();
         let mut total = 0u64;
-        let skeletons = phase1_skeletons(bounds);
-        for skeleton in &skeletons {
+        let mut skeleton = vec![0usize; bounds.seq_len];
+        loop {
             let mut product = 1u64;
-            for (position, kind) in skeleton.iter().enumerate() {
-                let is_last = position + 1 == skeleton.len();
-                let (_, args, _) = per_kind
-                    .iter()
-                    .find(|(k, _, _)| k == kind)
-                    .copied()
-                    .unwrap_or((*kind, 0, 1));
-                let persistence = persistence_option_count(*kind, is_last, bounds);
+            for (position, &kind_idx) in skeleton.iter().enumerate() {
+                let is_last = position + 1 == bounds.seq_len;
+                let (args, non_last, last) = per_kind[kind_idx];
+                let persistence = if is_last { last } else { non_last };
                 product = product.saturating_mul(args).saturating_mul(persistence);
             }
             total = total.saturating_add(product);
+            if !advance_digits(&mut skeleton, |_| bounds.ops.len()) {
+                break;
+            }
         }
         total
     }
 
-    fn load_skeleton(&mut self) {
-        while self.skeleton_idx < self.skeletons.len() {
-            let skeleton = &self.skeletons[self.skeleton_idx];
-            let candidates: Vec<Vec<Op>> = skeleton
-                .iter()
-                .map(|kind| phase2_candidates(*kind, &self.bounds))
-                .collect();
-            if candidates.iter().all(|c| !c.is_empty()) {
-                self.odometer = Some(vec![0; candidates.len()]);
-                self.candidates = candidates;
-                return;
-            }
-            self.skeleton_idx += 1;
+    /// Candidates a skeleton expands to: the product of per-position
+    /// (argument choices × persistence choices).
+    fn skeleton_candidates(&self, skeleton: &[usize]) -> u64 {
+        let mut product = 1u64;
+        for (position, &kind_idx) in skeleton.iter().enumerate() {
+            let info = &self.kinds[kind_idx];
+            let persistence = if position + 1 == skeleton.len() {
+                info.persist_last
+            } else {
+                info.persist_non_last
+            };
+            product = product
+                .saturating_mul(info.candidates.len() as u64)
+                .saturating_mul(persistence as u64);
         }
-        self.odometer = None;
-        self.candidates.clear();
+        product
     }
 
-    fn advance_odometer(&mut self) {
-        let Some(odometer) = &mut self.odometer else {
+    /// Positions the odometers at global candidate index `index`, skipping
+    /// whole skeletons analytically.
+    fn seek(&mut self, index: u64) {
+        if self.bounds.ops.is_empty() && self.bounds.seq_len > 0 {
+            self.skeleton = None;
+            self.cursor = index;
             return;
-        };
-        for position in (0..odometer.len()).rev() {
-            odometer[position] += 1;
-            if odometer[position] < self.candidates[position].len() {
+        }
+        let mut skeleton = vec![0usize; self.bounds.seq_len];
+        let mut remaining = index;
+        loop {
+            let total = self.skeleton_candidates(&skeleton);
+            if remaining < total {
+                break;
+            }
+            remaining -= total;
+            if !advance_digits(&mut skeleton, |_| self.bounds.ops.len()) {
+                self.skeleton = None;
+                self.cursor = index;
                 return;
             }
-            odometer[position] = 0;
         }
-        // Wrapped around: this skeleton is exhausted.
-        self.skeleton_idx += 1;
-        self.load_skeleton();
-    }
 
-    /// Expands the current odometer position through phases 3 and 4.
-    fn expand_current(&mut self) {
-        let Some(odometer) = &self.odometer else {
-            return;
-        };
-        let core: Vec<Op> = odometer
+        // Decompose the remainder: argument choices are the outer odometer,
+        // persistence choices the inner one, rightmost position fastest.
+        let per_core: u64 = skeleton
             .iter()
-            .zip(&self.candidates)
-            .map(|(&index, options)| options[index].clone())
-            .collect();
-        let expansions = phase3_persistence(&core, &self.bounds);
-        for ops in expansions {
-            self.stats.candidates += 1;
-            let name = format!("{}-{:07}", self.bounds.name_prefix, self.stats.candidates);
-            match phase4_dependencies(&name, ops, &self.bounds) {
-                Some(workload) => {
-                    self.stats.emitted += 1;
-                    self.pending.push_back(workload);
+            .enumerate()
+            .map(|(position, &kind_idx)| {
+                let info = &self.kinds[kind_idx];
+                if position + 1 == skeleton.len() {
+                    info.persist_last as u64
+                } else {
+                    info.persist_non_last as u64
                 }
-                None => self.stats.discarded += 1,
+            })
+            .product();
+        let core_index = remaining / per_core.max(1);
+        let persist_index = remaining % per_core.max(1);
+
+        let mut core_odometer = vec![0usize; skeleton.len()];
+        let mut idx = core_index;
+        for position in (0..skeleton.len()).rev() {
+            let radix = self.kinds[skeleton[position]].candidates.len() as u64;
+            core_odometer[position] = (idx % radix) as usize;
+            idx /= radix;
+        }
+
+        self.skeleton = Some(skeleton);
+        self.core_odometer = core_odometer;
+        self.rebuild_core();
+
+        let mut persist_odometer = vec![0usize; self.persist_options.len()];
+        let mut idx = persist_index;
+        for position in (0..persist_odometer.len()).rev() {
+            let radix = self.persist_options[position].len() as u64;
+            persist_odometer[position] = (idx % radix) as usize;
+            idx /= radix;
+        }
+        self.persist_odometer = persist_odometer;
+        self.cursor = index;
+    }
+
+    /// Rebuilds `core_ops` and `persist_options` from the skeleton and core
+    /// odometer.
+    fn rebuild_core(&mut self) {
+        let Some(skeleton) = &self.skeleton else {
+            return;
+        };
+        let len = skeleton.len();
+        self.core_ops = skeleton
+            .iter()
+            .zip(&self.core_odometer)
+            .map(|(&kind_idx, &choice)| self.kinds[kind_idx].candidates[choice].clone())
+            .collect();
+        self.persist_options = self
+            .core_ops
+            .iter()
+            .enumerate()
+            .map(|(position, op)| persistence_options(op, position + 1 == len, &self.bounds))
+            .collect();
+    }
+
+    /// Assembles the candidate op sequence at the current odometer position.
+    fn assemble(&self) -> Vec<Op> {
+        let mut ops = Vec::with_capacity(self.core_ops.len() * 2);
+        for (position, op) in self.core_ops.iter().enumerate() {
+            ops.push(op.clone());
+            if let Some(p) = &self.persist_options[position][self.persist_odometer[position]] {
+                ops.push(p.clone());
+            }
+        }
+        ops
+    }
+
+    /// Advances to the next candidate: persistence odometer first, then
+    /// arguments, then the skeleton.
+    fn advance(&mut self) {
+        if self.skeleton.is_none() {
+            return;
+        }
+        if advance_digits(&mut self.persist_odometer, |i| {
+            self.persist_options[i].len()
+        }) {
+            return;
+        }
+        let kinds = &self.kinds;
+        let skeleton = self.skeleton.as_ref().expect("checked above");
+        if advance_digits(&mut self.core_odometer, |i| {
+            kinds[skeleton[i]].candidates.len()
+        }) {
+            self.rebuild_core();
+            self.persist_odometer = vec![0; self.persist_options.len()];
+            return;
+        }
+        self.advance_skeleton();
+    }
+
+    /// Moves to the next skeleton with a non-empty candidate product.
+    fn advance_skeleton(&mut self) {
+        loop {
+            let Some(skeleton) = &mut self.skeleton else {
+                return;
+            };
+            if !advance_digits(skeleton, |_| self.bounds.ops.len()) {
+                self.skeleton = None;
+                return;
+            }
+            let ready = skeleton
+                .iter()
+                .all(|&kind_idx| !self.kinds[kind_idx].candidates.is_empty());
+            if ready {
+                self.core_odometer = vec![0; self.bounds.seq_len];
+                self.rebuild_core();
+                self.persist_odometer = vec![0; self.persist_options.len()];
+                return;
             }
         }
     }
 }
 
+/// The phase-3 alternatives a single operation admits, without building the
+/// option list. Mirrors [`phases::persistence_options`]; the generator's
+/// sharding arithmetic and [`WorkloadGenerator::estimate_candidates`] both
+/// rely on the two staying in lock-step, which
+/// `tests::persistence_counts_match_options` pins down.
 fn persistence_option_count(kind: OpKind, is_last: bool, bounds: &Bounds) -> u64 {
-    // Mirrors `phases::persistence_options` without building the ops.
     let choices = &bounds.persistence;
     let mut count = 0u64;
     if choices.fsync {
@@ -178,19 +414,45 @@ fn persistence_option_count(kind: OpKind, is_last: bool, bounds: &Bounds) -> u64
     count.max(1)
 }
 
+/// Increments a mixed-radix odometer (rightmost digit fastest); returns
+/// false when the odometer wrapped around (i.e. it was at its last value).
+fn advance_digits(digits: &mut [usize], radix: impl Fn(usize) -> usize) -> bool {
+    for position in (0..digits.len()).rev() {
+        digits[position] += 1;
+        if digits[position] < radix(position) {
+            return true;
+        }
+        digits[position] = 0;
+    }
+    false
+}
+
 impl Iterator for WorkloadGenerator {
     type Item = Workload;
 
     fn next(&mut self) -> Option<Workload> {
         loop {
-            if let Some(workload) = self.pending.pop_front() {
-                return Some(workload);
-            }
-            self.odometer.as_ref()?;
-            self.expand_current();
-            self.advance_odometer();
-            if self.pending.is_empty() && self.odometer.is_none() {
+            if self.skeleton.is_none() || self.cursor >= self.end {
                 return None;
+            }
+            // A skeleton containing a kind with no argument candidates has an
+            // empty product; seek/advance never land inside one except at
+            // startup, where the initial all-zeros skeleton may be empty.
+            if self.core_ops.is_empty() && self.bounds.seq_len > 0 {
+                self.advance_skeleton();
+                continue;
+            }
+            let ops = self.assemble();
+            self.cursor += 1;
+            self.stats.candidates += 1;
+            let name = format!("{}-{:07}", self.bounds.name_prefix, self.cursor);
+            self.advance();
+            match phase4_dependencies(&name, ops, &self.bounds) {
+                Some(workload) => {
+                    self.stats.emitted += 1;
+                    return Some(workload);
+                }
+                None => self.stats.discarded += 1,
             }
         }
     }
@@ -199,6 +461,7 @@ impl Iterator for WorkloadGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::phases::{phase1_skeletons, phase2_parameters, phase3_persistence};
 
     #[test]
     fn tiny_bounds_generate_quickly_and_deterministically() {
@@ -240,5 +503,110 @@ mod tests {
         let mut generator = WorkloadGenerator::new(bounds);
         let _ = generator.by_ref().count();
         assert_eq!(generator.stats().candidates, estimate);
+    }
+
+    /// The streaming odometer must enumerate candidates in exactly the
+    /// order of the eager phase pipeline (phase 1 → 2 → 3 in sequence).
+    #[test]
+    fn streaming_order_matches_eager_phases() {
+        for bounds in [Bounds::tiny(), Bounds::paper_seq1()] {
+            let mut eager: Vec<Workload> = Vec::new();
+            let mut candidate = 0u64;
+            for skeleton in phase1_skeletons(&bounds) {
+                for core in phase2_parameters(&skeleton, &bounds) {
+                    for ops in phase3_persistence(&core, &bounds) {
+                        candidate += 1;
+                        let name = format!("{}-{:07}", bounds.name_prefix, candidate);
+                        if let Some(w) = phase4_dependencies(&name, ops, &bounds) {
+                            eager.push(w);
+                        }
+                    }
+                }
+            }
+            let streamed: Vec<Workload> = WorkloadGenerator::new(bounds).collect();
+            assert_eq!(streamed, eager);
+        }
+    }
+
+    #[test]
+    fn skip_to_agrees_with_plain_enumeration() {
+        let bounds = Bounds::tiny();
+        let all: Vec<Workload> = WorkloadGenerator::new(bounds.clone()).collect();
+        let total = WorkloadGenerator::estimate_candidates(&bounds);
+        for start in [0u64, 1, total / 2, total.saturating_sub(1), total] {
+            let mut skipped = WorkloadGenerator::new(bounds.clone());
+            skipped.skip_to(start);
+            let tail: Vec<Workload> = skipped.collect();
+            let expected: Vec<Workload> = WorkloadGenerator::new(bounds.clone())
+                .skip_while(|w| {
+                    let index: u64 = w
+                        .name
+                        .rsplit('-')
+                        .next()
+                        .unwrap()
+                        .parse()
+                        .expect("workload names end in the candidate index");
+                    index <= start
+                })
+                .collect();
+            assert_eq!(tail, expected, "skip_to({start})");
+            assert!(tail.len() <= all.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_shards_equal_unsharded_enumeration() {
+        for num_shards in [1usize, 2, 3, 7] {
+            let bounds = Bounds::tiny();
+            let mut sharded: Vec<Workload> = Vec::new();
+            for shard in bounds.shards(num_shards) {
+                sharded.extend(WorkloadGenerator::for_shard(bounds.clone(), &shard));
+            }
+            let unsharded: Vec<Workload> = WorkloadGenerator::new(bounds).collect();
+            assert_eq!(sharded, unsharded, "{num_shards} shards");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_candidate_space() {
+        let bounds = Bounds::paper_seq2();
+        let total = WorkloadGenerator::estimate_candidates(&bounds);
+        let shards = bounds.shards(16);
+        assert_eq!(shards[0].start, 0);
+        assert_eq!(shards.last().unwrap().end, total);
+        for pair in shards.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        let covered: u64 = shards.iter().map(WorkloadShard::candidates).sum();
+        assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn empty_op_set_is_exhausted_and_skip_to_does_not_panic() {
+        let bounds = Bounds::tiny().with_ops(Vec::new());
+        assert_eq!(WorkloadGenerator::estimate_candidates(&bounds), 0);
+        let mut generator = WorkloadGenerator::new(bounds);
+        assert!(generator.next().is_none());
+        generator.skip_to(5);
+        assert!(generator.next().is_none());
+    }
+
+    #[test]
+    fn persistence_counts_match_options() {
+        // The analytic count must stay in lock-step with the option builder
+        // for every kind in every preset, else sharding arithmetic drifts.
+        use crate::bounds::SequencePreset;
+        for preset in SequencePreset::ALL {
+            let bounds = preset.bounds();
+            for kind in &bounds.ops {
+                for candidate in phase2_candidates(*kind, &bounds) {
+                    for is_last in [false, true] {
+                        let options = persistence_options(&candidate, is_last, &bounds);
+                        let count = persistence_option_count(*kind, is_last, &bounds);
+                        assert_eq!(options.len() as u64, count, "{kind:?} is_last={is_last}");
+                    }
+                }
+            }
+        }
     }
 }

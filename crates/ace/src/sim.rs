@@ -205,11 +205,10 @@ impl SimState {
                 }
                 if let Some(dst_kind) = self.kind(to) {
                     match (src_kind, dst_kind) {
-                        (SimKind::Dir, SimKind::Dir) => {
-                            if self.has_children(to) {
-                                return Err(format!("{to} is a non-empty directory"));
-                            }
+                        (SimKind::Dir, SimKind::Dir) if self.has_children(to) => {
+                            return Err(format!("{to} is a non-empty directory"));
                         }
+                        (SimKind::Dir, SimKind::Dir) => {}
                         (SimKind::Dir, _) => return Err(format!("{to} is not a directory")),
                         (_, SimKind::Dir) => return Err(format!("{to} is a directory")),
                         _ => {}

@@ -1,0 +1,117 @@
+//! Property tests of the streaming, sharded generator against the eager
+//! four-phase reference pipeline: for arbitrary bounds within the paper's
+//! knobs, the streaming enumeration must equal the eager one workload for
+//! workload, and any sharding of the space concatenated in order must equal
+//! the unsharded enumeration — names included. This is what makes shards
+//! safe to distribute: every worker can recreate exactly its slice.
+
+use proptest::prelude::*;
+
+use b3_ace::{
+    phase1_skeletons, phase3_persistence, phase4_dependencies, Bounds, PersistenceChoices,
+    WorkloadGenerator,
+};
+use b3_vfs::workload::{OpKind, Workload};
+
+/// The eager PR-1 pipeline: materialize each phase's output in sequence.
+fn eager_enumeration(bounds: &Bounds) -> Vec<Workload> {
+    let mut workloads = Vec::new();
+    let mut candidate = 0u64;
+    for skeleton in phase1_skeletons(bounds) {
+        for core in b3_ace::phase2_parameters(&skeleton, bounds) {
+            for ops in phase3_persistence(&core, bounds) {
+                candidate += 1;
+                let name = format!("{}-{:07}", bounds.name_prefix, candidate);
+                if let Some(workload) = phase4_dependencies(&name, ops, bounds) {
+                    workloads.push(workload);
+                }
+            }
+        }
+    }
+    workloads
+}
+
+const OP_POOL: [OpKind; 8] = [
+    OpKind::Creat,
+    OpKind::Mkdir,
+    OpKind::Link,
+    OpKind::Rename,
+    OpKind::Unlink,
+    OpKind::WriteBuffered,
+    OpKind::Falloc,
+    OpKind::SetXattr,
+];
+
+/// A non-empty subset of the operation pool, selected by bitmask.
+fn ops_strategy() -> impl Strategy<Value = Vec<OpKind>> {
+    (1u32..256).prop_map(|mask| {
+        OP_POOL
+            .iter()
+            .enumerate()
+            .filter(|(bit, _)| mask & (1 << bit) != 0)
+            .map(|(_, kind)| *kind)
+            .collect()
+    })
+}
+
+fn bounds_strategy() -> impl Strategy<Value = Bounds> {
+    (ops_strategy(), 1usize..3, 0u8..4).prop_map(|(ops, seq_len, persistence_bits)| {
+        let mut bounds = Bounds::tiny().with_ops(ops);
+        bounds.seq_len = seq_len;
+        bounds.persistence = PersistenceChoices {
+            allow_none: persistence_bits & 1 != 0,
+            fdatasync: persistence_bits & 2 != 0,
+            ..PersistenceChoices::default()
+        };
+        bounds
+    })
+}
+
+proptest! {
+    #[test]
+    fn streaming_generator_equals_eager_pipeline(bounds in bounds_strategy()) {
+        let eager = eager_enumeration(&bounds);
+        let streamed: Vec<Workload> = WorkloadGenerator::new(bounds).collect();
+        prop_assert_eq!(streamed, eager);
+    }
+
+    #[test]
+    fn concatenated_shards_equal_unsharded_enumeration(
+        bounds in bounds_strategy(),
+        num_shards in 1usize..10,
+    ) {
+        let unsharded: Vec<Workload> = WorkloadGenerator::new(bounds.clone()).collect();
+        let mut sharded = Vec::new();
+        let mut covered = 0u64;
+        for shard in bounds.shards(num_shards) {
+            covered += shard.candidates();
+            sharded.extend(WorkloadGenerator::for_shard(bounds.clone(), &shard));
+        }
+        prop_assert_eq!(covered, WorkloadGenerator::estimate_candidates(&bounds));
+        prop_assert_eq!(sharded, unsharded);
+    }
+
+    #[test]
+    fn skip_to_is_a_suffix_of_the_enumeration(
+        bounds in bounds_strategy(),
+        numerator in 0u64..5,
+    ) {
+        let total = WorkloadGenerator::estimate_candidates(&bounds);
+        let start = total * numerator / 4;
+        let mut generator = WorkloadGenerator::new(bounds.clone());
+        generator.skip_to(start);
+        let tail: Vec<Workload> = generator.collect();
+        let full: Vec<Workload> = WorkloadGenerator::new(bounds).collect();
+        let expected: Vec<Workload> = full
+            .into_iter()
+            .filter(|w| {
+                w.name
+                    .rsplit('-')
+                    .next()
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .is_some_and(|index| index > start)
+            })
+            .collect();
+        prop_assert_eq!(tail, expected);
+    }
+}

@@ -16,13 +16,14 @@ use b3_harness::Table;
 fn print_throughput() {
     println!("\n=== §6.4 ACE performance ===\n");
     let mut table = Table::new(vec!["bound", "workloads", "time", "workloads/s", "paper"]);
+    let prefix = b3_bench::sample_limit(50_000);
     for (label, bounds, limit) in [
         ("seq-1 (exhaustive)", Bounds::paper_seq1(), usize::MAX),
-        ("seq-2 (first 50k)", Bounds::paper_seq2(), 50_000),
+        ("seq-2 (prefix)", Bounds::paper_seq2(), prefix),
         (
-            "seq-3-metadata (first 50k)",
+            "seq-3-metadata (prefix)",
             Bounds::paper_seq3_metadata(),
-            50_000,
+            prefix,
         ),
     ] {
         let start = Instant::now();
@@ -51,9 +52,7 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
-    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq2())
-        .take(1000)
-        .collect();
+    let sample = b3_bench::sample_workloads(&Bounds::paper_seq2(), 1000);
     c.bench_function("ace/serialize_1000_workloads", |b| {
         b.iter(|| {
             let bytes: usize = sample

@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use b3_ace::{Bounds, WorkloadGenerator};
+use b3_ace::Bounds;
 use b3_bench::test_workload;
 use b3_fs_cow::CowFsSpec;
 use b3_harness::Table;
@@ -17,14 +17,12 @@ use b3_vfs::KernelEra;
 
 fn print_resource_accounting() {
     let spec = CowFsSpec::new(KernelEra::V4_16);
-    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq2())
-        .take(200)
-        .collect();
+    let sample = b3_bench::sample_workloads(&Bounds::paper_seq2(), b3_bench::sample_limit(200));
     let mut overlay = 0u64;
     let mut recorded = 0u64;
     let mut storage = 0u64;
     let mut tested = 0u64;
-    for workload in &sample {
+    for workload in sample.iter() {
         let outcome = test_workload(&spec, workload);
         if outcome.skipped.is_some() {
             continue;

@@ -18,12 +18,17 @@ use b3_vfs::KernelEra;
 
 fn count_for(preset: SequencePreset, exact: bool) -> (u64, &'static str) {
     let bounds = preset.bounds();
-    match preset {
-        SequencePreset::Seq1 | SequencePreset::Seq2 => {
-            (WorkloadGenerator::new(bounds).count() as u64, "exact")
-        }
-        _ if exact => (WorkloadGenerator::new(bounds).count() as u64, "exact"),
-        _ => (WorkloadGenerator::estimate_candidates(&bounds), "estimated"),
+    // Quick mode only walks the 300-workload seq-1 space exactly; everything
+    // else uses the analytic candidate count.
+    let walk = match preset {
+        SequencePreset::Seq1 => true,
+        SequencePreset::Seq2 => exact || !b3_bench::bench_quick(),
+        _ => exact,
+    };
+    if walk {
+        (WorkloadGenerator::new(bounds).count() as u64, "exact")
+    } else {
+        (WorkloadGenerator::estimate_candidates(&bounds), "estimated")
     }
 }
 
@@ -35,11 +40,9 @@ fn print_table4() {
 
     // Measure single-workload testing latency to project run times.
     let spec = CowFsSpec::new(KernelEra::V4_16);
-    let sample: Vec<_> = WorkloadGenerator::new(Bounds::paper_seq1())
-        .take(100)
-        .collect();
+    let sample = b3_bench::sample_workloads(&Bounds::paper_seq1(), 100);
     let start = Instant::now();
-    for workload in &sample {
+    for workload in sample.iter() {
         let _ = test_workload(&spec, workload);
     }
     let per_workload = start.elapsed() / sample.len() as u32;

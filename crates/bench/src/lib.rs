@@ -5,6 +5,10 @@
 //! measures the underlying operation with Criterion. This library exposes
 //! the few helpers they share.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use b3_ace::{Bounds, WorkloadGenerator};
 use b3_crashmonkey::{CrashMonkey, CrashMonkeyConfig, WorkloadOutcome};
 use b3_vfs::fs::FsSpec;
 use b3_vfs::workload::Workload;
@@ -15,6 +19,52 @@ pub fn test_workload(spec: &dyn FsSpec, workload: &Workload) -> WorkloadOutcome 
     CrashMonkey::with_config(spec, CrashMonkeyConfig::small())
         .test_workload(workload)
         .expect("benchmark workload runs")
+}
+
+/// True when `B3_BENCH_QUICK=1` (or any non-`0` value) is set: benches
+/// shrink their workload samples and skip exact enumeration of the large
+/// bounded spaces (the ROADMAP "Bench runtime budget" knob).
+pub fn bench_quick() -> bool {
+    matches!(std::env::var("B3_BENCH_QUICK"), Ok(v) if v != "0")
+}
+
+/// Caps a workload-sample size in quick mode.
+pub fn sample_limit(full: usize) -> usize {
+    if bench_quick() {
+        full.min(500)
+    } else {
+        full
+    }
+}
+
+/// The first `limit` workloads of `bounds`, generated once per process and
+/// shared: several benches sample the same seq-1/seq-2 prefixes, and a full
+/// `cargo bench` used to re-enumerate the space for each of them.
+pub fn sample_workloads(bounds: &Bounds, limit: usize) -> Arc<Vec<Workload>> {
+    type CacheKey = (String, usize);
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<Vec<Workload>>>>> = OnceLock::new();
+    // The key must separate any two bounds that enumerate differently: the
+    // ordered op list plus the Table 3 description (file set, patterns)
+    // cover everything `describe()`-visible, and the prefix covers presets.
+    let key = (
+        format!(
+            "{}/{:?}/{}/{:?}",
+            bounds.name_prefix,
+            bounds.ops,
+            bounds.describe(),
+            bounds.persistence
+        ),
+        limit,
+    );
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("workload cache poisoned");
+    Arc::clone(cache.entry(key).or_insert_with(|| {
+        Arc::new(
+            WorkloadGenerator::new(bounds.clone())
+                .take(limit)
+                .collect::<Vec<_>>(),
+        )
+    }))
 }
 
 /// A representative seq-2 workload used by the performance benchmarks.
@@ -37,5 +87,17 @@ mod tests {
         let outcome = test_workload(&spec, &representative_workload());
         assert!(outcome.skipped.is_none());
         assert!(outcome.bugs.is_empty());
+    }
+
+    #[test]
+    fn sample_workloads_are_cached_per_bounds_and_limit() {
+        let bounds = Bounds::paper_seq1();
+        let first = sample_workloads(&bounds, 50);
+        let second = sample_workloads(&bounds, 50);
+        assert!(Arc::ptr_eq(&first, &second), "same sample must be shared");
+        assert_eq!(first.len(), 50);
+        let smaller = sample_workloads(&bounds, 10);
+        assert_eq!(smaller.len(), 10);
+        assert!(!Arc::ptr_eq(&first, &smaller));
     }
 }

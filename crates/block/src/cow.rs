@@ -1,10 +1,17 @@
-//! Copy-on-write snapshot device.
+//! Copy-on-write snapshot device with layered (incremental) images.
 //!
 //! CrashMonkey needs to construct many *crash states* from the same base
 //! file-system image. The paper does this with an in-memory copy-on-write
 //! block device kernel module: "resetting a snapshot to the base image simply
 //! means dropping the modified data blocks, making it efficient" (§5.1).
 //! [`CowSnapshotDevice`] is the userspace equivalent.
+//!
+//! A [`DiskImage`] is a *stack* of immutable block layers: freezing a
+//! snapshot produces a new image that records only the overlay and points at
+//! its base, so adjacent crash states share every block of their common
+//! replayed prefix instead of re-merging the whole map. Reads walk the chain
+//! newest-layer first; the chain is flattened once it grows past
+//! [`MAX_CHAIN_DEPTH`] so lookups stay O(1) amortized.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,28 +23,75 @@ use crate::error::BlockResult;
 use crate::flags::IoFlags;
 use crate::stats::DeviceStats;
 
-/// An immutable, reference-counted disk image.
+/// Chain length at which [`DiskImage::layered`] collapses the stack into a
+/// single layer. Crash-state construction produces one layer per checkpoint,
+/// and workloads have a handful of checkpoints, so flattening is rare; the
+/// bound exists to keep pathological chains from degrading reads.
+pub const MAX_CHAIN_DEPTH: u32 = 32;
+
+/// An immutable, reference-counted disk image: one block layer plus an
+/// optional parent image the layer shadows.
 ///
-/// Produced by [`RamDisk::snapshot`](crate::RamDisk::snapshot) (or
-/// [`CowSnapshotDevice::freeze`]), and shared by any number of snapshots.
+/// Produced by [`RamDisk::snapshot`](crate::RamDisk::snapshot) (a single
+/// layer) or [`CowSnapshotDevice::freeze`] (a layer over the frozen base),
+/// and shared by any number of snapshots. Cloning is O(1).
 #[derive(Debug, Clone)]
 pub struct DiskImage {
-    blocks: Arc<HashMap<BlockIndex, Bytes>>,
+    layer: Arc<HashMap<BlockIndex, Bytes>>,
+    parent: Option<Arc<DiskImage>>,
     num_blocks: u64,
+    depth: u32,
 }
 
 impl DiskImage {
-    /// Wraps an existing block map as an immutable image.
+    /// Wraps an existing block map as a single-layer image.
     pub fn new(blocks: Arc<HashMap<BlockIndex, Bytes>>, num_blocks: u64) -> Self {
-        DiskImage { blocks, num_blocks }
+        DiskImage {
+            layer: blocks,
+            parent: None,
+            num_blocks,
+            depth: 0,
+        }
     }
 
     /// Creates an empty (all-zero) image of the given size.
     pub fn empty(num_blocks: u64) -> Self {
-        DiskImage {
-            blocks: Arc::new(HashMap::new()),
-            num_blocks,
+        DiskImage::new(Arc::new(HashMap::new()), num_blocks)
+    }
+
+    /// Stacks `layer` on top of `parent` without copying the parent's
+    /// blocks. Flattens the chain when it grows past [`MAX_CHAIN_DEPTH`].
+    pub fn layered(parent: &DiskImage, layer: HashMap<BlockIndex, Bytes>) -> Self {
+        let image = DiskImage {
+            layer: Arc::new(layer),
+            parent: Some(Arc::new(parent.clone())),
+            num_blocks: parent.num_blocks,
+            depth: parent.depth + 1,
+        };
+        if image.depth >= MAX_CHAIN_DEPTH {
+            image.flatten()
+        } else {
+            image
         }
+    }
+
+    /// Collapses the layer chain into a single-layer image with identical
+    /// contents.
+    pub fn flatten(&self) -> DiskImage {
+        let mut merged: HashMap<BlockIndex, Bytes> = HashMap::new();
+        self.for_each_layer_oldest_first(&mut |layer| {
+            for (index, block) in layer {
+                merged.insert(*index, block.clone());
+            }
+        });
+        DiskImage::new(Arc::new(merged), self.num_blocks)
+    }
+
+    fn for_each_layer_oldest_first(&self, f: &mut dyn FnMut(&HashMap<BlockIndex, Bytes>)) {
+        if let Some(parent) = &self.parent {
+            parent.for_each_layer_oldest_first(f);
+        }
+        f(&self.layer);
     }
 
     /// Number of addressable blocks.
@@ -45,23 +99,42 @@ impl DiskImage {
         self.num_blocks
     }
 
-    /// Number of blocks with non-default contents.
+    /// Number of layers stacked in this image (1 for a flat image).
+    pub fn chain_depth(&self) -> u32 {
+        self.depth + 1
+    }
+
+    /// Number of distinct blocks with non-default contents across all
+    /// layers.
     pub fn allocated_blocks(&self) -> usize {
-        self.blocks.len()
+        if self.parent.is_none() {
+            return self.layer.len();
+        }
+        let mut seen: std::collections::HashSet<BlockIndex> = std::collections::HashSet::new();
+        self.for_each_layer_oldest_first(&mut |layer| seen.extend(layer.keys()));
+        seen.len()
     }
 
     /// Reads one block from the image.
     pub fn read_block(&self, index: BlockIndex) -> BlockResult<Vec<u8>> {
         check_read(index, self.num_blocks)?;
         Ok(self
-            .blocks
-            .get(&index)
+            .get(index)
             .map(|b| b.to_vec())
             .unwrap_or_else(|| vec![0u8; BLOCK_SIZE]))
     }
 
     pub(crate) fn get(&self, index: BlockIndex) -> Option<&Bytes> {
-        self.blocks.get(&index)
+        let mut image = self;
+        loop {
+            if let Some(block) = image.layer.get(&index) {
+                return Some(block);
+            }
+            match &image.parent {
+                Some(parent) => image = parent,
+                None => return None,
+            }
+        }
     }
 }
 
@@ -109,12 +182,23 @@ impl CowSnapshotDevice {
     }
 
     /// Freezes base + overlay into a new immutable [`DiskImage`].
+    ///
+    /// O(overlay): the new image stacks the overlay as a layer over the
+    /// (shared, uncopied) base instead of merging the base's block map.
     pub fn freeze(&self) -> DiskImage {
-        let mut merged: HashMap<BlockIndex, Bytes> = (*self.base.blocks).clone();
-        for (idx, block) in &self.overlay {
-            merged.insert(*idx, block.clone());
-        }
-        DiskImage::new(Arc::new(merged), self.base.num_blocks)
+        DiskImage::layered(&self.base, self.overlay.clone())
+    }
+
+    /// Freezes base + overlay and makes the frozen image this device's new
+    /// base, leaving the overlay empty. Subsequent writes accumulate a fresh
+    /// layer on top — the primitive incremental crash-state construction is
+    /// built on: each checkpoint's image shares the replayed prefix of every
+    /// earlier checkpoint.
+    pub fn commit(&mut self) -> DiskImage {
+        let overlay = std::mem::take(&mut self.overlay);
+        let image = DiskImage::layered(&self.base, overlay);
+        self.base = image.clone();
+        image
     }
 }
 
@@ -149,6 +233,10 @@ impl BlockDevice for CowSnapshotDevice {
 
     fn stats(&self) -> DeviceStats {
         self.stats
+    }
+
+    fn freeze_image(&self) -> Option<DiskImage> {
+        Some(self.freeze())
     }
 }
 
@@ -194,7 +282,7 @@ mod tests {
     }
 
     #[test]
-    fn freeze_merges_overlay_over_base() {
+    fn freeze_layers_overlay_over_base() {
         let mut snap = CowSnapshotDevice::new(base_image());
         snap.write_block(5, b"frozen", IoFlags::DATA).unwrap();
         snap.write_block(7, b"extra", IoFlags::DATA).unwrap();
@@ -202,6 +290,47 @@ mod tests {
         assert_eq!(&frozen.read_block(5).unwrap()[..6], b"frozen");
         assert_eq!(&frozen.read_block(7).unwrap()[..5], b"extra");
         assert_eq!(&frozen.read_block(0).unwrap()[..12], b"base-block-0");
+        // The frozen image shares the base instead of copying it.
+        assert_eq!(frozen.chain_depth(), 2);
+        assert_eq!(frozen.allocated_blocks(), 3);
+    }
+
+    #[test]
+    fn commit_accumulates_layers_sharing_the_prefix() {
+        let mut snap = CowSnapshotDevice::new(base_image());
+        snap.write_block(1, b"cp1", IoFlags::DATA).unwrap();
+        let first = snap.commit();
+        assert_eq!(snap.overlay_blocks(), 0);
+        snap.write_block(2, b"cp2", IoFlags::DATA).unwrap();
+        let second = snap.commit();
+
+        assert_eq!(&first.read_block(1).unwrap()[..3], b"cp1");
+        assert!(first.read_block(2).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(&second.read_block(1).unwrap()[..3], b"cp1");
+        assert_eq!(&second.read_block(2).unwrap()[..3], b"cp2");
+        assert_eq!(second.chain_depth(), first.chain_depth() + 1);
+    }
+
+    #[test]
+    fn deep_chains_flatten_and_preserve_contents() {
+        let mut snap = CowSnapshotDevice::new(DiskImage::empty(64));
+        let mut images = Vec::new();
+        for i in 0..(MAX_CHAIN_DEPTH as u64 + 8) {
+            snap.write_block(i % 64, format!("layer-{i}").as_bytes(), IoFlags::DATA)
+                .unwrap();
+            images.push(snap.commit());
+        }
+        let last = images.last().unwrap();
+        assert!(last.chain_depth() <= MAX_CHAIN_DEPTH + 1);
+        // Later layers win for the blocks they overwrote.
+        let block = last.read_block((MAX_CHAIN_DEPTH as u64 + 7) % 64).unwrap();
+        assert!(block.starts_with(format!("layer-{}", MAX_CHAIN_DEPTH as u64 + 7).as_bytes()));
+
+        let flat = last.flatten();
+        assert_eq!(flat.chain_depth(), 1);
+        for i in 0..64 {
+            assert_eq!(flat.read_block(i).unwrap(), last.read_block(i).unwrap());
+        }
     }
 
     #[test]

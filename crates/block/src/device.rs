@@ -56,6 +56,14 @@ pub trait BlockDevice: Send {
     fn size_bytes(&self) -> u64 {
         self.num_blocks() * BLOCK_SIZE as u64
     }
+
+    /// Freezes the device's current contents into an immutable
+    /// [`DiskImage`](crate::DiskImage), when the implementation supports it.
+    /// Used to capture a formatted file system once and re-mount snapshots
+    /// of it for every workload instead of re-running mkfs.
+    fn freeze_image(&self) -> Option<crate::DiskImage> {
+        None
+    }
 }
 
 /// Validates the common preconditions shared by all device implementations.

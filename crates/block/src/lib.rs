@@ -32,11 +32,11 @@ pub mod record;
 pub mod replay;
 pub mod stats;
 
-pub use cow::{CowSnapshotDevice, DiskImage};
+pub use cow::{CowSnapshotDevice, DiskImage, MAX_CHAIN_DEPTH};
 pub use device::{BlockDevice, BlockIndex, BLOCK_SIZE};
 pub use error::{BlockError, BlockResult};
 pub use flags::IoFlags;
 pub use ramdisk::RamDisk;
 pub use record::{CheckpointId, IoLog, IoRecord, LogHandle, RecordingDevice};
-pub use replay::{crash_state, replay_log, replay_until_checkpoint};
+pub use replay::{crash_state, replay_log, replay_until_checkpoint, CrashStateStream};
 pub use stats::DeviceStats;

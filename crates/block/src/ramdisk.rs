@@ -86,6 +86,10 @@ impl BlockDevice for RamDisk {
     fn stats(&self) -> DeviceStats {
         self.stats
     }
+
+    fn freeze_image(&self) -> Option<crate::DiskImage> {
+        Some(self.snapshot())
+    }
 }
 
 #[cfg(test)]

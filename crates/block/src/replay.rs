@@ -51,6 +51,10 @@ pub fn replay_until_checkpoint(
 /// persistence-related call completed on the storage device" and is
 /// considered uncleanly unmounted; mounting a file system on it will trigger
 /// that file system's recovery code.
+///
+/// Each call replays the log from the start; when constructing crash states
+/// for several checkpoints of one recorded run, prefer
+/// [`CrashStateStream`], which replays every record exactly once.
 pub fn crash_state(
     base: &DiskImage,
     log: &IoLog,
@@ -59,6 +63,86 @@ pub fn crash_state(
     let mut snapshot = CowSnapshotDevice::new(base.clone());
     replay_until_checkpoint(log, checkpoint, &mut snapshot)?;
     Ok(snapshot)
+}
+
+/// Incremental crash-state construction over one recorded run.
+///
+/// [`crash_state`] replays the whole prefix of the log for every checkpoint,
+/// so constructing the states of checkpoints 1..n replays O(n²) records and
+/// each state carries its own copy of the replayed blocks. The stream
+/// instead replays every record exactly once: after reaching a checkpoint it
+/// freezes the accumulated writes into a new [`DiskImage`] layer
+/// ([`CowSnapshotDevice::commit`]) and hands out a fresh snapshot of it, so
+/// adjacent crash states *share* the replayed prefix structurally.
+///
+/// Checkpoints must be requested in increasing order (the order
+/// [`IoLog`] assigns them); requesting an already-passed checkpoint falls
+/// back to a from-scratch [`crash_state`] replay.
+pub struct CrashStateStream<'a> {
+    base: &'a DiskImage,
+    log: &'a IoLog,
+    device: CowSnapshotDevice,
+    /// Index of the next unapplied record in `log`.
+    position: usize,
+    /// Highest checkpoint id already passed.
+    reached: CheckpointId,
+    /// Distinct blocks written since the start of the log (the copy-on-write
+    /// memory the crash state occupies on top of the base image — §6.5's
+    /// accounting, which used to be the snapshot device's own overlay before
+    /// crash states became layered).
+    written: std::collections::HashSet<crate::device::BlockIndex>,
+}
+
+impl<'a> CrashStateStream<'a> {
+    /// Creates a stream positioned at the start of the log.
+    pub fn new(base: &'a DiskImage, log: &'a IoLog) -> Self {
+        CrashStateStream {
+            base,
+            log,
+            device: CowSnapshotDevice::new(base.clone()),
+            position: 0,
+            reached: 0,
+            written: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Bytes of copy-on-write state the current position's crash state holds
+    /// on top of the base image (distinct replayed blocks × block size).
+    pub fn replayed_bytes(&self) -> u64 {
+        self.written.len() as u64 * crate::device::BLOCK_SIZE as u64
+    }
+
+    /// Returns the crash state at `checkpoint`, replaying only the records
+    /// between the previously requested checkpoint and this one.
+    pub fn state_at(&mut self, checkpoint: CheckpointId) -> BlockResult<CowSnapshotDevice> {
+        if checkpoint <= self.reached && self.reached != 0 {
+            // Out-of-order request: the incremental prefix is already past
+            // this point, so construct the state the slow way.
+            return crash_state(self.base, self.log, checkpoint);
+        }
+        let records = self.log.records();
+        while self.position < records.len() {
+            let record = &records[self.position];
+            self.position += 1;
+            match record {
+                IoRecord::Write {
+                    index, data, flags, ..
+                } => {
+                    self.device.write_block(*index, data, *flags)?;
+                    self.written.insert(*index);
+                }
+                IoRecord::Flush { .. } => self.device.flush()?,
+                IoRecord::Checkpoint { id, .. } => {
+                    self.reached = *id;
+                    if *id == checkpoint {
+                        break;
+                    }
+                }
+            }
+        }
+        let image = self.device.commit();
+        Ok(CowSnapshotDevice::new(image))
+    }
 }
 
 fn replay_records(records: &[IoRecord], target: &mut dyn BlockDevice) -> BlockResult<usize> {
@@ -153,5 +237,45 @@ mod tests {
         let s2 = crash_state(&image, &log, 2).unwrap();
         s1.write_block(9, b"mutate", IoFlags::DATA).unwrap();
         assert!(s2.read_block(9).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn stream_matches_from_scratch_replay_at_every_checkpoint() {
+        let (image, log) = recorded_run();
+        let mut stream = CrashStateStream::new(&image, &log);
+        for checkpoint in 1..=log.num_checkpoints() {
+            let incremental = stream.state_at(checkpoint).unwrap();
+            let scratch = crash_state(&image, &log, checkpoint).unwrap();
+            for block in 0..image.num_blocks() {
+                assert_eq!(
+                    incremental.read_block(block).unwrap(),
+                    scratch.read_block(block).unwrap(),
+                    "checkpoint {checkpoint}, block {block}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_states_are_independent_and_share_the_prefix() {
+        let (image, log) = recorded_run();
+        let mut stream = CrashStateStream::new(&image, &log);
+        let mut s1 = stream.state_at(1).unwrap();
+        let s2 = stream.state_at(2).unwrap();
+        // Layered images: the second state's chain extends the first's.
+        assert!(s2.base().chain_depth() > s1.base().chain_depth());
+        s1.write_block(9, b"mutate", IoFlags::DATA).unwrap();
+        assert!(s2.read_block(9).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(&s2.read_block(1).unwrap()[..5], b"first");
+    }
+
+    #[test]
+    fn stream_out_of_order_request_falls_back_to_full_replay() {
+        let (image, log) = recorded_run();
+        let mut stream = CrashStateStream::new(&image, &log);
+        let _ = stream.state_at(3).unwrap();
+        let s1 = stream.state_at(1).unwrap();
+        assert_eq!(&s1.read_block(1).unwrap()[..5], b"first");
+        assert!(s1.read_block(2).unwrap().iter().all(|&b| b == 0));
     }
 }

@@ -145,7 +145,23 @@ impl<'a> AutoChecker<'a> {
             }
         };
 
-        let crash_snapshot = match LogicalSnapshot::capture(fs.as_ref()) {
+        // The checks below only ever look at explicitly persisted paths and
+        // the rename pairs, so capture exactly those from the recovered
+        // state instead of walking the whole file system and reading every
+        // file's data per crash state.
+        let rename_pairs = rename_candidates(workload, info);
+        let relevant: std::collections::BTreeSet<&str> = info
+            .persisted
+            .keys()
+            .map(String::as_str)
+            .chain(
+                rename_pairs
+                    .iter()
+                    .chain(info.durable_renames.iter())
+                    .flat_map(|(from, to)| [from.as_str(), to.as_str()]),
+            )
+            .collect();
+        let crash_snapshot = match LogicalSnapshot::capture_paths(fs.as_ref(), relevant) {
             Ok(snapshot) => snapshot,
             Err(error) => {
                 verdict.unmountable = Some(format!("recovered file system unreadable: {error}"));
@@ -156,7 +172,14 @@ impl<'a> AutoChecker<'a> {
         };
 
         self.read_checks(info, &crash_snapshot, &mut verdict);
-        self.rename_atomicity_check(workload, info, &crash_snapshot, fs.as_ref(), &mut verdict);
+        self.rename_atomicity_check(
+            &rename_pairs,
+            info,
+            &crash_snapshot,
+            fs.as_ref(),
+            &mut verdict,
+        );
+        self.durable_rename_check(info, &crash_snapshot, fs.as_ref(), &mut verdict);
         self.write_checks(info, fs.as_mut(), &mut verdict);
 
         if verdict.expected.is_empty() {
@@ -232,34 +255,51 @@ impl<'a> AutoChecker<'a> {
     /// resolve to one inode has a rename been half-applied.
     fn rename_atomicity_check(
         &self,
-        workload: &Workload,
+        candidates: &[(String, String)],
         info: &CheckpointInfo,
         crash: &LogicalSnapshot,
         fs: &dyn FileSystem,
         verdict: &mut CheckVerdict,
     ) {
-        // Renames whose destination was explicitly persisted.
-        let explicit = workload.all_ops().filter_map(|op| match op {
-            Op::Rename { from, to } => {
-                let to = normalize(to);
-                info.persisted
-                    .contains_key(&to)
-                    .then(|| (normalize(from), to))
-            }
-            _ => None,
-        });
-        // Renames whose source had been persisted before the rename.
-        let tracked = info.persisted_renames.iter().cloned();
-
-        let mut candidates: Vec<(String, String)> = explicit.chain(tracked).collect();
-        candidates.sort();
-        candidates.dedup();
-
         for (from, to) in candidates {
-            if crash.contains(&to)
-                && crash.contains(&from)
-                && !info.oracle.contains(&from)
-                && same_inode(fs, &from, &to)
+            if crash.contains(to)
+                && crash.contains(from)
+                && !info.oracle.contains(from)
+                && same_inode(fs, from, to)
+            {
+                verdict
+                    .diffs
+                    .push(SnapshotDiff::Unexpected { path: from.clone() });
+                verdict
+                    .read_consequences
+                    .push(Consequence::FileInBothLocations);
+            }
+        }
+    }
+
+    /// Op-order-aware durable-rename check: when the rename itself was made
+    /// durable (its new name fsynced, or a sync ran, *after* the rename),
+    /// the old name must be gone entirely. The same-inode case is covered by
+    /// [`AutoChecker::rename_atomicity_check`]; this one catches recovery
+    /// resurrecting the old name as a **distinct** inode — stale content
+    /// reappearing under a name the crash state has no business recreating
+    /// (ROADMAP "Rename-atomicity coverage").
+    ///
+    /// The old name legitimately reused by a later operation is not a
+    /// violation: in that case the path is part of the oracle and the guard
+    /// stays silent.
+    fn durable_rename_check(
+        &self,
+        info: &CheckpointInfo,
+        crash: &LogicalSnapshot,
+        fs: &dyn FileSystem,
+        verdict: &mut CheckVerdict,
+    ) {
+        for (from, to) in &info.durable_renames {
+            if crash.contains(to)
+                && crash.contains(from)
+                && !info.oracle.contains(from)
+                && !same_inode(fs, from, to)
             {
                 verdict
                     .diffs
@@ -325,6 +365,26 @@ impl<'a> AutoChecker<'a> {
             }
         }
     }
+}
+
+/// The rename pairs the atomicity check must consider: renames whose
+/// destination was explicitly persisted, plus renames whose source had been
+/// persisted before the rename executed (tracked by the profiler).
+fn rename_candidates(workload: &Workload, info: &CheckpointInfo) -> Vec<(String, String)> {
+    let explicit = workload.all_ops().filter_map(|op| match op {
+        Op::Rename { from, to } => {
+            let to = normalize(to);
+            info.persisted
+                .contains_key(&to)
+                .then(|| (normalize(from), to))
+        }
+        _ => None,
+    });
+    let tracked = info.persisted_renames.iter().cloned();
+    let mut candidates: Vec<(String, String)> = explicit.chain(tracked).collect();
+    candidates.sort();
+    candidates.dedup();
+    candidates
 }
 
 /// True when both paths resolve to the same inode in the recovered file
@@ -602,7 +662,7 @@ mod tests {
         persisted.insert(
             "A/foo".to_string(),
             Expectation {
-                entry: entry(FileType::Regular, 100),
+                entry: entry(FileType::Regular, 100).into(),
                 existence_only: false,
             },
         );
@@ -612,9 +672,69 @@ mod tests {
             op_description: "fsync A/foo".into(),
             persisted,
             persisted_renames: Vec::new(),
-            oracle: LogicalSnapshot::default(),
+            durable_renames: Vec::new(),
+            oracle: std::sync::Arc::new(LogicalSnapshot::default()),
         };
         let summary = summarize_expectations(&info);
         assert!(summary.contains("A/foo (100 bytes)"));
+    }
+
+    /// End to end through CrashMonkey: `write; sync; rename; fsync(new)` on
+    /// the 4.16-era CowFs resurrects the old name as a *distinct* inode —
+    /// invisible to the same-inode atomicity check, caught by the
+    /// op-order-aware durable-rename check. The same workload is clean on a
+    /// patched file system, and a rename that was never made durable is not
+    /// flagged.
+    #[test]
+    fn durable_rename_distinct_inode_resurrection_is_flagged() {
+        use crate::CrashMonkey;
+        use b3_fs_cow::CowFsSpec;
+        use b3_vfs::fs::WriteMode;
+        use b3_vfs::workload::{Workload, WriteSpec};
+        use b3_vfs::KernelEra;
+
+        let workload = Workload::with_setup(
+            "durable-rename",
+            vec![
+                Op::Mkdir { path: "A".into() },
+                Op::Mkdir { path: "B".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+            ],
+            vec![
+                Op::Write {
+                    path: "A/foo".into(),
+                    mode: WriteMode::Buffered,
+                    spec: WriteSpec::range(0, 8192),
+                },
+                Op::Sync,
+                Op::Rename {
+                    from: "A/foo".into(),
+                    to: "B/foo".into(),
+                },
+                Op::Fsync {
+                    path: "B/foo".into(),
+                },
+            ],
+        );
+
+        let buggy = CowFsSpec::new(KernelEra::V4_16);
+        let outcome = CrashMonkey::new(&buggy).test_workload(&workload).unwrap();
+        assert!(
+            outcome.bugs.iter().any(|b| b
+                .all_consequences
+                .contains(&Consequence::FileInBothLocations)),
+            "distinct-inode resurrection must be flagged: {:?}",
+            outcome.bugs
+        );
+
+        let patched = CowFsSpec::patched();
+        let outcome = CrashMonkey::new(&patched).test_workload(&workload).unwrap();
+        assert!(
+            outcome.bugs.is_empty(),
+            "no false positive on patched: {:?}",
+            outcome.bugs
+        );
     }
 }

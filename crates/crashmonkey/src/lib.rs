@@ -31,7 +31,7 @@ pub mod report;
 
 use std::time::Instant;
 
-use b3_block::{crash_state, DiskImage};
+use b3_block::{crash_state, CrashStateStream, DiskImage};
 use b3_vfs::error::FsResult;
 use b3_vfs::fs::FsSpec;
 use b3_vfs::workload::Workload;
@@ -45,20 +45,33 @@ pub use report::{BugReport, Consequence, PhaseTiming, ResourceStats, WorkloadOut
 pub struct CrashMonkey<'a> {
     spec: &'a dyn FsSpec,
     config: CrashMonkeyConfig,
+    /// The frozen post-mkfs image every profiled workload mounts a snapshot
+    /// of; formatted once per harness instead of once per workload.
+    formatted: std::sync::OnceLock<DiskImage>,
 }
 
 impl<'a> CrashMonkey<'a> {
     /// Creates a harness for `spec` with the default configuration.
     pub fn new(spec: &'a dyn FsSpec) -> Self {
-        CrashMonkey {
-            spec,
-            config: CrashMonkeyConfig::default(),
-        }
+        Self::with_config(spec, CrashMonkeyConfig::default())
     }
 
     /// Creates a harness with an explicit configuration.
     pub fn with_config(spec: &'a dyn FsSpec, config: CrashMonkeyConfig) -> Self {
-        CrashMonkey { spec, config }
+        CrashMonkey {
+            spec,
+            config,
+            formatted: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The frozen post-mkfs image (formatting on first use).
+    fn formatted_image(&self) -> FsResult<DiskImage> {
+        if let Some(image) = self.formatted.get() {
+            return Ok(image.clone());
+        }
+        let image = profiler::formatted_base_image(self.spec, &self.config)?;
+        Ok(self.formatted.get_or_init(|| image).clone())
     }
 
     /// The active configuration.
@@ -71,10 +84,11 @@ impl<'a> CrashMonkey<'a> {
     pub fn test_workload(&self, workload: &Workload) -> FsResult<WorkloadOutcome> {
         let total_start = Instant::now();
 
-        // Phase 1: profile.
+        // Phase 1: profile (mounting a snapshot of the cached mkfs image).
         let profile_start = Instant::now();
+        let base_image = self.formatted_image()?;
         let profiler = Profiler::new(self.spec, &self.config);
-        let profile = profiler.profile(workload)?;
+        let profile = profiler.profile_on(base_image, workload)?;
         let profile_time = profile_start.elapsed();
 
         let mut outcome = WorkloadOutcome::new(workload, self.spec.name());
@@ -93,15 +107,18 @@ impl<'a> CrashMonkey<'a> {
             return Ok(outcome);
         }
 
-        // Phases 2 and 3: construct crash states and check them.
+        // Phases 2 and 3: construct crash states and check them. The stream
+        // replays each recorded IO exactly once across all checkpoints;
+        // adjacent crash states share the replayed prefix as image layers.
         let checkpoints = self.config.crash_points.select(&profile.checkpoints);
+        let mut stream = CrashStateStream::new(&profile.base_image, &profile.log);
         let mut construct_time = std::time::Duration::ZERO;
         let mut check_time = std::time::Duration::ZERO;
 
         for info in checkpoints {
             let construct_start = Instant::now();
-            let state = crash_state(&profile.base_image, &profile.log, info.id)?;
-            outcome.resource.crash_state_overlay_bytes += state.overlay_bytes();
+            let state = stream.state_at(info.id)?;
+            outcome.resource.crash_state_overlay_bytes += stream.replayed_bytes();
             construct_time += construct_start.elapsed();
 
             let check_start = Instant::now();

@@ -10,14 +10,24 @@
 //!   a snapshot of the state that persistence operation guaranteed. This is
 //!   the fine-grained information that lets the AutoChecker compare exactly
 //!   what must survive, rather than everything that happened to be in memory.
+//!
+//! The oracle is maintained *incrementally*: between adjacent checkpoints
+//! only the paths the intervening operations touched (plus their hard-link
+//! aliases and parent directories) are re-captured, instead of re-reading
+//! every file in the file system at every persistence point — the
+//! checker-hot-path item of the ROADMAP. Debug builds assert after every
+//! checkpoint that the incremental oracle is byte-identical to a full
+//! capture, so the whole test suite doubles as an equivalence proof.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use b3_block::{CowSnapshotDevice, DiskImage, IoLog, RecordingDevice};
 use b3_vfs::error::{FsError, FsResult};
 use b3_vfs::exec::Executor;
-use b3_vfs::fs::{FsSpec, WriteMode};
+use b3_vfs::fs::{FileSystem, FsSpec, WriteMode};
 use b3_vfs::metadata::{FileType, Metadata};
+use b3_vfs::path::{is_ancestor, normalize, parent};
 use b3_vfs::snapshot::{EntrySnapshot, LogicalSnapshot};
 use b3_vfs::workload::{Op, Workload, WriteSpec};
 
@@ -27,8 +37,10 @@ use crate::config::CrashMonkeyConfig;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Expectation {
     /// The persisted state of the entry at the moment of its most recent
-    /// explicit persistence.
-    pub entry: EntrySnapshot,
+    /// explicit persistence. Shared with the oracle snapshot it was captured
+    /// from, so recording an expectation (and cloning the persisted set per
+    /// checkpoint) never copies file data.
+    pub entry: Arc<EntrySnapshot>,
     /// When true, only the entry's existence (and type / symlink target) is
     /// guaranteed — used for children of an fsynced directory that were not
     /// themselves fsynced.
@@ -51,8 +63,15 @@ pub struct CheckpointInfo {
     /// legally survive a crash under either name, but never under both —
     /// which is what the rename-atomicity check verifies.
     pub persisted_renames: Vec<(String, String)>,
-    /// Full logical state at this instant (the clean-unmount oracle).
-    pub oracle: LogicalSnapshot,
+    /// Renames (old path, new path) that are themselves *durable* at this
+    /// checkpoint: the renamed inode's new name was explicitly fsynced (or a
+    /// global sync ran) after the rename executed. After such a checkpoint
+    /// the old name must not exist at all — not even as a different inode —
+    /// which is what the op-order-aware durable-rename check verifies.
+    pub durable_renames: Vec<(String, String)>,
+    /// Full logical state at this instant (the clean-unmount oracle), shared
+    /// rather than copied per checkpoint.
+    pub oracle: Arc<LogicalSnapshot>,
 }
 
 /// The result of profiling one workload.
@@ -68,6 +87,207 @@ pub struct ProfileResult {
     pub exec_error: Option<FsError>,
 }
 
+/// Incrementally maintained oracle state: the current logical snapshot plus
+/// the bookkeeping needed to refresh only what changed since the previous
+/// checkpoint.
+struct OracleTracker {
+    snapshot: LogicalSnapshot,
+    /// Inode number of every captured path at its last refresh; lets a write
+    /// through one hard link invalidate the aliases that share the inode.
+    /// Only maintained once a `link` has executed — without hard links no
+    /// two paths share an inode and the bookkeeping is pure overhead.
+    inos: BTreeMap<String, u64>,
+    /// Paths whose single entry must be re-captured.
+    dirty_entries: BTreeSet<String>,
+    /// Paths whose whole subtree must be re-captured (rename sources and
+    /// destinations).
+    dirty_subtrees: BTreeSet<String>,
+    /// True once any `link` executed (enables alias tracking).
+    saw_link: bool,
+    /// False until the first full capture.
+    initialized: bool,
+}
+
+impl OracleTracker {
+    fn new() -> Self {
+        OracleTracker {
+            snapshot: LogicalSnapshot::default(),
+            inos: BTreeMap::new(),
+            dirty_entries: BTreeSet::new(),
+            dirty_subtrees: BTreeSet::new(),
+            saw_link: false,
+            initialized: false,
+        }
+    }
+
+    fn mark_entry(&mut self, path: &str) {
+        self.dirty_entries.insert(normalize(path));
+    }
+
+    fn mark_with_parent(&mut self, path: &str) {
+        let path = normalize(path);
+        if let Ok(parent_path) = parent(&path) {
+            self.dirty_entries.insert(parent_path);
+        }
+        self.dirty_entries.insert(path);
+    }
+
+    /// Marks exactly what `op` may have changed as dirty: the entry itself
+    /// for content operations, plus the parent directory for namespace
+    /// operations, plus — for renames — the full source and destination
+    /// subtrees. Persistence operations change no logical state and mark
+    /// nothing.
+    fn note_op(&mut self, op: &Op) {
+        match op {
+            Op::Creat { path }
+            | Op::Mkdir { path }
+            | Op::Mkfifo { path }
+            | Op::Unlink { path }
+            | Op::Remove { path }
+            | Op::Rmdir { path } => self.mark_with_parent(path),
+            Op::Truncate { path, .. }
+            | Op::Falloc { path, .. }
+            | Op::SetXattr { path, .. }
+            | Op::RemoveXattr { path, .. }
+            | Op::Write { path, .. }
+            | Op::Mmap { path, .. } => self.mark_entry(path),
+            Op::Symlink { linkpath, .. } => self.mark_with_parent(linkpath),
+            Op::Link { existing, new } => {
+                self.saw_link = true;
+                self.mark_entry(existing);
+                self.mark_with_parent(new);
+            }
+            Op::Rename { from, to } => {
+                self.mark_with_parent(from);
+                self.mark_with_parent(to);
+                self.dirty_subtrees.insert(normalize(from));
+                self.dirty_subtrees.insert(normalize(to));
+            }
+            Op::Fsync { .. } | Op::Fdatasync { .. } | Op::Msync { .. } | Op::Sync => {}
+        }
+    }
+
+    /// Brings the snapshot up to date with `fs` and returns it as a shared
+    /// oracle.
+    fn checkpoint(&mut self, fs: &dyn FileSystem) -> FsResult<Arc<LogicalSnapshot>> {
+        if !self.initialized {
+            self.snapshot = LogicalSnapshot::capture(fs)?;
+            if self.saw_link {
+                self.rebuild_inos(fs);
+            }
+            self.initialized = true;
+        } else if !self.dirty_entries.is_empty() || !self.dirty_subtrees.is_empty() {
+            self.refresh(fs)?;
+        }
+        self.dirty_entries.clear();
+        self.dirty_subtrees.clear();
+
+        #[cfg(debug_assertions)]
+        {
+            let full = LogicalSnapshot::capture(fs)?;
+            debug_assert!(
+                self.snapshot == full,
+                "incremental oracle diverged from full capture:\n{:?}",
+                full.diff_all(&self.snapshot)
+            );
+        }
+
+        Ok(Arc::new(self.snapshot.clone()))
+    }
+
+    fn rebuild_inos(&mut self, fs: &dyn FileSystem) {
+        self.inos.clear();
+        for (path, _) in self.snapshot.iter() {
+            if let Ok(meta) = fs.metadata(path) {
+                self.inos.insert(path.clone(), meta.ino);
+            }
+        }
+    }
+
+    fn refresh(&mut self, fs: &dyn FileSystem) -> FsResult<()> {
+        // Hard-link alias expansion: any captured path sharing an inode with
+        // a dirty path reflects the same data/nlink change and must be
+        // refreshed too (its old inode number is authoritative — a dirty
+        // path that was removed still invalidates its aliases). Without hard
+        // links no inode has two names, so the scan is skipped entirely.
+        if self.saw_link {
+            if self.inos.is_empty() {
+                // The first link since initialization: aliases could only
+                // have been created by ops that are themselves dirty, so a
+                // map built from the (stale) snapshot plus the dirty marks
+                // is complete.
+                self.rebuild_inos(fs);
+            }
+            let mut dirty_inos: BTreeSet<u64> = BTreeSet::new();
+            for path in self.dirty_entries.iter().chain(self.dirty_subtrees.iter()) {
+                if let Some(ino) = self.inos.get(path) {
+                    dirty_inos.insert(*ino);
+                }
+                if let Ok(meta) = fs.metadata(path) {
+                    dirty_inos.insert(meta.ino);
+                }
+            }
+            for (path, ino) in &self.inos {
+                if dirty_inos.contains(ino) {
+                    self.dirty_entries.insert(path.clone());
+                }
+            }
+        }
+
+        // Subtrees first (they remove stale descendants wholesale), then
+        // individual entries.
+        if !self.dirty_subtrees.is_empty() {
+            let subtrees: Vec<String> = self.dirty_subtrees.iter().cloned().collect();
+            for root in &subtrees {
+                self.snapshot.refresh_subtree(fs, root)?;
+                if self.saw_link {
+                    self.inos.retain(|p, _| p != root && !is_ancestor(root, p));
+                    let captured: Vec<String> = self
+                        .snapshot
+                        .iter()
+                        .map(|(p, _)| p.clone())
+                        .filter(|p| p == root || is_ancestor(root, p))
+                        .collect();
+                    for path in captured {
+                        if let Ok(meta) = fs.metadata(&path) {
+                            self.inos.insert(path, meta.ino);
+                        }
+                    }
+                }
+            }
+        }
+        let entries: Vec<String> = self.dirty_entries.iter().cloned().collect();
+        for path in entries {
+            self.snapshot.refresh_entry(fs, &path)?;
+            if self.saw_link {
+                match fs.metadata(&path) {
+                    Ok(meta) => {
+                        self.inos.insert(path, meta.ino);
+                    }
+                    Err(_) => {
+                        self.inos.remove(&path);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fresh file system of `spec` once and freezes the device into
+/// an immutable image. Profiling mounts copy-on-write snapshots of this
+/// image instead of re-running mkfs for every workload — mkfs output is a
+/// pure function of the spec and device size, so one format serves millions
+/// of workloads.
+pub fn formatted_base_image(spec: &dyn FsSpec, config: &CrashMonkeyConfig) -> FsResult<DiskImage> {
+    let device = CowSnapshotDevice::new(DiskImage::empty(config.device_blocks));
+    let fs = spec.mkfs(Box::new(device))?;
+    let device = fs.unmount()?;
+    device.freeze_image().ok_or_else(|| {
+        FsError::Corrupted("mkfs device does not support freezing into an image".into())
+    })
+}
+
 /// The workload profiler.
 pub struct Profiler<'a> {
     spec: &'a dyn FsSpec,
@@ -80,18 +300,36 @@ impl<'a> Profiler<'a> {
         Profiler { spec, config }
     }
 
-    /// Profiles a workload: runs it start to finish while recording IO,
-    /// inserting checkpoints, and capturing oracles and expectations.
+    /// Profiles a workload on a freshly formatted file system: formats,
+    /// then delegates to [`Profiler::profile_on`]. Callers testing many
+    /// workloads should format once with [`formatted_base_image`] and reuse
+    /// it (as [`crate::CrashMonkey`] does).
     pub fn profile(&self, workload: &Workload) -> FsResult<ProfileResult> {
-        let base_image = DiskImage::empty(self.config.device_blocks);
+        let base_image = formatted_base_image(self.spec, self.config)?;
+        self.profile_on(base_image, workload)
+    }
+
+    /// Profiles a workload: mounts a snapshot of the pre-formatted
+    /// `base_image` on a recording wrapper, runs the workload start to
+    /// finish while recording IO, inserting checkpoints, and capturing
+    /// oracles and expectations.
+    pub fn profile_on(
+        &self,
+        base_image: DiskImage,
+        workload: &Workload,
+    ) -> FsResult<ProfileResult> {
         let snapshot_device = CowSnapshotDevice::new(base_image.clone());
         let recording = RecordingDevice::new(Box::new(snapshot_device));
         let log_handle = recording.log_handle();
 
-        let mut fs = self.spec.mkfs(Box::new(recording))?;
+        let mut fs = self.spec.mount(Box::new(recording))?;
         let mut executor = Executor::new();
+        let mut oracle_tracker = OracleTracker::new();
         let mut persisted: BTreeMap<String, Expectation> = BTreeMap::new();
         let mut persisted_renames: Vec<(String, String)> = Vec::new();
+        // All renames executed so far: (old path, new path, moved inode).
+        let mut renames_seen: Vec<(String, String, u64)> = Vec::new();
+        let mut durable_renames: Vec<(String, String)> = Vec::new();
         let mut checkpoints = Vec::new();
         let mut exec_error = None;
 
@@ -100,17 +338,21 @@ impl<'a> Profiler<'a> {
                 exec_error = Some(error);
                 break;
             }
+            oracle_tracker.note_op(op);
 
             // A rename moves the persisted object to a new name: the old
             // path is no longer guaranteed to exist (the new one is not
             // guaranteed either, unless re-persisted), but the pair is
             // remembered for the rename-atomicity check.
             if let Op::Rename { from, to } = op {
-                let from = b3_vfs::path::normalize(from);
-                let to = b3_vfs::path::normalize(to);
+                let from = normalize(from);
+                let to = normalize(to);
+                if let Ok(meta) = fs.metadata(&to) {
+                    renames_seen.push((from.clone(), to.clone(), meta.ino));
+                }
                 let moved: Vec<String> = persisted
                     .keys()
-                    .filter(|p| p.as_str() == from || b3_vfs::path::is_ancestor(&from, p))
+                    .filter(|p| p.as_str() == from || is_ancestor(&from, p))
                     .cloned()
                     .collect();
                 if moved.iter().any(|p| p == &from) {
@@ -121,13 +363,36 @@ impl<'a> Profiler<'a> {
                 }
             }
 
+            // Op-order-aware durability of renames: an fsync of exactly the
+            // renamed inode's new name — or a global sync — executed after
+            // the rename makes the rename itself durable. The inode check
+            // keeps a later `creat` at the new name from counting.
+            match op {
+                Op::Fsync { path } => {
+                    let path = normalize(path);
+                    if let Ok(meta) = fs.metadata(&path) {
+                        for (from, to, ino) in &renames_seen {
+                            if *to == path && *ino == meta.ino {
+                                push_unique(&mut durable_renames, (from.clone(), to.clone()));
+                            }
+                        }
+                    }
+                }
+                Op::Sync => {
+                    for (from, to, _) in &renames_seen {
+                        push_unique(&mut durable_renames, (from.clone(), to.clone()));
+                    }
+                }
+                _ => {}
+            }
+
             let is_checkpoint = op.is_persistence_point()
                 || (self.config.direct_write_is_persistence_point && is_direct_write(op));
             if !is_checkpoint {
                 continue;
             }
 
-            let oracle = LogicalSnapshot::capture(fs.as_ref())?;
+            let oracle = oracle_tracker.checkpoint(fs.as_ref())?;
             update_expectations(&mut persisted, &oracle, op, fs.as_ref());
             let id = log_handle.checkpoint();
             checkpoints.push(CheckpointInfo {
@@ -136,6 +401,7 @@ impl<'a> Profiler<'a> {
                 op_description: op.to_string(),
                 persisted: persisted.clone(),
                 persisted_renames: persisted_renames.clone(),
+                durable_renames: durable_renames.clone(),
                 oracle,
             });
         }
@@ -146,6 +412,12 @@ impl<'a> Profiler<'a> {
             checkpoints,
             exec_error,
         })
+    }
+}
+
+fn push_unique(list: &mut Vec<(String, String)>, pair: (String, String)) {
+    if !list.contains(&pair) {
+        list.push(pair);
     }
 }
 
@@ -165,16 +437,16 @@ fn update_expectations(
     persisted: &mut BTreeMap<String, Expectation>,
     oracle: &LogicalSnapshot,
     op: &Op,
-    fs: &dyn b3_vfs::fs::FileSystem,
+    fs: &dyn FileSystem,
 ) {
     match op {
         Op::Sync => {
             // A global sync persists everything that exists right now.
-            for (path, entry) in oracle.iter() {
+            for (path, entry) in oracle.iter_shared() {
                 persisted.insert(
                     path.clone(),
                     Expectation {
-                        entry: entry.clone(),
+                        entry: Arc::clone(entry),
                         existence_only: false,
                     },
                 );
@@ -184,14 +456,14 @@ fn update_expectations(
             persisted.retain(|path, _| oracle.contains(path));
         }
         Op::Fsync { path } | Op::Fdatasync { path } | Op::Msync { path, .. } => {
-            let path = b3_vfs::path::normalize(path);
-            let Some(entry) = oracle.get(&path) else {
+            let path = normalize(path);
+            let Some(entry) = oracle.get_shared(&path) else {
                 return;
             };
             persisted.insert(
                 path.clone(),
                 Expectation {
-                    entry: entry.clone(),
+                    entry: Arc::clone(&entry),
                     existence_only: false,
                 },
             );
@@ -202,9 +474,9 @@ fn update_expectations(
                 if let Some(children) = &entry.children {
                     for child in children {
                         let child_path = b3_vfs::path::join(&path, child);
-                        if let Some(child_entry) = oracle.get(&child_path) {
+                        if let Some(child_entry) = oracle.get_shared(&child_path) {
                             persisted.entry(child_path).or_insert_with(|| Expectation {
-                                entry: child_entry.clone(),
+                                entry: child_entry,
                                 existence_only: true,
                             });
                         }
@@ -217,7 +489,7 @@ fn update_expectations(
                 // every other path referring to the same inode must also
                 // survive (this is what the paper's new bugs 5 and 7 break).
                 if let Ok(meta) = fs.metadata(&path) {
-                    for (other_path, other_entry) in oracle.iter() {
+                    for (other_path, other_entry) in oracle.iter_shared() {
                         if other_path == &path || other_entry.file_type != FileType::Regular {
                             continue;
                         }
@@ -229,7 +501,7 @@ fn update_expectations(
                             persisted
                                 .entry(other_path.clone())
                                 .or_insert_with(|| Expectation {
-                                    entry: other_entry.clone(),
+                                    entry: Arc::clone(other_entry),
                                     existence_only: true,
                                 });
                         }
@@ -246,7 +518,7 @@ fn update_expectations(
             // already durable (persisted earlier), extend that expectation
             // with the directly-written range; otherwise the file's
             // existence is still not guaranteed and nothing is added.
-            let path = b3_vfs::path::normalize(path);
+            let path = normalize(path);
             if let Some(expectation) = persisted.get_mut(&path) {
                 if let (Some(entry), WriteSpec::Range { offset, len }) = (oracle.get(&path), spec) {
                     apply_direct_write_expectation(expectation, entry, *offset, *len);
@@ -269,8 +541,9 @@ fn apply_direct_write_expectation(
     if expectation.entry.file_type != FileType::Regular {
         return;
     }
+    let entry = Arc::make_mut(&mut expectation.entry);
     let end = offset + len;
-    let mut data = expectation.entry.data.clone().unwrap_or_default();
+    let mut data = entry.data.clone().unwrap_or_default();
     if (data.len() as u64) < end {
         data.resize(end as usize, 0);
     }
@@ -279,12 +552,11 @@ fn apply_direct_write_expectation(
         let start = (offset as usize).min(upto);
         data[start..upto].copy_from_slice(&oracle_data[start..upto]);
     }
-    expectation.entry.size = expectation.entry.size.max(end);
-    expectation.entry.blocks = expectation
-        .entry
+    entry.size = entry.size.max(end);
+    entry.blocks = entry
         .blocks
         .max(Metadata::sectors_for(end.div_ceil(4096) * 4096));
-    expectation.entry.data = Some(data);
+    entry.data = Some(data);
     expectation.existence_only = false;
 }
 
@@ -420,5 +692,134 @@ mod tests {
         let result = profile(&workload);
         assert!(result.log.recorded_bytes() > 0);
         assert!(result.log.len() > 1);
+    }
+
+    /// The incremental oracle must match a full capture at every checkpoint
+    /// for workloads that stress the dirty-path machinery: hard-link aliases
+    /// written through one name, subtree renames, and removals. (Debug
+    /// builds additionally assert this inside the profiler for every
+    /// profiled workload in the whole test suite.)
+    #[test]
+    fn incremental_oracle_matches_full_capture_for_aliases_and_renames() {
+        let workload = Workload::with_setup(
+            "aliases",
+            vec![
+                Op::Mkdir { path: "A".into() },
+                Op::Mkdir { path: "B".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+            ],
+            vec![
+                Op::Link {
+                    existing: "A/foo".into(),
+                    new: "B/alias".into(),
+                },
+                Op::Sync,
+                Op::Write {
+                    path: "B/alias".into(),
+                    mode: WriteMode::Buffered,
+                    spec: WriteSpec::range(0, 8192),
+                },
+                Op::Fsync {
+                    path: "A/foo".into(),
+                },
+                Op::Rename {
+                    from: "A".into(),
+                    to: "C".into(),
+                },
+                Op::Sync,
+                Op::Unlink {
+                    path: "B/alias".into(),
+                },
+                Op::Sync,
+            ],
+        );
+        let result = profile(&workload);
+        assert!(result.exec_error.is_none());
+        assert_eq!(result.checkpoints.len(), 4);
+        // After the hard-link write, the alias expansion must have refreshed
+        // the other name too.
+        let cp = &result.checkpoints[1];
+        assert_eq!(cp.oracle.get("A/foo").unwrap().size, 8192);
+        assert_eq!(cp.oracle.get("B/alias").unwrap().size, 8192);
+        // After the directory rename, old paths are gone and new ones exist.
+        let cp = &result.checkpoints[2];
+        assert!(cp.oracle.get("A").is_none());
+        assert!(cp.oracle.get("A/foo").is_none());
+        assert_eq!(cp.oracle.get("C/foo").unwrap().size, 8192);
+        // After the unlink, the alias is gone and nlink dropped.
+        let cp = &result.checkpoints[3];
+        assert!(cp.oracle.get("B/alias").is_none());
+        assert_eq!(cp.oracle.get("C/foo").unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn durable_renames_require_fsync_of_the_renamed_inode() {
+        let workload = Workload::with_setup(
+            "durable",
+            vec![
+                Op::Mkdir { path: "A".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+            ],
+            vec![
+                Op::Sync,
+                Op::Rename {
+                    from: "A/foo".into(),
+                    to: "A/bar".into(),
+                },
+                Op::Fsync {
+                    path: "A/bar".into(),
+                },
+            ],
+        );
+        let result = profile(&workload);
+        let cp = result.checkpoints.last().unwrap();
+        assert_eq!(
+            cp.durable_renames,
+            vec![("A/foo".to_string(), "A/bar".to_string())]
+        );
+        // The first checkpoint (the sync before the rename) must not list
+        // the rename as durable.
+        assert!(result.checkpoints[0].durable_renames.is_empty());
+    }
+
+    #[test]
+    fn fsync_of_a_recreated_name_is_not_a_durable_rename() {
+        let workload = Workload::with_setup(
+            "recreated",
+            vec![
+                Op::Mkdir { path: "A".into() },
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+            ],
+            vec![
+                Op::Sync,
+                Op::Rename {
+                    from: "A/foo".into(),
+                    to: "A/bar".into(),
+                },
+                Op::Unlink {
+                    path: "A/bar".into(),
+                },
+                Op::Creat {
+                    path: "A/bar".into(),
+                },
+                Op::Fsync {
+                    path: "A/bar".into(),
+                },
+            ],
+        );
+        let result = profile(&workload);
+        let cp = result.checkpoints.last().unwrap();
+        assert!(
+            cp.durable_renames.is_empty(),
+            "fsync of a different inode at the destination name must not \
+             mark the rename durable: {:?}",
+            cp.durable_renames
+        );
     }
 }

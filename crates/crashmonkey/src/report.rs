@@ -74,6 +74,45 @@ impl Consequence {
     }
 }
 
+impl Consequence {
+    /// Stable one-byte code for serialization (sweep checkpoints).
+    pub fn code(&self) -> u8 {
+        match self {
+            Consequence::XattrInconsistent => 0,
+            Consequence::SymlinkEmpty => 1,
+            Consequence::BlocksLost => 2,
+            Consequence::WrongSize => 3,
+            Consequence::DataCorruption => 4,
+            Consequence::DataLoss => 5,
+            Consequence::FileInBothLocations => 6,
+            Consequence::DirectoryMissing => 7,
+            Consequence::FileMissing => 8,
+            Consequence::DirectoryUnremovable => 9,
+            Consequence::CannotCreateFiles => 10,
+            Consequence::Unmountable => 11,
+        }
+    }
+
+    /// Inverse of [`Consequence::code`].
+    pub fn from_code(code: u8) -> Option<Consequence> {
+        Some(match code {
+            0 => Consequence::XattrInconsistent,
+            1 => Consequence::SymlinkEmpty,
+            2 => Consequence::BlocksLost,
+            3 => Consequence::WrongSize,
+            4 => Consequence::DataCorruption,
+            5 => Consequence::DataLoss,
+            6 => Consequence::FileInBothLocations,
+            7 => Consequence::DirectoryMissing,
+            8 => Consequence::FileMissing,
+            9 => Consequence::DirectoryUnremovable,
+            10 => Consequence::CannotCreateFiles,
+            11 => Consequence::Unmountable,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for Consequence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.describe())
@@ -113,6 +152,75 @@ impl BugReport {
     /// underlying bug: identical skeleton and consequence (§5.3).
     pub fn group_key(&self) -> (String, Consequence) {
         (self.skeleton.clone(), self.consequence)
+    }
+
+    /// Serializes the report with the workspace codec; the inverse of
+    /// [`BugReport::decode`]. Sweep checkpoints persist reports this way so
+    /// a resumed sweep reproduces the uninterrupted run's `RunSummary`.
+    pub fn encode(&self, enc: &mut b3_vfs::codec::Encoder) {
+        enc.put_str(&self.workload_name);
+        enc.put_str(&self.skeleton);
+        enc.put_str(&self.fs_name);
+        enc.put_u32(self.crash_point);
+        enc.put_u8(self.consequence.code());
+        enc.put_u64(self.all_consequences.len() as u64);
+        for consequence in &self.all_consequences {
+            enc.put_u8(consequence.code());
+        }
+        enc.put_str(&self.expected);
+        enc.put_str(&self.actual);
+        enc.put_u64(self.diffs.len() as u64);
+        for diff in &self.diffs {
+            diff.encode(enc);
+        }
+        enc.put_u64(self.write_check_failures.len() as u64);
+        for failure in &self.write_check_failures {
+            enc.put_str(failure);
+        }
+    }
+
+    /// Deserializes a report produced by [`BugReport::encode`].
+    pub fn decode(dec: &mut b3_vfs::codec::Decoder<'_>) -> b3_vfs::error::FsResult<BugReport> {
+        use b3_vfs::error::FsError;
+        let get_consequence = |dec: &mut b3_vfs::codec::Decoder<'_>| {
+            let code = dec.get_u8()?;
+            Consequence::from_code(code)
+                .ok_or_else(|| FsError::Corrupted(format!("unknown consequence code {code}")))
+        };
+        let workload_name = dec.get_str()?;
+        let skeleton = dec.get_str()?;
+        let fs_name = dec.get_str()?;
+        let crash_point = dec.get_u32()?;
+        let consequence = get_consequence(dec)?;
+        let count = dec.get_u64()? as usize;
+        let mut all_consequences = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            all_consequences.push(get_consequence(dec)?);
+        }
+        let expected = dec.get_str()?;
+        let actual = dec.get_str()?;
+        let count = dec.get_u64()? as usize;
+        let mut diffs = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            diffs.push(SnapshotDiff::decode(dec)?);
+        }
+        let count = dec.get_u64()? as usize;
+        let mut write_check_failures = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            write_check_failures.push(dec.get_str()?);
+        }
+        Ok(BugReport {
+            workload_name,
+            skeleton,
+            fs_name,
+            crash_point,
+            consequence,
+            all_consequences,
+            expected,
+            actual,
+            diffs,
+            write_check_failures,
+        })
     }
 }
 
@@ -262,6 +370,43 @@ mod tests {
         assert!(text.contains("16384"));
         assert!(text.contains("crash point 2"));
         assert_eq!(report.group_key().1, Consequence::DataLoss);
+    }
+
+    #[test]
+    fn bug_report_codec_round_trips() {
+        let report = BugReport {
+            workload_name: "seq-2-0001234".into(),
+            skeleton: "rename-fsync".into(),
+            fs_name: "cowfs".into(),
+            crash_point: 3,
+            consequence: Consequence::FileInBothLocations,
+            all_consequences: vec![Consequence::FileMissing, Consequence::FileInBothLocations],
+            expected: "persisted: B/foo".into(),
+            actual: "A/foo resurrected".into(),
+            diffs: vec![
+                SnapshotDiff::Unexpected {
+                    path: "A/foo".into(),
+                },
+                SnapshotDiff::SizeMismatch {
+                    path: "B/foo".into(),
+                    expected: 8192,
+                    actual: 0,
+                },
+            ],
+            write_check_failures: vec!["directory 'A' cannot be removed".into()],
+        };
+        let mut enc = b3_vfs::codec::Encoder::new();
+        report.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = b3_vfs::codec::Decoder::new(&bytes);
+        let decoded = BugReport::decode(&mut dec).unwrap();
+        assert_eq!(decoded, report);
+        assert!(dec.is_exhausted());
+
+        for code in 0..=11u8 {
+            assert_eq!(Consequence::from_code(code).unwrap().code(), code);
+        }
+        assert!(Consequence::from_code(99).is_none());
     }
 
     #[test]

@@ -64,6 +64,15 @@ pub struct CowBugs {
     /// bugs: workloads 11 and 22; the file-rename half of new bug 4.)
     pub fsync_renamed_file_skips_new_name: bool,
 
+    /// fsync of a renamed file logs, alongside the correct new name, a stale
+    /// back-reference that replay instantiates as a *fresh* inode carrying
+    /// the committed (pre-rename) contents under the old name. After
+    /// `rename; fsync(new); crash`, recovery shows the old name as a
+    /// **distinct** inode — so the same-inode rename-atomicity check stays
+    /// silent and only an op-order-aware durable-rename check catches it.
+    /// (ROADMAP "Rename-atomicity coverage"; corpus entry `ext-01`.)
+    pub durable_rename_resurrects_old_inode: bool,
+
     /// When fsyncing a file created at a name that used to belong to a
     /// different (renamed-away) inode, the renamed inode's new location is
     /// not logged and the old file disappears entirely. (Known bug:
@@ -177,6 +186,8 @@ fn bug_windows() -> Vec<BugWindow> {
         window!(fsync_skips_other_names, V3_13, None),              // new bugs 5 & 7 (2014)
         window!(dir_fsync_skips_new_files, V3_16, None),            // new bug 6 (2014)
         window!(falloc_keep_size_not_logged, V3_13, None),          // new bug 8 (2014)
+        // --- beyond the paper: durable-rename distinct-inode resurrection ----
+        window!(durable_rename_resurrects_old_inode, V4_16, None),
     ]
 }
 
@@ -218,6 +229,7 @@ impl CowBugs {
             ranged_msync_clears_dirty,
             fsync_skips_other_names,
             fsync_renamed_file_skips_new_name,
+            durable_rename_resurrects_old_inode,
             rename_source_not_logged,
             fsync_logs_sibling_dentries,
             dir_fsync_skips_new_files,
@@ -240,6 +252,7 @@ impl CowBugs {
             ranged_msync_clears_dirty,
             fsync_skips_other_names,
             fsync_renamed_file_skips_new_name,
+            durable_rename_resurrects_old_inode,
             rename_source_not_logged,
             fsync_logs_sibling_dentries,
             dir_fsync_skips_new_files,
@@ -301,6 +314,13 @@ mod tests {
 
     #[test]
     fn all_enables_everything() {
-        assert_eq!(CowBugs::all().count_enabled(), 20);
+        assert_eq!(CowBugs::all().count_enabled(), 21);
+    }
+
+    #[test]
+    fn durable_rename_resurrection_is_evaluation_kernel_only() {
+        assert!(CowBugs::for_era(KernelEra::V4_16).durable_rename_resurrects_old_inode);
+        assert!(!CowBugs::for_era(KernelEra::V4_15).durable_rename_resurrects_old_inode);
+        assert!(!CowBugs::for_era(KernelEra::Patched).durable_rename_resurrects_old_inode);
     }
 }

@@ -146,7 +146,7 @@ impl CowFs {
                 self.recorder_state
                     .punched
                     .entry(ino)
-                    .or_insert_with(Vec::new)
+                    .or_default()
                     .push((offset, len));
             }
         }

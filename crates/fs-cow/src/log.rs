@@ -431,6 +431,35 @@ impl Recorder<'_> {
             }
         }
 
+        // Durable-rename resurrection bug: after the correct rename items,
+        // the log carries a stale back-reference for every removed name —
+        // an Inode item with a *fresh* inode number holding the committed
+        // (pre-rename) contents, plus a dentry pointing the old name at it.
+        // Replay instantiates the ghost, so the old name reappears as a
+        // **distinct** inode after recovery. Only renames of files that
+        // existed at the last commit have stale content to resurrect.
+        if self.bugs.durable_rename_resurrects_old_inode && was_renamed {
+            for (offset, name) in removed_names.iter().enumerate() {
+                let (Ok((dir_ino, entry_name)), Some(committed_inode)) = (
+                    self.resolve_committed_parent(name),
+                    self.committed.inode(ino),
+                ) else {
+                    continue;
+                };
+                let ghost_ino = self.working.next_ino() + offset as u64;
+                let mut ghost = committed_inode.clone();
+                ghost.ino = ghost_ino;
+                ghost.nlink = 1;
+                ghost.entries.clear();
+                items.push(LogItem::Inode { inode: ghost });
+                items.push(LogItem::DentryAdd {
+                    dir_ino,
+                    name: entry_name,
+                    child_ino: ghost_ino,
+                });
+            }
+        }
+
         for (dir_ino, name) in stale_logged_names {
             items.push(LogItem::DentryRemove {
                 dir_ino,
@@ -1189,6 +1218,54 @@ mod tests {
         assert!(recovered.exists("A/foo"), "old name persists with the bug");
         assert!(!recovered.exists("A/bar"));
 
+        let good = record(
+            &working,
+            &committed,
+            &CowBugs::none(),
+            "A/bar",
+            SyncKind::Fsync,
+        );
+        let recovered = replay(&committed, &LogTree { items: good }, &CowBugs::none()).unwrap();
+        assert!(recovered.exists("A/bar"));
+        assert!(!recovered.exists("A/foo"));
+    }
+
+    #[test]
+    fn durable_rename_resurrects_old_name_as_distinct_inode() {
+        // write A/foo; sync; rename A/foo A/bar; fsync A/bar — with the bug,
+        // recovery shows A/foo again, holding the committed content but a
+        // *different* inode than A/bar.
+        let mut committed = MemTree::new();
+        committed.mkdir("A").unwrap();
+        committed.create_file("A/foo").unwrap();
+        committed.write("A/foo", 0, &[5u8; 8192]).unwrap();
+        let mut working = committed.clone();
+        working.rename("A/foo", "A/bar").unwrap();
+
+        let bugs = CowBugs {
+            durable_rename_resurrects_old_inode: true,
+            ..CowBugs::none()
+        };
+        let items = record(&working, &committed, &bugs, "A/bar", SyncKind::Fsync);
+        let recovered = replay(&committed, &LogTree { items }, &bugs).unwrap();
+        assert!(recovered.exists("A/bar"), "the rename itself is durable");
+        assert!(
+            recovered.exists("A/foo"),
+            "the old name must be resurrected"
+        );
+        let old_ino = recovered.resolve("A/foo").unwrap();
+        let new_ino = recovered.resolve("A/bar").unwrap();
+        assert_ne!(
+            old_ino, new_ino,
+            "the resurrected old name must be a distinct inode"
+        );
+        assert_eq!(
+            recovered.metadata("A/foo").unwrap().size,
+            8192,
+            "the ghost carries the committed contents"
+        );
+
+        // Without the bug the old name is gone after recovery.
         let good = record(
             &working,
             &committed,

@@ -547,10 +547,27 @@ pub fn new_bugs() -> Vec<CorpusEntry> {
     ]
 }
 
-/// All corpus entries (known then new).
+/// Bugs beyond the paper's tables, found by extending the checker (the
+/// ROADMAP's coverage items). Kept separate so the Table 4/5 counts the
+/// paper reports stay exact.
+pub fn extended_bugs() -> Vec<CorpusEntry> {
+    vec![CorpusEntry {
+        id: "ext-01",
+        title: "durable rename resurrects the old name as a distinct inode",
+        fs: FsKind::Cow,
+        era: KernelEra::V4_16,
+        workload_text: "[setup]\nmkdir A\nmkdir B\ncreat A/foo\n[ops]\nwrite A/foo 0 8192\nsync\nrename A/foo B/foo\nfsync B/foo",
+        expected: &[FileInBothLocations],
+        status: ReproStatus::Reproduced,
+        note: "rename; fsync(new); crash — log replay instantiates a stale back-reference as a fresh inode under the old name; invisible to the same-inode atomicity check, caught by the op-order-aware durable-rename check",
+    }]
+}
+
+/// All corpus entries (known, new, then extended).
 pub fn all_entries() -> Vec<CorpusEntry> {
     let mut entries = known_bugs();
     entries.extend(new_bugs());
+    entries.extend(extended_bugs());
     entries
 }
 

@@ -8,7 +8,12 @@
 //!   consequence), and the machinery to replay them under CrashMonkey.
 //! * [`runner`] — a multi-threaded runner that drives CrashMonkey over a
 //!   stream of ACE-generated workloads (the in-process analogue of the
-//!   paper's 65-node / 780-VM Chameleon cluster).
+//!   paper's 65-node / 780-VM Chameleon cluster), pulling chunks from the
+//!   stream and reporting progress periodically.
+//! * [`sweep`] — sharded, resumable sweeps: workers steal whole generator
+//!   shards ([`b3_ace::Bounds::shard`]), completed shards are recorded in a
+//!   serializable [`sweep::SweepCheckpoint`], and a killed sweep resumes
+//!   where it left off.
 //! * [`postprocess`] — bug-report de-duplication: grouping by skeleton and
 //!   consequence, and filtering against the database of known bugs (§5.3,
 //!   Figure 5).
@@ -24,8 +29,10 @@ pub mod postprocess;
 pub mod report;
 pub mod runner;
 pub mod study;
+pub mod sweep;
 
 pub use corpus::{CorpusEntry, FsKind, ReproStatus};
 pub use postprocess::{group_reports, BugGroup, KnownBugDatabase};
 pub use report::Table;
-pub use runner::{run_stream, RunConfig, RunSummary};
+pub use runner::{run_stream, run_stream_observed, RunConfig, RunSummary};
+pub use sweep::{Progress, Sweep, SweepCheckpoint};

@@ -50,9 +50,9 @@ impl Table {
         }
         let render_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..columns {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:<width$}  ", width = widths[i]));
+                line.push_str(&format!("{cell:<width$}  "));
             }
             line.trim_end().to_string()
         };

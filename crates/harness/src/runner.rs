@@ -4,16 +4,23 @@
 //! machines on a 65-node Chameleon Cloud cluster; each VM runs one
 //! CrashMonkey instance over its share of the workloads (§6.1). In this
 //! reproduction the fan-out is in-process: a pool of worker threads pulls
-//! workloads from a shared stream, each worker owning its own CrashMonkey
+//! *chunks* of workloads from a shared stream (one lock acquisition per
+//! chunk, not per workload), each worker owning its own CrashMonkey
 //! instance, and the per-workload outcomes are folded into one summary.
+//!
+//! For sharded, resumable sweeps over ACE-generated spaces — where workers
+//! steal whole generator shards instead of chunks of a single iterator —
+//! see [`crate::sweep`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use b3_crashmonkey::{BugReport, CrashMonkey, CrashMonkeyConfig, WorkloadOutcome};
 use b3_vfs::fs::FsSpec;
 use b3_vfs::workload::Workload;
+
+use crate::sweep::Progress;
 
 /// Runner configuration.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +30,13 @@ pub struct RunConfig {
     /// Stop after this many workloads have produced bug reports (None = run
     /// the whole stream).
     pub stop_after_bugs: Option<usize>,
+    /// Workload budget: stop after pulling this many workloads from the
+    /// stream (None = run the whole stream). The `--stop-after` knob of the
+    /// examples.
+    pub stop_after_workloads: Option<usize>,
+    /// How many workloads a worker pulls from the shared stream per lock
+    /// acquisition.
+    pub chunk_size: usize,
     /// CrashMonkey configuration used by every worker.
     pub crashmonkey: CrashMonkeyConfig,
 }
@@ -34,6 +48,8 @@ impl Default for RunConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
             stop_after_bugs: None,
+            stop_after_workloads: None,
+            chunk_size: 64,
             crashmonkey: CrashMonkeyConfig::small(),
         }
     }
@@ -75,45 +91,201 @@ impl RunSummary {
     }
 }
 
-/// Runs CrashMonkey over every workload in `workloads` using `threads`
-/// worker threads.
+/// Live counters shared between workers and the progress monitor.
+pub(crate) struct LiveCounters {
+    pub tested: AtomicUsize,
+    pub skipped: AtomicUsize,
+    pub bugs: AtomicUsize,
+    pub completed_shards: AtomicUsize,
+}
+
+impl LiveCounters {
+    pub fn new() -> Self {
+        LiveCounters {
+            tested: AtomicUsize::new(0),
+            skipped: AtomicUsize::new(0),
+            bugs: AtomicUsize::new(0),
+            completed_shards: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn snapshot(
+        &self,
+        started: Instant,
+        total_workloads: Option<u64>,
+        total_shards: usize,
+        seeded_shards: usize,
+    ) -> Progress {
+        let tested = self.tested.load(Ordering::Relaxed);
+        let skipped = self.skipped.load(Ordering::Relaxed);
+        let elapsed = started.elapsed();
+        let completed_shards = self.completed_shards.load(Ordering::Relaxed);
+        // ETA from shard completion this run: shards are near-equal slices
+        // of the candidate space, and unlike tested-workload counts the
+        // shard total is exact, so the estimate converges to zero.
+        let done_this_run = completed_shards.saturating_sub(seeded_shards);
+        let remaining = total_shards.saturating_sub(completed_shards);
+        let eta = (total_shards > 0 && done_this_run > 0 && remaining > 0)
+            .then(|| elapsed.mul_f64(remaining as f64 / done_this_run as f64));
+        Progress {
+            tested,
+            skipped,
+            bugs: self.bugs.load(Ordering::Relaxed),
+            completed_shards,
+            total_shards,
+            total_workloads,
+            elapsed,
+            eta,
+        }
+    }
+}
+
+/// Releases the progress monitor when the last worker exits — via `Drop`,
+/// so a panicking worker (e.g. a failed debug assertion) still shuts the
+/// monitor down instead of hanging the thread scope forever.
+pub(crate) struct WorkerGuard<'a> {
+    active: &'a AtomicUsize,
+    done: &'a AtomicBool,
+}
+
+impl<'a> WorkerGuard<'a> {
+    pub fn new(active: &'a AtomicUsize, done: &'a AtomicBool) -> Self {
+        WorkerGuard { active, done }
+    }
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.done.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Spawns the periodic progress-monitor thread inside `scope`. Fires the
+/// callback every `interval` until `done` is set, then once more with the
+/// final counters.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_progress_monitor<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    callback: &'env (dyn Fn(&Progress) + Sync),
+    counters: &'env LiveCounters,
+    done: &'env AtomicBool,
+    started: Instant,
+    interval: Duration,
+    total_workloads: Option<u64>,
+    total_shards: usize,
+    seeded_shards: usize,
+) {
+    scope.spawn(move || {
+        let mut last_fired = Instant::now();
+        while !done.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(20));
+            if last_fired.elapsed() >= interval {
+                callback(&counters.snapshot(started, total_workloads, total_shards, seeded_shards));
+                last_fired = Instant::now();
+            }
+        }
+        callback(&counters.snapshot(started, total_workloads, total_shards, seeded_shards));
+    });
+}
+
+/// Runs CrashMonkey over every workload in `workloads` using
+/// `config.threads` worker threads pulling chunks from the shared stream.
 pub fn run_stream<I>(spec: &(dyn FsSpec + Sync), workloads: I, config: &RunConfig) -> RunSummary
 where
     I: IntoIterator<Item = Workload>,
     I::IntoIter: Send,
 {
+    run_stream_observed(spec, workloads, config, None, Duration::from_secs(1))
+}
+
+/// [`run_stream`] with a periodic progress callback (fired roughly every
+/// `interval`, plus once with the final counters).
+pub fn run_stream_observed<I>(
+    spec: &(dyn FsSpec + Sync),
+    workloads: I,
+    config: &RunConfig,
+    progress: Option<&(dyn Fn(&Progress) + Sync)>,
+    interval: Duration,
+) -> RunSummary
+where
+    I: IntoIterator<Item = Workload>,
+    I::IntoIter: Send,
+{
+    struct Queue<I> {
+        iterator: I,
+        pulled: usize,
+    }
+
     let start = Instant::now();
-    let queue = Mutex::new(workloads.into_iter());
+    let queue = Mutex::new(Queue {
+        iterator: workloads.into_iter(),
+        pulled: 0,
+    });
     let summary = Mutex::new(RunSummary::default());
-    let bug_count = AtomicUsize::new(0);
+    let counters = LiveCounters::new();
+    let done = AtomicBool::new(false);
     let threads = config.threads.max(1);
+    let active_workers = AtomicUsize::new(threads);
+    let chunk_size = config.chunk_size.max(1);
+    let budget = config.stop_after_workloads.unwrap_or(usize::MAX);
 
     std::thread::scope(|scope| {
+        if let Some(callback) = progress {
+            spawn_progress_monitor(
+                scope, callback, &counters, &done, start, interval, None, 0, 0,
+            );
+        }
         for _ in 0..threads {
             scope.spawn(|| {
+                let _guard = WorkerGuard::new(&active_workers, &done);
                 let monkey = CrashMonkey::with_config(spec, config.crashmonkey);
-                loop {
+                let mut chunk: Vec<Workload> = Vec::with_capacity(chunk_size);
+                'work: loop {
                     if let Some(limit) = config.stop_after_bugs {
-                        if bug_count.load(Ordering::Relaxed) >= limit {
-                            return;
+                        if counters.bugs.load(Ordering::Relaxed) >= limit {
+                            break 'work;
                         }
                     }
-                    let workload = {
-                        let mut iterator = queue.lock().expect("queue poisoned");
-                        iterator.next()
-                    };
-                    let Some(workload) = workload else { return };
-                    match monkey.test_workload(&workload) {
-                        Ok(outcome) => {
-                            if outcome.found_bug() {
-                                bug_count.fetch_add(1, Ordering::Relaxed);
+                    chunk.clear();
+                    {
+                        let mut queue = queue.lock().expect("queue poisoned");
+                        while queue.pulled < budget && chunk.len() < chunk_size {
+                            match queue.iterator.next() {
+                                Some(workload) => {
+                                    queue.pulled += 1;
+                                    chunk.push(workload);
+                                }
+                                None => break,
                             }
-                            record(&summary, outcome);
                         }
-                        Err(error) => {
-                            let mut summary = summary.lock().expect("summary poisoned");
-                            summary.skipped += 1;
-                            drop(error);
+                    }
+                    if chunk.is_empty() {
+                        break 'work;
+                    }
+                    for workload in chunk.drain(..) {
+                        // Re-check the bug limit per workload, not just per
+                        // chunk, so the overshoot past `stop_after_bugs` is
+                        // bounded by the number of workers, not chunk size.
+                        if let Some(limit) = config.stop_after_bugs {
+                            if counters.bugs.load(Ordering::Relaxed) >= limit {
+                                break 'work;
+                            }
+                        }
+                        match monkey.test_workload(&workload) {
+                            Ok(outcome) => {
+                                if outcome.found_bug() {
+                                    counters.bugs.fetch_add(1, Ordering::Relaxed);
+                                }
+                                record(&summary, &counters, outcome);
+                            }
+                            Err(error) => {
+                                counters.skipped.fetch_add(1, Ordering::Relaxed);
+                                let mut summary = summary.lock().expect("summary poisoned");
+                                summary.skipped += 1;
+                                drop(error);
+                            }
                         }
                     }
                 }
@@ -126,7 +298,12 @@ where
     summary
 }
 
-fn record(summary: &Mutex<RunSummary>, outcome: WorkloadOutcome) {
+fn record(summary: &Mutex<RunSummary>, counters: &LiveCounters, outcome: WorkloadOutcome) {
+    if outcome.skipped.is_some() {
+        counters.skipped.fetch_add(1, Ordering::Relaxed);
+    } else {
+        counters.tested.fetch_add(1, Ordering::Relaxed);
+    }
     let mut summary = summary.lock().expect("summary poisoned");
     if outcome.skipped.is_some() {
         summary.skipped += 1;
@@ -192,11 +369,50 @@ mod tests {
         let workloads: Vec<Workload> = WorkloadGenerator::new(Bounds::tiny()).collect();
         let config = RunConfig {
             threads: 1,
+            chunk_size: 1,
             stop_after_bugs: Some(1),
             ..RunConfig::default()
         };
         let summary = run_stream(&spec, workloads.clone(), &config);
         assert!(summary.tested <= workloads.len());
         assert!(!summary.reports.is_empty());
+    }
+
+    #[test]
+    fn stop_after_workloads_budget_is_respected() {
+        let spec = CowFsSpec::patched();
+        let workloads: Vec<Workload> = WorkloadGenerator::new(Bounds::tiny()).collect();
+        assert!(workloads.len() > 5);
+        let config = RunConfig {
+            threads: 2,
+            stop_after_workloads: Some(5),
+            ..RunConfig::default()
+        };
+        let summary = run_stream(&spec, workloads, &config);
+        assert_eq!(summary.tested + summary.skipped, 5);
+    }
+
+    #[test]
+    fn progress_callback_fires_with_final_counters() {
+        use std::sync::atomic::AtomicUsize;
+        let spec = CowFsSpec::patched();
+        let workloads: Vec<Workload> = WorkloadGenerator::new(Bounds::tiny()).collect();
+        let total = workloads.len();
+        let calls = AtomicUsize::new(0);
+        let last_processed = AtomicUsize::new(0);
+        let callback = |p: &Progress| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            last_processed.store(p.tested + p.skipped, Ordering::Relaxed);
+        };
+        let summary = run_stream_observed(
+            &spec,
+            workloads,
+            &RunConfig::default(),
+            Some(&callback),
+            Duration::from_millis(1),
+        );
+        assert!(calls.load(Ordering::Relaxed) >= 1, "final callback fires");
+        assert_eq!(last_processed.load(Ordering::Relaxed), total);
+        assert_eq!(summary.tested + summary.skipped, total);
     }
 }

@@ -1,0 +1,568 @@
+//! Sharded, resumable sweeps over ACE-generated workload spaces.
+//!
+//! Where [`crate::runner::run_stream`] fans a single workload iterator out
+//! to worker threads, a [`Sweep`] splits the bounded space itself into
+//! deterministic generator shards ([`Bounds::shard`]) and lets workers
+//! *steal whole shards*: claiming a shard is one atomic increment, and
+//! inside a shard a worker drives its own `WorkloadGenerator` with no
+//! shared state at all — the in-process analogue of the paper copying
+//! workload subsets to 780 VMs (§6.1).
+//!
+//! Because every shard is independently enumerable, a sweep can stop and
+//! resume: a [`SweepCheckpoint`] records the per-shard results of every
+//! *completed* shard (serialized with the workspace codec), and a resumed
+//! sweep re-runs only the shards the checkpoint is missing. A killed sweep
+//! therefore converges to exactly the same [`RunSummary`] counts as an
+//! uninterrupted one — partially processed shards are simply re-run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use b3_ace::{Bounds, WorkloadGenerator};
+use b3_crashmonkey::{BugReport, CrashMonkey};
+use b3_vfs::codec::{Decoder, Encoder};
+use b3_vfs::error::{FsError, FsResult};
+use b3_vfs::fs::FsSpec;
+
+use crate::runner::{spawn_progress_monitor, LiveCounters, RunConfig, RunSummary};
+
+/// A point-in-time view of a running sweep, handed to progress callbacks.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Workloads tested so far (including resumed shards).
+    pub tested: usize,
+    /// Workloads skipped so far.
+    pub skipped: usize,
+    /// Workloads that produced at least one bug report.
+    pub bugs: usize,
+    /// Shards fully completed (including ones restored from a checkpoint).
+    pub completed_shards: usize,
+    /// Total shards in the sweep (0 when running over a plain stream).
+    pub total_shards: usize,
+    /// Upper bound on the total workloads of the space, when known.
+    pub total_workloads: Option<u64>,
+    /// Wall-clock time since the sweep (or this resume) started.
+    pub elapsed: Duration,
+    /// Estimated time to completion, extrapolated from throughput so far.
+    pub eta: Option<Duration>,
+}
+
+impl Progress {
+    /// One-line human-readable rendering (used by the examples).
+    pub fn describe(&self) -> String {
+        let mut line = format!(
+            "tested {} / skipped {} / bugs {}",
+            self.tested, self.skipped, self.bugs
+        );
+        if self.total_shards > 0 {
+            line.push_str(&format!(
+                " | shards {}/{}",
+                self.completed_shards, self.total_shards
+            ));
+        }
+        if let Some(total) = self.total_workloads {
+            line.push_str(&format!(" | ~{total} candidates"));
+        }
+        line.push_str(&format!(" | {:.1?} elapsed", self.elapsed));
+        if let Some(eta) = self.eta {
+            line.push_str(&format!(" | ~{:.0?} left", eta));
+        }
+        line
+    }
+}
+
+/// The recorded outcome of one completed shard.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ShardResult {
+    tested: u64,
+    skipped: u64,
+    /// Workloads that produced at least one bug report.
+    buggy: u64,
+    workload_time_nanos: u64,
+    reports: Vec<BugReport>,
+}
+
+const CHECKPOINT_MAGIC: u32 = 0x4233_5357; // "B3SW"
+
+/// Persistent record of a sweep's completed shards.
+///
+/// Serialized with the workspace codec ([`SweepCheckpoint::to_bytes`] /
+/// [`SweepCheckpoint::from_bytes`]); the caller decides where the bytes
+/// live (a file, for the examples). The fingerprint ties a checkpoint to
+/// one (bounds, shard count) pair so a stale checkpoint is rejected instead
+/// of silently mis-resuming.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCheckpoint {
+    fingerprint: String,
+    num_shards: u32,
+    results: BTreeMap<u32, ShardResult>,
+}
+
+impl SweepCheckpoint {
+    /// An empty checkpoint for sweeping `bounds` split into `num_shards`.
+    pub fn new(bounds: &Bounds, num_shards: usize) -> Self {
+        SweepCheckpoint {
+            fingerprint: Self::fingerprint_for(bounds, num_shards),
+            num_shards: num_shards as u32,
+            results: BTreeMap::new(),
+        }
+    }
+
+    fn fingerprint_for(bounds: &Bounds, num_shards: usize) -> String {
+        // Every knob that affects which workloads the space enumerates (or
+        // their order) participates: the op list is order-sensitive on
+        // purpose, `describe()` covers the file-set and pattern bounds, and
+        // the persistence flags distinguish same-sized phase-3 choices.
+        let ops: Vec<String> = bounds.ops.iter().map(|op| format!("{op:?}")).collect();
+        let p = &bounds.persistence;
+        format!(
+            "{}/seq{}/[{}]/{}/p{}{}{}{}/{}cand/{}shards",
+            bounds.name_prefix,
+            bounds.seq_len,
+            ops.join(","),
+            bounds.describe(),
+            u8::from(p.fsync),
+            u8::from(p.fdatasync),
+            u8::from(p.sync),
+            u8::from(p.allow_none),
+            WorkloadGenerator::estimate_candidates(bounds),
+            num_shards
+        )
+    }
+
+    /// True when this checkpoint belongs to the given bounds and shard
+    /// count.
+    pub fn matches(&self, bounds: &Bounds, num_shards: usize) -> bool {
+        self.fingerprint == Self::fingerprint_for(bounds, num_shards)
+            && self.num_shards as usize == num_shards
+    }
+
+    /// Number of shards the sweep is split into.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards as usize
+    }
+
+    /// Shards whose results are recorded.
+    pub fn completed_shards(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True once every shard's result is recorded.
+    pub fn is_complete(&self) -> bool {
+        self.results.len() == self.num_shards as usize
+    }
+
+    /// Aggregates all recorded shard results into a summary (elapsed time is
+    /// zero — the checkpoint records work, not wall-clock).
+    pub fn summary(&self) -> RunSummary {
+        let mut summary = RunSummary::default();
+        for result in self.results.values() {
+            summary.tested += result.tested as usize;
+            summary.skipped += result.skipped as usize;
+            summary.total_workload_time += Duration::from_nanos(result.workload_time_nanos);
+            summary.reports.extend(result.reports.iter().cloned());
+        }
+        summary
+    }
+
+    fn record(&mut self, shard: u32, result: ShardResult) {
+        self.results.insert(shard, result);
+    }
+
+    /// Serializes the checkpoint.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u32(CHECKPOINT_MAGIC);
+        enc.put_str(&self.fingerprint);
+        enc.put_u32(self.num_shards);
+        enc.put_u64(self.results.len() as u64);
+        for (shard, result) in &self.results {
+            enc.put_u32(*shard);
+            enc.put_u64(result.tested);
+            enc.put_u64(result.skipped);
+            enc.put_u64(result.buggy);
+            enc.put_u64(result.workload_time_nanos);
+            enc.put_u64(result.reports.len() as u64);
+            for report in &result.reports {
+                report.encode(&mut enc);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Deserializes a checkpoint produced by [`SweepCheckpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> FsResult<SweepCheckpoint> {
+        let mut dec = Decoder::new(bytes);
+        if dec.get_u32()? != CHECKPOINT_MAGIC {
+            return Err(FsError::Corrupted("bad sweep checkpoint magic".into()));
+        }
+        let fingerprint = dec.get_str()?;
+        let num_shards = dec.get_u32()?;
+        let count = dec.get_u64()? as usize;
+        let mut results = BTreeMap::new();
+        for _ in 0..count {
+            let shard = dec.get_u32()?;
+            let tested = dec.get_u64()?;
+            let skipped = dec.get_u64()?;
+            let buggy = dec.get_u64()?;
+            let workload_time_nanos = dec.get_u64()?;
+            let num_reports = dec.get_u64()? as usize;
+            let mut reports = Vec::with_capacity(num_reports.min(1024));
+            for _ in 0..num_reports {
+                reports.push(BugReport::decode(&mut dec)?);
+            }
+            results.insert(
+                shard,
+                ShardResult {
+                    tested,
+                    skipped,
+                    buggy,
+                    workload_time_nanos,
+                    reports,
+                },
+            );
+        }
+        Ok(SweepCheckpoint {
+            fingerprint,
+            num_shards,
+            results,
+        })
+    }
+}
+
+/// A sharded, resumable sweep over one bounded workload space.
+pub struct Sweep<'a> {
+    spec: &'a (dyn FsSpec + Sync),
+    config: RunConfig,
+    num_shards: usize,
+    progress: Option<&'a (dyn Fn(&Progress) + Sync)>,
+    progress_interval: Duration,
+}
+
+impl<'a> Sweep<'a> {
+    /// Creates a sweep with a default shard count of eight shards per worker
+    /// thread (small enough chunks that a killed run loses little work,
+    /// large enough that claiming stays negligible).
+    pub fn new(spec: &'a (dyn FsSpec + Sync), config: RunConfig) -> Self {
+        Sweep {
+            spec,
+            num_shards: (config.threads.max(1) * 8).max(1),
+            config,
+            progress: None,
+            progress_interval: Duration::from_secs(1),
+        }
+    }
+
+    /// Overrides the number of generator shards.
+    pub fn shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = num_shards.max(1);
+        self
+    }
+
+    /// Installs a periodic progress callback.
+    pub fn on_progress(
+        mut self,
+        callback: &'a (dyn Fn(&Progress) + Sync),
+        interval: Duration,
+    ) -> Self {
+        self.progress = Some(callback);
+        self.progress_interval = interval;
+        self
+    }
+
+    /// Runs the whole sweep in one go.
+    pub fn run(&self, bounds: &Bounds) -> RunSummary {
+        let mut checkpoint = SweepCheckpoint::new(bounds, self.num_shards);
+        self.run_resumable(bounds, &mut checkpoint)
+    }
+
+    /// Runs (or resumes) the sweep, recording every completed shard into
+    /// `checkpoint`. Shards already present in the checkpoint are not
+    /// re-run; shards interrupted by a workload budget or bug limit are not
+    /// recorded (so the next call re-runs them), but the work done inside
+    /// them still counts toward the *returned* summary — a sweep stopped by
+    /// `stop_after_bugs` reports the bugs that stopped it. Once
+    /// [`SweepCheckpoint::is_complete`], [`SweepCheckpoint::summary`] equals
+    /// an uninterrupted run's counts.
+    ///
+    /// # Panics
+    /// Panics when the checkpoint does not [`SweepCheckpoint::matches`] the
+    /// bounds and shard count of this sweep.
+    pub fn run_resumable(&self, bounds: &Bounds, checkpoint: &mut SweepCheckpoint) -> RunSummary {
+        assert!(
+            checkpoint.matches(bounds, self.num_shards),
+            "sweep checkpoint belongs to a different bounds/shard configuration"
+        );
+        let start = Instant::now();
+        let total_workloads = WorkloadGenerator::estimate_candidates(bounds);
+        let pending: Vec<u32> = (0..self.num_shards as u32)
+            .filter(|shard| !checkpoint.results.contains_key(shard))
+            .collect();
+
+        let counters = LiveCounters::new();
+        // Seed the live counters with the checkpointed work so progress
+        // reports are global, not per-resume.
+        let seeded = checkpoint.summary();
+        let seeded_buggy: u64 = checkpoint.results.values().map(|r| r.buggy).sum();
+        counters.tested.store(seeded.tested, Ordering::Relaxed);
+        counters.skipped.store(seeded.skipped, Ordering::Relaxed);
+        counters
+            .bugs
+            .store(seeded_buggy as usize, Ordering::Relaxed);
+        let checkpoint_completed = checkpoint.completed_shards();
+        counters
+            .completed_shards
+            .store(checkpoint_completed, Ordering::Relaxed);
+
+        let next_pending = AtomicUsize::new(0);
+        let budget = AtomicUsize::new(self.config.stop_after_workloads.unwrap_or(usize::MAX));
+        let done = AtomicBool::new(false);
+        let threads = self.config.threads.max(1);
+        let active_workers = AtomicUsize::new(threads);
+        let recorded: Mutex<&mut SweepCheckpoint> = Mutex::new(checkpoint);
+        // Work from shards a budget or bug limit interrupted: not recorded
+        // in the checkpoint (the resume re-runs those shards), but included
+        // in this call's summary so the stopping bug is reported.
+        let abandoned: Mutex<Vec<ShardResult>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            if let Some(callback) = self.progress {
+                spawn_progress_monitor(
+                    scope,
+                    callback,
+                    &counters,
+                    &done,
+                    start,
+                    self.progress_interval,
+                    Some(total_workloads),
+                    self.num_shards,
+                    checkpoint_completed,
+                );
+            }
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let _guard = crate::runner::WorkerGuard::new(&active_workers, &done);
+                    let monkey = CrashMonkey::with_config(self.spec, self.config.crashmonkey);
+                    'steal: loop {
+                        let slot = next_pending.fetch_add(1, Ordering::Relaxed);
+                        let Some(&shard_index) = pending.get(slot) else {
+                            break 'steal;
+                        };
+                        let shard = bounds.shard(shard_index as usize, self.num_shards);
+                        let generator = WorkloadGenerator::for_shard(bounds.clone(), &shard);
+                        let mut result = ShardResult::default();
+                        for workload in generator {
+                            let bug_limit_hit = self.config.stop_after_bugs.is_some_and(|limit| {
+                                counters.bugs.load(Ordering::Relaxed) >= limit
+                            });
+                            if bug_limit_hit || !take_budget(&budget) {
+                                // Interrupted mid-shard: keep the partial
+                                // work for this call's summary, but leave
+                                // the shard unrecorded so a resume re-runs
+                                // it in full.
+                                abandoned
+                                    .lock()
+                                    .expect("abandoned results poisoned")
+                                    .push(result);
+                                break 'steal;
+                            }
+                            match monkey.test_workload(&workload) {
+                                Ok(outcome) => {
+                                    if outcome.skipped.is_some() {
+                                        result.skipped += 1;
+                                        counters.skipped.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        result.tested += 1;
+                                        counters.tested.fetch_add(1, Ordering::Relaxed);
+                                        result.workload_time_nanos +=
+                                            outcome.timing.total.as_nanos() as u64;
+                                        if outcome.found_bug() {
+                                            result.buggy += 1;
+                                            counters.bugs.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        result.reports.extend(outcome.bugs);
+                                    }
+                                }
+                                Err(_) => {
+                                    result.skipped += 1;
+                                    counters.skipped.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        counters.completed_shards.fetch_add(1, Ordering::Relaxed);
+                        recorded
+                            .lock()
+                            .expect("checkpoint poisoned")
+                            .record(shard_index, result);
+                    }
+                });
+            }
+        });
+
+        let checkpoint = recorded.into_inner().expect("checkpoint poisoned");
+        let mut summary = checkpoint.summary();
+        for partial in abandoned.into_inner().expect("abandoned results poisoned") {
+            summary.tested += partial.tested as usize;
+            summary.skipped += partial.skipped as usize;
+            summary.total_workload_time += Duration::from_nanos(partial.workload_time_nanos);
+            summary.reports.extend(partial.reports);
+        }
+        summary.elapsed = start.elapsed();
+        summary
+    }
+}
+
+/// Decrements the shared workload budget; false when it is exhausted.
+fn take_budget(budget: &AtomicUsize) -> bool {
+    let mut remaining = budget.load(Ordering::Relaxed);
+    loop {
+        if remaining == 0 {
+            return false;
+        }
+        match budget.compare_exchange_weak(
+            remaining,
+            remaining - 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return true,
+            Err(current) => remaining = current,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b3_fs_cow::CowFsSpec;
+    use b3_vfs::KernelEra;
+
+    fn tiny_config() -> RunConfig {
+        RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_matches_run_stream_counts() {
+        let bounds = Bounds::tiny();
+        let spec = CowFsSpec::new(KernelEra::V4_16);
+        let streamed = crate::runner::run_stream(
+            &spec,
+            WorkloadGenerator::new(bounds.clone()),
+            &tiny_config(),
+        );
+        let swept = Sweep::new(&spec, tiny_config()).shards(5).run(&bounds);
+        assert_eq!(swept.tested, streamed.tested);
+        assert_eq!(swept.skipped, streamed.skipped);
+        assert_eq!(swept.reports.len(), streamed.reports.len());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_the_codec() {
+        let bounds = Bounds::tiny();
+        let spec = CowFsSpec::new(KernelEra::V4_16);
+        let mut checkpoint = SweepCheckpoint::new(&bounds, 4);
+        let sweep = Sweep::new(&spec, tiny_config()).shards(4);
+        let _ = sweep.run_resumable(&bounds, &mut checkpoint);
+        assert!(checkpoint.is_complete());
+        assert!(!checkpoint.summary().reports.is_empty());
+
+        let bytes = checkpoint.to_bytes();
+        let decoded = SweepCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, checkpoint);
+        assert!(decoded.matches(&bounds, 4));
+        assert!(!decoded.matches(&bounds, 5));
+        assert!(!decoded.matches(&Bounds::paper_seq1(), 4));
+    }
+
+    #[test]
+    fn killed_sweep_resumes_to_identical_summary() {
+        let bounds = Bounds::tiny();
+        let spec = CowFsSpec::new(KernelEra::V4_16);
+
+        let uninterrupted = Sweep::new(&spec, tiny_config()).shards(6).run(&bounds);
+
+        // Kill the sweep after a small workload budget, serialize the
+        // checkpoint (as a crash would force), resume from the decoded
+        // bytes, repeatedly, until the sweep completes. The budget covers a
+        // little more than one shard so every round makes progress but no
+        // round finishes the sweep.
+        let per_shard = WorkloadGenerator::estimate_candidates(&bounds).div_ceil(6);
+        let mut checkpoint = SweepCheckpoint::new(&bounds, 6);
+        let budgeted = RunConfig {
+            stop_after_workloads: Some(per_shard as usize + 1),
+            threads: 1,
+            ..RunConfig::default()
+        };
+        let mut rounds = 0;
+        while !checkpoint.is_complete() {
+            let sweep = Sweep::new(&spec, budgeted).shards(6);
+            let _ = sweep.run_resumable(&bounds, &mut checkpoint);
+            checkpoint = SweepCheckpoint::from_bytes(&checkpoint.to_bytes()).unwrap();
+            rounds += 1;
+            assert!(rounds < 100, "sweep must converge");
+        }
+        assert!(rounds > 1, "the budget must actually interrupt the sweep");
+
+        let resumed = checkpoint.summary();
+        assert_eq!(resumed.tested, uninterrupted.tested);
+        assert_eq!(resumed.skipped, uninterrupted.skipped);
+        assert_eq!(resumed.reports.len(), uninterrupted.reports.len());
+        // Shard-ordered aggregation makes even the report order identical.
+        let names = |s: &RunSummary| -> Vec<String> {
+            s.reports.iter().map(|r| r.workload_name.clone()).collect()
+        };
+        assert_eq!(names(&resumed), names(&uninterrupted));
+    }
+
+    #[test]
+    fn stop_after_bugs_reports_the_stopping_bug() {
+        let bounds = Bounds::tiny();
+        let spec = CowFsSpec::new(KernelEra::V4_16);
+        let config = RunConfig {
+            threads: 1,
+            stop_after_bugs: Some(1),
+            ..RunConfig::default()
+        };
+        let summary = Sweep::new(&spec, config).shards(2).run(&bounds);
+        assert!(
+            !summary.reports.is_empty(),
+            "the bug that stopped the sweep must be in the summary"
+        );
+    }
+
+    #[test]
+    fn checkpoint_rejects_reordered_op_sets() {
+        use b3_vfs::workload::OpKind;
+        let forward = Bounds::paper_seq2().with_ops(vec![OpKind::Link, OpKind::Rename]);
+        let reversed = Bounds::paper_seq2().with_ops(vec![OpKind::Rename, OpKind::Link]);
+        let checkpoint = SweepCheckpoint::new(&forward, 4);
+        assert!(checkpoint.matches(&forward, 4));
+        assert!(
+            !checkpoint.matches(&reversed, 4),
+            "reordered ops permute the enumeration; the fingerprint must differ"
+        );
+    }
+
+    #[test]
+    fn progress_reports_shard_completion() {
+        use std::sync::atomic::AtomicUsize;
+        let bounds = Bounds::tiny();
+        let spec = CowFsSpec::patched();
+        let final_shards = AtomicUsize::new(0);
+        let callback = |p: &Progress| {
+            final_shards.store(p.completed_shards, Ordering::Relaxed);
+            let _ = p.describe();
+        };
+        let summary = Sweep::new(&spec, tiny_config())
+            .shards(3)
+            .on_progress(&callback, Duration::from_millis(1))
+            .run(&bounds);
+        assert!(summary.tested > 0);
+        assert_eq!(final_shards.load(Ordering::Relaxed), 3);
+    }
+}

@@ -10,6 +10,7 @@
 //! explicitly-persisted files.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::error::{FsError, FsResult};
 use crate::fs::FileSystem;
@@ -38,9 +39,14 @@ pub struct EntrySnapshot {
 }
 
 /// A full logical capture of a file system.
+///
+/// Entries are reference-counted so snapshots can be cloned per checkpoint
+/// in O(entries) pointer bumps, with unchanged entries structurally shared
+/// between adjacent checkpoints — the representation behind the profiler's
+/// incremental oracle maintenance.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LogicalSnapshot {
-    entries: BTreeMap<String, EntrySnapshot>,
+    entries: BTreeMap<String, Arc<EntrySnapshot>>,
 }
 
 impl LogicalSnapshot {
@@ -49,6 +55,93 @@ impl LogicalSnapshot {
         let mut snapshot = LogicalSnapshot::default();
         snapshot.walk(fs, "")?;
         Ok(snapshot)
+    }
+
+    /// Captures only the given paths (plus the root directory), without
+    /// recursing into directories or reading any other file's data.
+    ///
+    /// This is the crash-state capture the AutoChecker uses: it only ever
+    /// compares explicitly persisted paths, so reading every file in the
+    /// recovered image per crash state is wasted work. Paths that do not
+    /// exist are simply absent from the result; any error other than
+    /// `NotFound` (an unreadable recovered file system) is propagated.
+    pub fn capture_paths<'p>(
+        fs: &dyn FileSystem,
+        paths: impl IntoIterator<Item = &'p str>,
+    ) -> FsResult<LogicalSnapshot> {
+        let mut snapshot = LogicalSnapshot::default();
+        snapshot.refresh_entry(fs, "")?;
+        for path in paths {
+            snapshot.refresh_entry(fs, path)?;
+        }
+        Ok(snapshot)
+    }
+
+    /// Captures the state of a single path without recursing into
+    /// directories. Returns `Ok(None)` when the path does not exist.
+    pub fn capture_entry(fs: &dyn FileSystem, path: &str) -> FsResult<Option<EntrySnapshot>> {
+        let meta = match fs.metadata(path) {
+            Ok(meta) => meta,
+            Err(FsError::NotFound(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut entry = EntrySnapshot {
+            file_type: meta.file_type,
+            size: meta.size,
+            nlink: meta.nlink,
+            blocks: meta.blocks,
+            data: None,
+            symlink_target: None,
+            children: None,
+            xattrs: meta.xattrs.clone(),
+        };
+        match meta.file_type {
+            FileType::Regular => entry.data = Some(fs.read(path, 0, meta.size)?),
+            FileType::Symlink => entry.symlink_target = Some(fs.readlink(path)?),
+            FileType::Directory => {
+                let mut names = fs.readdir(path)?;
+                names.sort();
+                entry.children = Some(names);
+            }
+            FileType::Fifo => {}
+        }
+        Ok(Some(entry))
+    }
+
+    /// Re-captures a single path: replaces the stored entry with the file
+    /// system's current state, or removes it when the path no longer exists.
+    /// Directories are refreshed shallowly (metadata and child names only).
+    pub fn refresh_entry(&mut self, fs: &dyn FileSystem, path: &str) -> FsResult<()> {
+        let path = crate::path::normalize(path);
+        match Self::capture_entry(fs, &path)? {
+            Some(entry) => {
+                self.entries.insert(path, Arc::new(entry));
+            }
+            None => {
+                self.entries.remove(&path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-captures a whole subtree: removes every stored entry at or below
+    /// `path`, then re-walks the subtree if it still exists. Used when a
+    /// rename moves a subtree so stale descendant paths do not linger.
+    pub fn refresh_subtree(&mut self, fs: &dyn FileSystem, path: &str) -> FsResult<()> {
+        let path = crate::path::normalize(path);
+        self.entries
+            .retain(|p, _| p != &path && !crate::path::is_ancestor(&path, p));
+        match fs.metadata(&path) {
+            Ok(_) => self.walk(fs, &path),
+            Err(FsError::NotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Inserts or replaces an entry verbatim (test and tooling use).
+    pub fn insert(&mut self, path: impl Into<String>, entry: EntrySnapshot) {
+        self.entries
+            .insert(crate::path::normalize(&path.into()), Arc::new(entry));
     }
 
     fn walk(&mut self, fs: &dyn FileSystem, path: &str) -> FsResult<()> {
@@ -74,7 +167,7 @@ impl LogicalSnapshot {
                 let mut names = fs.readdir(path)?;
                 names.sort();
                 entry.children = Some(names.clone());
-                self.entries.insert(path.to_string(), entry);
+                self.entries.insert(path.to_string(), Arc::new(entry));
                 for name in names {
                     match self.walk(fs, &join(path, &name)) {
                         Ok(()) => {}
@@ -88,7 +181,7 @@ impl LogicalSnapshot {
             }
             FileType::Fifo => {}
         }
-        self.entries.insert(path.to_string(), entry);
+        self.entries.insert(path.to_string(), Arc::new(entry));
         Ok(())
     }
 
@@ -105,7 +198,15 @@ impl LogicalSnapshot {
 
     /// Looks up one entry by normalized path.
     pub fn get(&self, path: &str) -> Option<&EntrySnapshot> {
-        self.entries.get(&crate::path::normalize(path))
+        self.entries
+            .get(&crate::path::normalize(path))
+            .map(Arc::as_ref)
+    }
+
+    /// Looks up one entry as a shared handle (zero-copy: the profiler's
+    /// persisted-set expectations alias oracle entries this way).
+    pub fn get_shared(&self, path: &str) -> Option<Arc<EntrySnapshot>> {
+        self.entries.get(&crate::path::normalize(path)).cloned()
     }
 
     /// Returns true if a path exists in the snapshot.
@@ -115,6 +216,13 @@ impl LogicalSnapshot {
 
     /// Iterates over `(path, entry)` pairs in path order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &EntrySnapshot)> {
+        self.entries
+            .iter()
+            .map(|(path, entry)| (path, entry.as_ref()))
+    }
+
+    /// Iterates over `(path, shared entry)` pairs in path order.
+    pub fn iter_shared(&self) -> impl Iterator<Item = (&String, &Arc<EntrySnapshot>)> {
         self.entries.iter()
     }
 
@@ -287,6 +395,191 @@ impl SnapshotDiff {
         }
     }
 
+    /// Serializes the difference with the workspace codec (used by sweep
+    /// checkpoints to persist bug reports across runs).
+    pub fn encode(&self, enc: &mut crate::codec::Encoder) {
+        fn put_file_type(enc: &mut crate::codec::Encoder, t: FileType) {
+            enc.put_u8(match t {
+                FileType::Regular => 0,
+                FileType::Directory => 1,
+                FileType::Symlink => 2,
+                FileType::Fifo => 3,
+            });
+        }
+        fn put_opt_str(enc: &mut crate::codec::Encoder, s: &Option<String>) {
+            enc.put_bool(s.is_some());
+            if let Some(s) = s {
+                enc.put_str(s);
+            }
+        }
+        match self {
+            SnapshotDiff::Missing { path } => {
+                enc.put_u8(0);
+                enc.put_str(path);
+            }
+            SnapshotDiff::Unexpected { path } => {
+                enc.put_u8(1);
+                enc.put_str(path);
+            }
+            SnapshotDiff::TypeMismatch {
+                path,
+                expected,
+                actual,
+            } => {
+                enc.put_u8(2);
+                enc.put_str(path);
+                put_file_type(enc, *expected);
+                put_file_type(enc, *actual);
+            }
+            SnapshotDiff::SizeMismatch {
+                path,
+                expected,
+                actual,
+            } => {
+                enc.put_u8(3);
+                enc.put_str(path);
+                enc.put_u64(*expected);
+                enc.put_u64(*actual);
+            }
+            SnapshotDiff::NlinkMismatch {
+                path,
+                expected,
+                actual,
+            } => {
+                enc.put_u8(4);
+                enc.put_str(path);
+                enc.put_u32(*expected);
+                enc.put_u32(*actual);
+            }
+            SnapshotDiff::BlocksMismatch {
+                path,
+                expected,
+                actual,
+            } => {
+                enc.put_u8(5);
+                enc.put_str(path);
+                enc.put_u64(*expected);
+                enc.put_u64(*actual);
+            }
+            SnapshotDiff::DataMismatch {
+                path,
+                first_difference,
+            } => {
+                enc.put_u8(6);
+                enc.put_str(path);
+                enc.put_bool(first_difference.is_some());
+                enc.put_u64(first_difference.unwrap_or(0));
+            }
+            SnapshotDiff::SymlinkMismatch {
+                path,
+                expected,
+                actual,
+            } => {
+                enc.put_u8(7);
+                enc.put_str(path);
+                put_opt_str(enc, expected);
+                put_opt_str(enc, actual);
+            }
+            SnapshotDiff::XattrMismatch {
+                path,
+                expected,
+                actual,
+            } => {
+                enc.put_u8(8);
+                enc.put_str(path);
+                enc.put_u64(expected.len() as u64);
+                for name in expected {
+                    enc.put_str(name);
+                }
+                enc.put_u64(actual.len() as u64);
+                for name in actual {
+                    enc.put_str(name);
+                }
+            }
+        }
+    }
+
+    /// Deserializes a difference produced by [`SnapshotDiff::encode`].
+    pub fn decode(dec: &mut crate::codec::Decoder<'_>) -> FsResult<SnapshotDiff> {
+        fn get_file_type(dec: &mut crate::codec::Decoder<'_>) -> FsResult<FileType> {
+            Ok(match dec.get_u8()? {
+                0 => FileType::Regular,
+                1 => FileType::Directory,
+                2 => FileType::Symlink,
+                3 => FileType::Fifo,
+                other => {
+                    return Err(FsError::Corrupted(format!(
+                        "unknown file type code {other}"
+                    )))
+                }
+            })
+        }
+        fn get_opt_str(dec: &mut crate::codec::Decoder<'_>) -> FsResult<Option<String>> {
+            Ok(if dec.get_bool()? {
+                Some(dec.get_str()?)
+            } else {
+                None
+            })
+        }
+        fn get_strings(dec: &mut crate::codec::Decoder<'_>) -> FsResult<Vec<String>> {
+            let count = dec.get_u64()? as usize;
+            let mut out = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                out.push(dec.get_str()?);
+            }
+            Ok(out)
+        }
+        let tag = dec.get_u8()?;
+        let path = dec.get_str()?;
+        Ok(match tag {
+            0 => SnapshotDiff::Missing { path },
+            1 => SnapshotDiff::Unexpected { path },
+            2 => SnapshotDiff::TypeMismatch {
+                path,
+                expected: get_file_type(dec)?,
+                actual: get_file_type(dec)?,
+            },
+            3 => SnapshotDiff::SizeMismatch {
+                path,
+                expected: dec.get_u64()?,
+                actual: dec.get_u64()?,
+            },
+            4 => SnapshotDiff::NlinkMismatch {
+                path,
+                expected: dec.get_u32()?,
+                actual: dec.get_u32()?,
+            },
+            5 => SnapshotDiff::BlocksMismatch {
+                path,
+                expected: dec.get_u64()?,
+                actual: dec.get_u64()?,
+            },
+            6 => {
+                let has = dec.get_bool()?;
+                let offset = dec.get_u64()?;
+                SnapshotDiff::DataMismatch {
+                    path,
+                    first_difference: has.then_some(offset),
+                }
+            }
+            7 => SnapshotDiff::SymlinkMismatch {
+                path,
+                expected: get_opt_str(dec)?,
+                actual: get_opt_str(dec)?,
+            },
+            8 => SnapshotDiff::XattrMismatch {
+                path,
+                expected: get_strings(dec)?,
+                actual: get_strings(dec)?,
+            },
+            other => {
+                return Err(FsError::Corrupted(format!(
+                    "unknown snapshot diff tag {other}"
+                )))
+            }
+        })
+    }
+
     /// Short tag used when grouping bug reports.
     pub fn tag(&self) -> &'static str {
         match self {
@@ -414,7 +707,7 @@ mod tests {
     fn snapshot_with(entries: Vec<(&str, EntrySnapshot)>) -> LogicalSnapshot {
         let mut snapshot = LogicalSnapshot::default();
         for (path, e) in entries {
-            snapshot.entries.insert(path.to_string(), e);
+            snapshot.entries.insert(path.to_string(), Arc::new(e));
         }
         snapshot
     }
@@ -461,6 +754,62 @@ mod tests {
             ("foo", entry(FileType::Regular, 512)),
         ]);
         assert!(a.diff_all(&a.clone()).is_empty());
+    }
+
+    #[test]
+    fn diff_codec_round_trips_every_variant() {
+        let diffs = vec![
+            SnapshotDiff::Missing { path: "a".into() },
+            SnapshotDiff::Unexpected { path: "b".into() },
+            SnapshotDiff::TypeMismatch {
+                path: "c".into(),
+                expected: FileType::Regular,
+                actual: FileType::Directory,
+            },
+            SnapshotDiff::SizeMismatch {
+                path: "d".into(),
+                expected: 4096,
+                actual: 0,
+            },
+            SnapshotDiff::NlinkMismatch {
+                path: "e".into(),
+                expected: 2,
+                actual: 1,
+            },
+            SnapshotDiff::BlocksMismatch {
+                path: "f".into(),
+                expected: 32,
+                actual: 8,
+            },
+            SnapshotDiff::DataMismatch {
+                path: "g".into(),
+                first_difference: Some(17),
+            },
+            SnapshotDiff::DataMismatch {
+                path: "h".into(),
+                first_difference: None,
+            },
+            SnapshotDiff::SymlinkMismatch {
+                path: "i".into(),
+                expected: Some("target".into()),
+                actual: None,
+            },
+            SnapshotDiff::XattrMismatch {
+                path: "j".into(),
+                expected: vec!["user.a".into(), "user.b".into()],
+                actual: vec![],
+            },
+        ];
+        let mut enc = crate::codec::Encoder::new();
+        for diff in &diffs {
+            diff.encode(&mut enc);
+        }
+        let bytes = enc.finish();
+        let mut dec = crate::codec::Decoder::new(&bytes);
+        for diff in &diffs {
+            assert_eq!(&SnapshotDiff::decode(&mut dec).unwrap(), diff);
+        }
+        assert!(dec.is_exhausted());
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Command-line helpers shared by the examples (included via `#[path]`).
+
+/// Parses `--stop-after N` / `--stop-after=N` from the command line: a
+/// workload budget for the example's sweeps. Returns `None` when absent.
+pub fn parse_stop_after() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--stop-after" {
+            let value = args.next().expect("--stop-after needs a number");
+            return Some(value.parse().expect("--stop-after needs a number"));
+        }
+        if let Some(value) = arg.strip_prefix("--stop-after=") {
+            return Some(value.parse().expect("--stop-after needs a number"));
+        }
+    }
+    None
+}

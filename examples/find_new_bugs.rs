@@ -4,21 +4,43 @@
 //!
 //! The full 3.37M-workload sweep of the paper takes a cluster two days; this
 //! example runs the exhaustive seq-1 space plus a targeted seq-2 subspace on
-//! one machine in seconds, and additionally verifies that every Table 5
-//! workload (encoded in the corpus) is detected.
+//! one machine in seconds (with periodic progress lines), and additionally
+//! verifies that every Table 5 workload (encoded in the corpus) is detected.
 //!
-//! Run with: `cargo run --release --example find_new_bugs`
+//! Run with: `cargo run --release --example find_new_bugs [-- --stop-after N]`
+//! (`--stop-after` caps the number of workloads per sweep).
+
+use std::time::Duration;
 
 use b3::prelude::*;
 use b3_harness::corpus::new_bugs;
+use b3_harness::{run_stream_observed, Progress};
 use b3_vfs::workload::OpKind;
 
-fn sweep(spec: &(dyn FsSpec + Sync), bounds: Bounds, label: &str) -> Vec<BugReport> {
-    let workloads: Vec<Workload> = WorkloadGenerator::new(bounds).collect();
-    let total = workloads.len();
-    let summary = run_stream(spec, workloads, &RunConfig::default());
+#[path = "common/args.rs"]
+mod args;
+
+fn sweep(
+    spec: &(dyn FsSpec + Sync),
+    bounds: Bounds,
+    label: &str,
+    stop_after: Option<usize>,
+) -> Vec<BugReport> {
+    let total = WorkloadGenerator::estimate_candidates(&bounds);
+    let config = RunConfig {
+        stop_after_workloads: stop_after,
+        ..RunConfig::default()
+    };
+    let progress = |p: &Progress| println!("  [progress] {}", p.describe());
+    let summary = run_stream_observed(
+        spec,
+        WorkloadGenerator::new(bounds),
+        &config,
+        Some(&progress),
+        Duration::from_secs(2),
+    );
     println!(
-        "{label}: tested {} of {} workloads in {:.2?} ({:.0} workloads/s), {} raw reports",
+        "{label}: tested {} of {} candidates in {:.2?} ({:.0} workloads/s), {} raw reports",
         summary.tested,
         total,
         summary.elapsed,
@@ -29,15 +51,17 @@ fn sweep(spec: &(dyn FsSpec + Sync), bounds: Bounds, label: &str) -> Vec<BugRepo
 }
 
 fn main() {
+    let stop_after = args::parse_stop_after();
     let cow = CowFsSpec::new(KernelEra::V4_16);
 
     // Exhaustive seq-1 (the paper's 300-workload set) and a focused seq-2
     // subspace around links and renames.
-    let mut reports = sweep(&cow, Bounds::paper_seq1(), "seq-1 (cowfs/4.16)");
+    let mut reports = sweep(&cow, Bounds::paper_seq1(), "seq-1 (cowfs/4.16)", stop_after);
     reports.extend(sweep(
         &cow,
         Bounds::paper_seq2().with_ops(vec![OpKind::Link, OpKind::Rename, OpKind::Creat]),
         "seq-2 link/rename/creat (cowfs/4.16)",
+        stop_after,
     ));
 
     let groups = group_reports(&reports);

@@ -1,5 +1,6 @@
-//! Quickstart: reproduce the paper's Figure 1 bug, then run the whole
-//! B3 pipeline (ACE → runner → CrashMonkey → dedup) over the seq-1 bound.
+//! Quickstart: reproduce the paper's Figure 1 bug, run the whole B3
+//! pipeline (ACE → runner → CrashMonkey → dedup) over the seq-1 bound, then
+//! drive a full seq-2 sweep through the sharded, resumable sweep engine.
 //!
 //! Part 1 — the workload (create foo; link foo bar; sync; unlink bar;
 //! create bar; fsync bar; CRASH) makes pre-4.16 btrfs un-mountable. It runs
@@ -12,13 +13,29 @@
 //! de-duplicated bug groups are printed (the in-process analogue of the
 //! paper's 65-node cluster run).
 //!
-//! Run with: `cargo run --release --example quickstart`
+//! Part 3 — the seq-2 space (~400K candidates) is split into generator
+//! shards that worker threads steal whole; progress is reported every two
+//! seconds, completed shards are recorded in a `SweepCheckpoint` (the bytes
+//! a long-running sweep would persist to disk), and a kill-and-resume round
+//! trip is demonstrated on a link/rename subspace.
+//!
+//! Run with: `cargo run --release --example quickstart [-- --stop-after N]`
+
+use std::time::Duration;
 
 use b3::prelude::*;
+use b3_harness::{Progress, RunSummary, Sweep, SweepCheckpoint};
+use b3_vfs::workload::OpKind;
+
+#[path = "common/args.rs"]
+mod args;
 
 fn main() {
+    let stop_after = args::parse_stop_after();
     figure_1_bug();
     seq1_pipeline();
+    seq2_sweep(stop_after);
+    resume_demo();
 }
 
 fn figure_1_bug() {
@@ -66,6 +83,15 @@ fn figure_1_bug() {
     );
 }
 
+fn print_summary(summary: &RunSummary) {
+    println!("  tested:       {}", summary.tested);
+    println!("  skipped:      {}", summary.skipped);
+    println!("  bug reports:  {}", summary.reports.len());
+    println!("  elapsed:      {:.2?}", summary.elapsed);
+    println!("  avg latency:  {:.2?}", summary.avg_workload_latency());
+    println!("  throughput:   {:.0} workloads/s", summary.throughput());
+}
+
 fn seq1_pipeline() {
     println!("\n=== seq-1 pipeline: ACE -> runner -> CrashMonkey -> dedup ===\n");
 
@@ -87,12 +113,7 @@ fn seq1_pipeline() {
     let summary = run_stream(&spec, WorkloadGenerator::new(bounds), &config);
 
     println!("\nRunSummary:");
-    println!("  tested:       {}", summary.tested);
-    println!("  skipped:      {}", summary.skipped);
-    println!("  bug reports:  {}", summary.reports.len());
-    println!("  elapsed:      {:.2?}", summary.elapsed);
-    println!("  avg latency:  {:.2?}", summary.avg_workload_latency());
-    println!("  throughput:   {:.0} workloads/s", summary.throughput());
+    print_summary(&summary);
 
     let groups = group_reports(&summary.reports);
     if groups.is_empty() {
@@ -115,4 +136,80 @@ fn seq1_pipeline() {
         ]);
     }
     println!("{}", table.render());
+}
+
+fn seq2_sweep(stop_after: Option<usize>) {
+    println!("\n=== seq-2 sweep: sharded work-stealing over the full space ===\n");
+
+    let bounds = b3::ace::Bounds::paper_seq2();
+    let candidates = WorkloadGenerator::estimate_candidates(&bounds);
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let config = RunConfig {
+        threads: RunConfig::default().threads.max(4),
+        stop_after_workloads: stop_after,
+        ..RunConfig::default()
+    };
+    match stop_after {
+        Some(budget) => println!(
+            "sweeping {candidates} seq-2 candidates on {} (budget: {budget} workloads)...",
+            spec.name()
+        ),
+        None => println!(
+            "sweeping all {candidates} seq-2 candidates on {}...",
+            spec.name()
+        ),
+    }
+
+    let progress = |p: &Progress| println!("  [progress] {}", p.describe());
+    let summary = Sweep::new(&spec, config)
+        .on_progress(&progress, Duration::from_secs(2))
+        .run(&bounds);
+
+    println!("\nseq-2 RunSummary:");
+    print_summary(&summary);
+    let groups = group_reports(&summary.reports);
+    println!("  bug groups:   {} (skeleton x consequence)", groups.len());
+}
+
+/// Kill-and-resume round trip on a small link/rename subspace: a budgeted
+/// sweep records completed shards into a checkpoint, the checkpoint is
+/// serialized and restored, and the resumed sweep finishes the rest.
+fn resume_demo() {
+    println!("\n=== resumable sweep: kill after a budget, resume from the checkpoint ===\n");
+
+    let bounds = b3::ace::Bounds::paper_seq2().with_ops(vec![OpKind::Link, OpKind::Rename]);
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let shards = 16;
+
+    // A budget slightly above one shard's candidate count: the "killed" run
+    // completes a couple of shards and abandons the one it dies inside.
+    let per_shard = WorkloadGenerator::estimate_candidates(&bounds) / shards as u64;
+    let budgeted = RunConfig {
+        stop_after_workloads: Some(per_shard as usize + 50),
+        ..RunConfig::default()
+    };
+    let mut checkpoint = SweepCheckpoint::new(&bounds, shards);
+    let partial = Sweep::new(&spec, budgeted)
+        .shards(shards)
+        .run_resumable(&bounds, &mut checkpoint);
+    println!(
+        "killed after budget: {} tested, {}/{} shards recorded, checkpoint {} bytes",
+        partial.tested,
+        checkpoint.completed_shards(),
+        shards,
+        checkpoint.to_bytes().len()
+    );
+
+    // "Restart": restore the checkpoint from its serialized bytes and finish.
+    let mut restored = SweepCheckpoint::from_bytes(&checkpoint.to_bytes()).expect("valid bytes");
+    let resumed = Sweep::new(&spec, RunConfig::default())
+        .shards(shards)
+        .run_resumable(&bounds, &mut restored);
+    println!(
+        "resumed to completion: {} tested, {} skipped, {} reports (complete: {})",
+        resumed.tested,
+        resumed.skipped,
+        resumed.reports.len(),
+        restored.is_complete()
+    );
 }

@@ -36,6 +36,7 @@ impl Bytes {
     }
 
     /// The contents as a slice.
+    #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &[u8] {
         &self.data
     }
