@@ -5,6 +5,8 @@
 //! workload sets of Table 4 (`seq-1`, `seq-2`, `seq-3-data`,
 //! `seq-3-metadata`, `seq-3-nested`).
 
+use b3_vfs::codec::{Decoder, Encoder};
+use b3_vfs::error::{FsError, FsResult};
 use b3_vfs::workload::{FallocMode, FileSet, OpKind, WritePattern};
 
 /// Which persistence operations phase 3 may append after a core operation.
@@ -136,7 +138,7 @@ impl SequencePreset {
 ///     assert!(workload.ends_with_persistence_point(), "{workload}");
 /// }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bounds {
     /// Workload name prefix (e.g. `"seq-2"`).
     pub name_prefix: String,
@@ -276,6 +278,81 @@ impl Bounds {
         }
     }
 
+    /// Serializes the bounds with the workspace codec, so a sweep
+    /// coordinator can ship the exact space definition to worker processes
+    /// (or machines) and every worker re-derives the same enumeration.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name_prefix);
+        enc.put_u64(self.seq_len as u64);
+        enc.put_u64(self.ops.len() as u64);
+        for op in &self.ops {
+            enc.put_str(op.as_str());
+        }
+        enc.put_u64(self.files.dirs().len() as u64);
+        for dir in self.files.dirs() {
+            enc.put_str(dir);
+        }
+        enc.put_u64(self.files.files().len() as u64);
+        for file in self.files.files() {
+            enc.put_str(file);
+        }
+        enc.put_u64(self.write_patterns.len() as u64);
+        for pattern in &self.write_patterns {
+            enc.put_str(pattern.as_str());
+        }
+        enc.put_u64(self.falloc_modes.len() as u64);
+        for mode in &self.falloc_modes {
+            enc.put_str(mode.as_str());
+        }
+        enc.put_bool(self.persistence.fsync);
+        enc.put_bool(self.persistence.fdatasync);
+        enc.put_bool(self.persistence.sync);
+        enc.put_bool(self.persistence.allow_none);
+    }
+
+    /// Deserializes bounds produced by [`Bounds::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> FsResult<Bounds> {
+        fn parse_with<T>(
+            dec: &mut Decoder<'_>,
+            what: &str,
+            parse: impl Fn(&str) -> Option<T>,
+        ) -> FsResult<Vec<T>> {
+            let count = dec.get_u64()? as usize;
+            let mut items = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let name = dec.get_str()?;
+                items.push(
+                    parse(&name)
+                        .ok_or_else(|| FsError::Corrupted(format!("unknown {what} {name:?}")))?,
+                );
+            }
+            Ok(items)
+        }
+
+        let name_prefix = dec.get_str()?;
+        let seq_len = dec.get_u64()? as usize;
+        let ops = parse_with(dec, "operation", OpKind::parse)?;
+        let dirs = parse_with(dec, "directory", |s| Some(s.to_string()))?;
+        let files = parse_with(dec, "file", |s| Some(s.to_string()))?;
+        let write_patterns = parse_with(dec, "write pattern", WritePattern::parse)?;
+        let falloc_modes = parse_with(dec, "falloc mode", FallocMode::parse)?;
+        let persistence = PersistenceChoices {
+            fsync: dec.get_bool()?,
+            fdatasync: dec.get_bool()?,
+            sync: dec.get_bool()?,
+            allow_none: dec.get_bool()?,
+        };
+        Ok(Bounds {
+            name_prefix,
+            seq_len,
+            ops,
+            files: FileSet::new(dirs, files),
+            write_patterns,
+            falloc_modes,
+            persistence,
+        })
+    }
+
     /// Describes the bounds in the format of Table 3.
     pub fn describe(&self) -> String {
         format!(
@@ -317,6 +394,39 @@ mod tests {
         let relaxed = Bounds::paper_seq3_metadata().with_nested_files();
         assert_eq!(relaxed.files.max_depth(), 3);
         assert!(relaxed.name_prefix.contains("relaxed"));
+    }
+
+    #[test]
+    fn bounds_round_trip_through_the_codec() {
+        let mut narrowed = Bounds::paper_seq3_metadata().with_nested_files();
+        narrowed.persistence.fdatasync = false;
+        for bounds in [
+            Bounds::tiny(),
+            Bounds::paper_seq1(),
+            Bounds::paper_seq2(),
+            Bounds::paper_seq3_data(),
+            narrowed,
+        ] {
+            let mut enc = Encoder::new();
+            bounds.encode(&mut enc);
+            let bytes = enc.finish();
+            let mut dec = Decoder::new(&bytes);
+            let decoded = Bounds::decode(&mut dec).unwrap();
+            assert!(dec.is_exhausted());
+            assert_eq!(decoded, bounds);
+        }
+    }
+
+    #[test]
+    fn bounds_decode_rejects_unknown_operation() {
+        let mut enc = Encoder::new();
+        enc.put_str("bad");
+        enc.put_u64(1);
+        enc.put_u64(1);
+        enc.put_str("chmod");
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(Bounds::decode(&mut dec).is_err());
     }
 
     #[test]

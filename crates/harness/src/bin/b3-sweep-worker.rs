@@ -1,0 +1,29 @@
+//! The worker side of the distributed sweep protocol (see
+//! `b3_harness::distrib`): reads a job plus shard assignments from stdin,
+//! runs each shard through CrashMonkey, and writes per-shard results to
+//! stdout. Spawned by a sweep coordinator; not meant to be run by hand.
+//!
+//! `--die-after-workloads N` is the chaos-test hook: the process exits
+//! abruptly just before its `N+1`-th workload, simulating a worker VM dying
+//! mid-shard.
+
+use b3_harness::distrib::{worker_main, WorkerOptions};
+
+fn main() {
+    let mut options = WorkerOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = if arg == "--die-after-workloads" {
+            args.next()
+        } else if let Some(value) = arg.strip_prefix("--die-after-workloads=") {
+            Some(value.to_string())
+        } else {
+            eprintln!("b3-sweep-worker: unknown argument {arg:?}");
+            std::process::exit(2);
+        };
+        let value = value.expect("--die-after-workloads needs a number");
+        options.die_after_workloads =
+            Some(value.parse().expect("--die-after-workloads needs a number"));
+    }
+    std::process::exit(worker_main(options));
+}

@@ -35,6 +35,22 @@ pub enum FsKind {
 }
 
 impl FsKind {
+    /// Every simulated file system.
+    pub const ALL: [FsKind; 4] = [FsKind::Cow, FsKind::Flash, FsKind::Journal, FsKind::Veri];
+
+    /// Parses a file-system name: the paper name ([`FsKind::paper_name`],
+    /// case-insensitive) or the stand-in's own name (`cowfs`, `flashfs`,
+    /// `journalfs`, `verifs`, with or without the `fs` suffix).
+    pub fn parse(s: &str) -> Option<FsKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "btrfs" | "cow" | "cowfs" => Some(FsKind::Cow),
+            "f2fs" | "flash" | "flashfs" => Some(FsKind::Flash),
+            "ext4" | "journal" | "journalfs" => Some(FsKind::Journal),
+            "fscq" | "veri" | "verifs" => Some(FsKind::Veri),
+            _ => None,
+        }
+    }
+
     /// The real file system this kind stands in for.
     pub fn paper_name(&self) -> &'static str {
         match self {

@@ -1,0 +1,918 @@
+//! Multi-process sweep fan-out: a coordinator/worker protocol over the
+//! sharded sweep engine.
+//!
+//! The paper fanned its 3.37M workloads out to 780 VMs on a 65-node cluster
+//! (§6.1); [`crate::sweep`] is the in-process analogue, and this module is
+//! the multi-*process* one. A coordinator owns the shard queue and the
+//! checkpoint file; workers are child processes that speak a tiny
+//! length-prefixed, codec-serialized protocol over stdio:
+//!
+//! ```text
+//!  coordinator                               worker (child process)
+//!  ───────────                               ──────────────────────
+//!  spawn ──────────────────────────────────▶ start
+//!  Job { fs, era, bounds, shards, config } ▶ build spec + CrashMonkey
+//!                                          ◀ Claim
+//!  Assign { shard indices } ───────────────▶ run each shard via the
+//!                                            sweep engine's shard runner
+//!                          ◀ ShardDone { shard, result }   (per shard)
+//!                                          ◀ Claim
+//!  …until the queue drains, then…
+//!  Shutdown ───────────────────────────────▶ exit 0
+//! ```
+//!
+//! Every `ShardDone` is merged into the coordinator's
+//! [`SweepCheckpoint`] (via [`SweepCheckpoint::merge`] — union of completed
+//! shards) and atomically persisted to the checkpoint file, so killing the
+//! coordinator *or* any worker at any point loses at most the shards that
+//! were in flight: the next coordinator run reloads the file, re-queues
+//! exactly the missing shards, and converges to the same counts as an
+//! uninterrupted single-process sweep (`tests/distrib.rs` proves both the
+//! differential and the chaos direction).
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use b3_ace::{Bounds, WorkloadGenerator};
+use b3_crashmonkey::{CrashMonkey, CrashMonkeyConfig, CrashPointPolicy};
+use b3_vfs::codec::{Decoder, Encoder};
+use b3_vfs::error::{FsError, FsResult};
+use b3_vfs::KernelEra;
+
+use crate::corpus::FsKind;
+use crate::runner::RunSummary;
+use crate::sweep::{run_shard, Progress, ShardResult, SweepCheckpoint, WorkerThroughput};
+
+/// Exit code a worker uses when its injected crash hook fires (the chaos
+/// tests' stand-in for a worker VM dying mid-shard).
+pub const WORKER_CRASH_EXIT: i32 = 41;
+
+fn transport_err(context: &str, error: std::io::Error) -> FsError {
+    FsError::Device(format!("worker transport: {context}: {error}"))
+}
+
+/// Writes one length-prefixed frame.
+fn write_frame(writer: &mut impl Write, payload: &[u8]) -> FsResult<()> {
+    writer
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|()| writer.write_all(payload))
+        .and_then(|()| writer.flush())
+        .map_err(|e| transport_err("write frame", e))
+}
+
+/// Largest frame either side accepts. Real frames are far smaller (a Job
+/// is a few KB, a ShardDone carries one shard's reports); the cap exists
+/// so a desynced stream — stray bytes on a worker's stdout, say — surfaces
+/// as a protocol error instead of a multi-gigabyte allocation.
+const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Reads one length-prefixed frame.
+fn read_frame(reader: &mut impl Read) -> FsResult<Vec<u8>> {
+    let mut len = [0u8; 4];
+    reader
+        .read_exact(&mut len)
+        .map_err(|e| transport_err("read frame length", e))?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FsError::Corrupted(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte protocol limit \
+             (desynced stream?)"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|e| transport_err("read frame payload", e))?;
+    Ok(payload)
+}
+
+/// Everything a worker needs to reproduce its slice of the sweep: which
+/// simulated file system (and kernel era) to test, the exact bounds, the
+/// shard split, and the CrashMonkey configuration.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The simulated file system under test.
+    pub fs: FsKind,
+    /// The kernel era the file system simulates.
+    pub era: KernelEra,
+    /// The bounded workload space.
+    pub bounds: Bounds,
+    /// How many shards the space is split into.
+    pub num_shards: usize,
+    /// CrashMonkey configuration every worker uses.
+    pub crashmonkey: CrashMonkeyConfig,
+}
+
+impl SweepJob {
+    /// A job over the given space with the paper's evaluation-era defaults
+    /// (CowFs at 4.16, small CrashMonkey device).
+    pub fn new(bounds: Bounds, num_shards: usize) -> SweepJob {
+        SweepJob {
+            fs: FsKind::Cow,
+            era: KernelEra::EVALUATION,
+            bounds,
+            num_shards,
+            crashmonkey: CrashMonkeyConfig::small(),
+        }
+    }
+
+    /// The execution context this job's checkpoints are scoped to: the file
+    /// system, kernel era, and CrashMonkey configuration. Two jobs over
+    /// identical bounds but different contexts produce different shard
+    /// results, so their checkpoints must never resume or merge into each
+    /// other.
+    pub fn scope(&self) -> String {
+        let cm = &self.crashmonkey;
+        format!(
+            "{}@{}/blk{}/cp{}{}{}",
+            self.fs.paper_name(),
+            self.era.as_str(),
+            cm.device_blocks,
+            u8::from(matches!(cm.crash_points, CrashPointPolicy::All)),
+            u8::from(cm.direct_write_is_persistence_point),
+            u8::from(cm.model_kernel_delays),
+        )
+    }
+
+    /// An empty checkpoint for this job's (bounds, shard count, context)
+    /// triple.
+    pub fn empty_checkpoint(&self) -> SweepCheckpoint {
+        SweepCheckpoint::scoped(&self.bounds, self.num_shards, &self.scope())
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self.fs.paper_name());
+        enc.put_str(self.era.as_str());
+        self.bounds.encode(enc);
+        enc.put_u64(self.num_shards as u64);
+        enc.put_u64(self.crashmonkey.device_blocks);
+        enc.put_bool(matches!(
+            self.crashmonkey.crash_points,
+            CrashPointPolicy::All
+        ));
+        enc.put_bool(self.crashmonkey.direct_write_is_persistence_point);
+        enc.put_bool(self.crashmonkey.model_kernel_delays);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> FsResult<SweepJob> {
+        let fs_name = dec.get_str()?;
+        let fs = FsKind::parse(&fs_name)
+            .ok_or_else(|| FsError::Corrupted(format!("unknown file system {fs_name:?}")))?;
+        let era_name = dec.get_str()?;
+        let era = KernelEra::parse(&era_name)
+            .ok_or_else(|| FsError::Corrupted(format!("unknown kernel era {era_name:?}")))?;
+        let bounds = Bounds::decode(dec)?;
+        let num_shards = dec.get_u64()? as usize;
+        let crashmonkey = CrashMonkeyConfig {
+            device_blocks: dec.get_u64()?,
+            crash_points: if dec.get_bool()? {
+                CrashPointPolicy::All
+            } else {
+                CrashPointPolicy::LastOnly
+            },
+            direct_write_is_persistence_point: dec.get_bool()?,
+            model_kernel_delays: dec.get_bool()?,
+        };
+        Ok(SweepJob {
+            fs,
+            era,
+            bounds,
+            num_shards,
+            crashmonkey,
+        })
+    }
+}
+
+const MSG_JOB: u8 = 1;
+const MSG_ASSIGN: u8 = 2;
+const MSG_SHUTDOWN: u8 = 3;
+const MSG_CLAIM: u8 = 0x81;
+const MSG_SHARD_DONE: u8 = 0x82;
+
+/// Coordinator-to-worker messages.
+enum ToWorker {
+    Job(SweepJob),
+    Assign(Vec<u32>),
+    Shutdown,
+}
+
+impl ToWorker {
+    fn to_frame(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            ToWorker::Job(job) => {
+                enc.put_u8(MSG_JOB);
+                job.encode(&mut enc);
+            }
+            ToWorker::Assign(shards) => {
+                enc.put_u8(MSG_ASSIGN);
+                enc.put_u64(shards.len() as u64);
+                for shard in shards {
+                    enc.put_u32(*shard);
+                }
+            }
+            ToWorker::Shutdown => enc.put_u8(MSG_SHUTDOWN),
+        }
+        enc.finish()
+    }
+
+    fn from_frame(frame: &[u8]) -> FsResult<ToWorker> {
+        let mut dec = Decoder::new(frame);
+        match dec.get_u8()? {
+            MSG_JOB => Ok(ToWorker::Job(SweepJob::decode(&mut dec)?)),
+            MSG_ASSIGN => {
+                let count = dec.get_u64()? as usize;
+                let mut shards = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    shards.push(dec.get_u32()?);
+                }
+                Ok(ToWorker::Assign(shards))
+            }
+            MSG_SHUTDOWN => Ok(ToWorker::Shutdown),
+            tag => Err(FsError::Corrupted(format!(
+                "unknown coordinator message tag {tag:#x}"
+            ))),
+        }
+    }
+}
+
+/// Worker-to-coordinator messages.
+enum FromWorker {
+    /// The worker is idle and wants shards.
+    Claim,
+    /// One assigned shard ran to completion.
+    ShardDone { shard: u32, result: ShardResult },
+}
+
+impl FromWorker {
+    fn to_frame(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            FromWorker::Claim => enc.put_u8(MSG_CLAIM),
+            FromWorker::ShardDone { shard, result } => {
+                enc.put_u8(MSG_SHARD_DONE);
+                enc.put_u32(*shard);
+                result.encode(&mut enc);
+            }
+        }
+        enc.finish()
+    }
+
+    fn from_frame(frame: &[u8]) -> FsResult<FromWorker> {
+        let mut dec = Decoder::new(frame);
+        match dec.get_u8()? {
+            MSG_CLAIM => Ok(FromWorker::Claim),
+            MSG_SHARD_DONE => Ok(FromWorker::ShardDone {
+                shard: dec.get_u32()?,
+                result: ShardResult::decode(&mut dec)?,
+            }),
+            tag => Err(FsError::Corrupted(format!(
+                "unknown worker message tag {tag:#x}"
+            ))),
+        }
+    }
+}
+
+/// How to launch one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// Path to the worker executable (typically the `b3-sweep-worker` binary
+    /// or a `--worker`-mode re-exec of the coordinator binary).
+    pub program: PathBuf,
+    /// Arguments passed before the protocol takes over stdio.
+    pub args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// A worker command with no extra arguments.
+    pub fn new(program: impl Into<PathBuf>) -> WorkerCommand {
+        WorkerCommand {
+            program: program.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends an argument.
+    pub fn arg(mut self, arg: impl Into<String>) -> WorkerCommand {
+        self.args.push(arg.into());
+        self
+    }
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct DistribConfig {
+    /// Number of worker processes to spawn.
+    pub workers: usize,
+    /// Shards handed out per assignment. One is the safest (losing a worker
+    /// loses at most one in-flight shard); larger batches amortize protocol
+    /// round-trips when shards are tiny.
+    pub assign_batch: usize,
+    /// Stop handing out work after this many shards have been merged *in
+    /// this run* (the chaos tests' stand-in for killing the coordinator
+    /// after a partial merge).
+    pub stop_after_shards: Option<usize>,
+    /// Stop handing out work once this many workloads have been processed
+    /// in this run. Shards are the scheduling unit, so the run overshoots
+    /// to the end of in-flight shards.
+    pub stop_after_workloads: Option<usize>,
+    /// Where the merged checkpoint is persisted (atomically, after every
+    /// merge). `None` keeps the checkpoint in memory only.
+    pub checkpoint_path: Option<PathBuf>,
+    /// How often the progress callback fires.
+    pub progress_interval: Duration,
+}
+
+impl Default for DistribConfig {
+    fn default() -> Self {
+        DistribConfig {
+            workers: 4,
+            assign_batch: 1,
+            stop_after_shards: None,
+            stop_after_workloads: None,
+            checkpoint_path: None,
+            progress_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// What a coordinator run produced.
+#[derive(Debug)]
+pub struct DistribOutcome {
+    /// Aggregate counts of *all* completed shards (including ones restored
+    /// from the checkpoint file), in shard order — identical to a
+    /// single-process sweep's summary once complete.
+    pub summary: RunSummary,
+    /// The merged checkpoint (also persisted to the checkpoint file, when
+    /// one is configured).
+    pub checkpoint: SweepCheckpoint,
+    /// Shards that were already in the checkpoint when this run started.
+    pub resumed_shards: usize,
+    /// Workloads processed (tested + skipped) by *this* run, excluding
+    /// work restored from the checkpoint.
+    pub processed_this_run: usize,
+    /// Wall-clock time of this run.
+    pub elapsed: Duration,
+    /// Workers that exited or broke the protocol before shutdown.
+    pub failed_workers: usize,
+}
+
+impl DistribOutcome {
+    /// True once every shard of the space is recorded.
+    pub fn is_complete(&self) -> bool {
+        self.checkpoint.is_complete()
+    }
+
+    /// Workloads per second of wall-clock time achieved by this run (not
+    /// counting checkpointed work from previous runs).
+    pub fn throughput_this_run(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.processed_this_run as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Loads a checkpoint file written by [`save_checkpoint`]. Returns
+/// `Ok(None)` when the file does not exist.
+pub fn load_checkpoint(path: &Path) -> FsResult<Option<SweepCheckpoint>> {
+    match std::fs::read(path) {
+        Ok(bytes) => Ok(Some(SweepCheckpoint::from_bytes(&bytes)?)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(FsError::Device(format!(
+            "read checkpoint {}: {e}",
+            path.display()
+        ))),
+    }
+}
+
+/// Atomically writes `bytes` to `path`: a sibling temp file, fsynced
+/// before the rename (and the parent directory fsynced after), so neither
+/// a process kill nor a power cut mid-write corrupts the destination —
+/// rename-without-fsync is precisely the bug class this project tests for.
+fn write_atomic(path: &Path, bytes: &[u8]) -> FsResult<()> {
+    fn inner(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        Ok(())
+    }
+    inner(path, bytes)
+        .map_err(|e| FsError::Device(format!("persist checkpoint {}: {e}", path.display())))
+}
+
+/// Atomically persists a checkpoint: a temp-file write followed by a
+/// rename, so a kill mid-write never corrupts the file.
+pub fn save_checkpoint(path: &Path, checkpoint: &SweepCheckpoint) -> FsResult<()> {
+    write_atomic(path, &checkpoint.to_bytes())
+}
+
+/// Shared coordinator state plus the condition variable idle worker
+/// threads wait on when the queue is empty but other workers still have
+/// shards in flight (a dying worker may hand its shards back).
+struct Coord {
+    state: Mutex<CoordState>,
+    /// Notified whenever the queue or the in-flight set changes, or when
+    /// the coordinator starts stopping.
+    wake: Condvar,
+}
+
+/// Serializes checkpoint-file writes so they happen *outside* the
+/// coordinator mutex (the encode is cheap and stays under the lock; the
+/// write + rename is the slow part) without ever letting a stale snapshot
+/// overwrite a newer one.
+struct Persister {
+    path: PathBuf,
+    last_version: Mutex<u64>,
+}
+
+impl Persister {
+    /// Writes `bytes` (the checkpoint as of merge number `version`)
+    /// atomically, unless a newer version has already been written.
+    fn persist(&self, version: u64, bytes: &[u8]) -> FsResult<()> {
+        let mut last = self.last_version.lock().expect("persister poisoned");
+        if version <= *last {
+            return Ok(());
+        }
+        write_atomic(&self.path, bytes)?;
+        *last = version;
+        Ok(())
+    }
+}
+
+/// The coordinator's mutable state: the shard queue, the merged
+/// checkpoint, and per-worker telemetry. One mutex guards it all —
+/// traffic is one message per completed shard, so contention is
+/// negligible.
+struct CoordState {
+    queue: VecDeque<u32>,
+    /// Shards assigned to some worker whose results are not merged yet.
+    in_flight: usize,
+    checkpoint: SweepCheckpoint,
+    /// Running totals mirroring the checkpoint (kept incrementally so the
+    /// progress monitor does not re-aggregate every tick).
+    tested: usize,
+    skipped: usize,
+    buggy: usize,
+    merged_this_run: usize,
+    processed_this_run: usize,
+    /// Candidates covered by every shard assigned this run (in flight or
+    /// done). A workload budget gates *assignment* on this estimate, not on
+    /// merged results — otherwise claims granted while the first shards are
+    /// still in flight overshoot the budget by workers × shard size.
+    assigned_candidates: u64,
+    stopping: bool,
+    workers: Vec<WorkerTelemetry>,
+    failed_workers: usize,
+}
+
+struct WorkerTelemetry {
+    tested: u64,
+    shards: u64,
+    alive: bool,
+}
+
+impl CoordState {
+    fn should_stop(&self, config: &DistribConfig) -> bool {
+        config
+            .stop_after_shards
+            .is_some_and(|limit| self.merged_this_run >= limit)
+            || config.stop_after_workloads.is_some_and(|limit| {
+                self.processed_this_run >= limit || self.assigned_candidates >= limit as u64
+            })
+    }
+
+    fn progress(&self, started: Instant, total_workloads: u64, seeded_shards: usize) -> Progress {
+        let elapsed = started.elapsed();
+        let completed = self.checkpoint.completed_shards();
+        let total_shards = self.checkpoint.num_shards();
+        let done_this_run = completed.saturating_sub(seeded_shards);
+        let remaining = total_shards.saturating_sub(completed);
+        let eta = (done_this_run > 0 && remaining > 0 && !self.stopping)
+            .then(|| elapsed.mul_f64(remaining as f64 / done_this_run as f64));
+        Progress {
+            tested: self.tested,
+            skipped: self.skipped,
+            bugs: self.buggy,
+            completed_shards: completed,
+            total_shards,
+            total_workloads: Some(total_workloads),
+            elapsed,
+            eta,
+            per_worker: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(index, w)| WorkerThroughput {
+                    worker: index,
+                    tested: w.tested,
+                    shards: w.shards,
+                    throughput: (w.alive && !elapsed.is_zero())
+                        .then(|| w.tested as f64 / elapsed.as_secs_f64()),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Runs (or resumes) a distributed sweep: spawns `config.workers` child
+/// processes with `worker`, feeds them shards, merges every returned
+/// per-shard result into the checkpoint, and persists the merge after
+/// every shard.
+///
+/// When `config.checkpoint_path` names an existing file, the sweep resumes
+/// from it; a checkpoint recorded for a different sweep — other bounds,
+/// shard count, file system, kernel era, or CrashMonkey configuration
+/// ([`SweepJob::scope`]) — is rejected with an error rather than silently
+/// combined. Worker death is
+/// tolerated: the dead worker's in-flight shards go back on the queue for
+/// the surviving workers, and if *every* worker dies the coordinator
+/// returns an incomplete (but persisted) checkpoint the next run picks up.
+pub fn run_distributed(
+    job: &SweepJob,
+    config: &DistribConfig,
+    worker: &WorkerCommand,
+    progress: Option<&(dyn Fn(&Progress) + Sync)>,
+) -> FsResult<DistribOutcome> {
+    let started = Instant::now();
+    let checkpoint = match &config.checkpoint_path {
+        Some(path) => match load_checkpoint(path)? {
+            Some(existing) => {
+                // The scope covers the file system, era, and CrashMonkey
+                // configuration: a checkpoint recorded under any other
+                // execution context (not just other bounds) is rejected.
+                if !existing.matches_scoped(&job.bounds, job.num_shards, &job.scope()) {
+                    return Err(FsError::InvalidArgument(format!(
+                        "checkpoint {} was recorded for a different sweep \
+                         (its fingerprint: {})",
+                        path.display(),
+                        existing.fingerprint()
+                    )));
+                }
+                existing
+            }
+            None => job.empty_checkpoint(),
+        },
+        None => job.empty_checkpoint(),
+    };
+    let seeded_shards = checkpoint.completed_shards();
+    let seeded = checkpoint.summary();
+    let total_workloads = WorkloadGenerator::estimate_candidates(&job.bounds);
+
+    let coord = Coord {
+        state: Mutex::new(CoordState {
+            queue: checkpoint.missing_shards().into(),
+            in_flight: 0,
+            tested: seeded.tested,
+            skipped: seeded.skipped,
+            buggy: checkpoint.total_buggy() as usize,
+            checkpoint,
+            merged_this_run: 0,
+            processed_this_run: 0,
+            assigned_candidates: 0,
+            stopping: false,
+            workers: (0..config.workers.max(1))
+                .map(|_| WorkerTelemetry {
+                    tested: 0,
+                    shards: 0,
+                    alive: true,
+                })
+                .collect(),
+            failed_workers: 0,
+        }),
+        wake: Condvar::new(),
+    };
+    let persister = config.checkpoint_path.as_ref().map(|path| Persister {
+        path: path.clone(),
+        last_version: Mutex::new(0),
+    });
+    let done = AtomicBool::new(false);
+
+    let job_frame = ToWorker::Job(job.clone()).to_frame();
+    let workers_to_spawn = config.workers.max(1);
+    let shard_sizes: Vec<u64> = (0..job.num_shards)
+        .map(|index| job.bounds.shard(index, job.num_shards).candidates())
+        .collect();
+
+    std::thread::scope(|scope| -> FsResult<()> {
+        if let Some(callback) = progress {
+            let coord = &coord;
+            let done = &done;
+            let interval = config.progress_interval;
+            scope.spawn(move || {
+                let mut last_fired = Instant::now();
+                while !done.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    if last_fired.elapsed() >= interval {
+                        let snapshot = coord
+                            .state
+                            .lock()
+                            .expect("coordinator state poisoned")
+                            .progress(started, total_workloads, seeded_shards);
+                        callback(&snapshot);
+                        last_fired = Instant::now();
+                    }
+                }
+                let snapshot = coord
+                    .state
+                    .lock()
+                    .expect("coordinator state poisoned")
+                    .progress(started, total_workloads, seeded_shards);
+                callback(&snapshot);
+            });
+        }
+
+        let handles: Vec<_> = (0..workers_to_spawn)
+            .map(|index| {
+                let coord = &coord;
+                let job_frame = &job_frame;
+                let shard_sizes = &shard_sizes;
+                let persister = persister.as_ref();
+                scope.spawn(move || {
+                    serve_worker(
+                        index,
+                        worker,
+                        job_frame,
+                        shard_sizes,
+                        coord,
+                        persister,
+                        config,
+                    )
+                })
+            })
+            .collect();
+        let mut first_error = None;
+        for handle in handles {
+            if let Err(error) = handle.join().expect("worker thread panicked") {
+                let mut state = coord.state.lock().expect("coordinator state poisoned");
+                state.failed_workers += 1;
+                first_error.get_or_insert(error);
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+        // A worker failure is only fatal when it left work unfinished AND
+        // unpersisted progress — shards it completed are already merged, so
+        // surviving workers usually absorb the loss. Report the error only
+        // if the sweep neither completed nor was asked to stop early.
+        let state = coord.state.lock().expect("coordinator state poisoned");
+        if let Some(error) = first_error {
+            if !state.checkpoint.is_complete() && !state.should_stop(config) {
+                drop(state);
+                return Err(error);
+            }
+        }
+        Ok(())
+    })?;
+
+    let state = coord
+        .state
+        .into_inner()
+        .expect("coordinator state poisoned");
+    if let Some(path) = &config.checkpoint_path {
+        save_checkpoint(path, &state.checkpoint)?;
+    }
+    let mut summary = state.checkpoint.summary();
+    summary.elapsed = started.elapsed();
+    Ok(DistribOutcome {
+        summary,
+        checkpoint: state.checkpoint,
+        resumed_shards: seeded_shards,
+        processed_this_run: state.processed_this_run,
+        elapsed: started.elapsed(),
+        failed_workers: state.failed_workers,
+    })
+}
+
+/// Drives one worker process to completion: spawn, send the job, then
+/// alternate claims and assignments until the queue drains or a stop
+/// condition fires. Returns an error if the worker died with shards in
+/// flight (after re-queueing them).
+#[allow(clippy::too_many_arguments)]
+fn serve_worker(
+    index: usize,
+    command: &WorkerCommand,
+    job_frame: &[u8],
+    shard_sizes: &[u64],
+    coord: &Coord,
+    persister: Option<&Persister>,
+    config: &DistribConfig,
+) -> FsResult<()> {
+    let mut child = match Command::new(&command.program)
+        .args(&command.args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(error) => {
+            // Never-started workers must still drop out of the telemetry,
+            // or progress reports them as alive at 0/s forever.
+            let mut state = coord.state.lock().expect("coordinator state poisoned");
+            state.workers[index].alive = false;
+            return Err(transport_err("spawn worker", error));
+        }
+    };
+    let mut stdin = child.stdin.take().expect("worker stdin is piped");
+    let mut stdout = BufReader::new(child.stdout.take().expect("worker stdout is piped"));
+
+    // Shards assigned to this worker whose results have not come back yet.
+    let mut in_flight: Vec<u32> = Vec::new();
+    let result = (|| -> FsResult<()> {
+        write_frame(&mut stdin, job_frame)?;
+        loop {
+            let message = FromWorker::from_frame(&read_frame(&mut stdout)?)?;
+            match message {
+                FromWorker::Claim => {
+                    let batch: Vec<u32> = {
+                        let mut state = coord.state.lock().expect("coordinator state poisoned");
+                        loop {
+                            if state.stopping || state.should_stop(config) {
+                                state.stopping = true;
+                                coord.wake.notify_all();
+                                break Vec::new();
+                            }
+                            if !state.queue.is_empty() {
+                                let take = config.assign_batch.max(1).min(state.queue.len());
+                                let batch: Vec<u32> = state.queue.drain(..take).collect();
+                                for &shard in &batch {
+                                    state.assigned_candidates += shard_sizes[shard as usize];
+                                }
+                                state.in_flight += batch.len();
+                                break batch;
+                            }
+                            if state.in_flight == 0 {
+                                // Queue drained and nothing in flight: the
+                                // sweep (or this run's slice of it) is done.
+                                break Vec::new();
+                            }
+                            // Queue empty but other workers still hold
+                            // shards; if one of them dies, its shards come
+                            // back to the queue — wait instead of shutting
+                            // this worker down and stranding that work.
+                            state = coord.wake.wait(state).expect("coordinator state poisoned");
+                        }
+                    };
+                    if batch.is_empty() {
+                        write_frame(&mut stdin, &ToWorker::Shutdown.to_frame())?;
+                        return Ok(());
+                    }
+                    in_flight.extend(&batch);
+                    write_frame(&mut stdin, &ToWorker::Assign(batch).to_frame())?;
+                }
+                FromWorker::ShardDone { shard, result } => {
+                    // A result for a shard this worker was never assigned
+                    // (or already reported) is a protocol violation; bail
+                    // before it corrupts the shared counters.
+                    let Some(position) = in_flight.iter().position(|&s| s == shard) else {
+                        return Err(FsError::Corrupted(format!(
+                            "worker reported shard {shard} it does not hold"
+                        )));
+                    };
+                    in_flight.swap_remove(position);
+                    let to_persist = {
+                        let mut state = coord.state.lock().expect("coordinator state poisoned");
+                        state.in_flight -= 1;
+                        state.tested += result.tested as usize;
+                        state.skipped += result.skipped as usize;
+                        state.buggy += result.buggy as usize;
+                        state.processed_this_run += (result.tested + result.skipped) as usize;
+                        state.merged_this_run += 1;
+                        let worker = &mut state.workers[index];
+                        worker.shards += 1;
+                        worker.tested += result.tested;
+                        // Merge the single-shard result as a checkpoint
+                        // union, so the one aggregation primitive (`merge`)
+                        // is the one the protocol exercises.
+                        let mut incoming = state.checkpoint.subset([]);
+                        incoming.record(shard, result);
+                        state.checkpoint.merge(&incoming)?;
+                        coord.wake.notify_all();
+                        // Serialize under the lock (memory-speed), but do
+                        // the file write outside it so workers don't stall
+                        // behind checkpoint IO.
+                        persister
+                            .map(|p| (p, state.merged_this_run as u64, state.checkpoint.to_bytes()))
+                    };
+                    if let Some((persister, version, bytes)) = to_persist {
+                        persister.persist(version, &bytes)?;
+                    }
+                }
+            }
+        }
+    })();
+
+    // Whatever happened, account for this worker's fate.
+    match result {
+        Ok(()) => {
+            let _ = child.wait();
+            let mut state = coord.state.lock().expect("coordinator state poisoned");
+            state.workers[index].alive = false;
+            Ok(())
+        }
+        Err(error) => {
+            // The worker died or broke protocol: reclaim its in-flight
+            // shards so surviving workers can run them, then reap it.
+            let _ = child.kill();
+            let _ = child.wait();
+            let mut state = coord.state.lock().expect("coordinator state poisoned");
+            for shard in in_flight {
+                state.in_flight -= 1;
+                if !state.checkpoint.has_shard(shard) {
+                    state.queue.push_front(shard);
+                    state.assigned_candidates = state
+                        .assigned_candidates
+                        .saturating_sub(shard_sizes[shard as usize]);
+                }
+            }
+            state.workers[index].alive = false;
+            // Wake any worker waiting for in-flight shards: either the
+            // queue just grew, or this was the last in-flight holder.
+            coord.wake.notify_all();
+            Err(error)
+        }
+    }
+}
+
+/// Options for [`worker_main`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Chaos-test hook: exit with [`WORKER_CRASH_EXIT`] immediately before
+    /// running workload `N` (counted across all assigned shards), i.e. die
+    /// mid-shard. `None` disables the hook.
+    pub die_after_workloads: Option<u64>,
+}
+
+/// The worker side of the protocol, speaking frames over this process's
+/// stdin/stdout. Returns the process exit code; the caller (the
+/// `b3-sweep-worker` binary or a `--worker`-mode coordinator) passes it to
+/// [`std::process::exit`].
+pub fn worker_main(options: WorkerOptions) -> i32 {
+    match worker_loop(options) {
+        Ok(()) => 0,
+        Err(error) => {
+            eprintln!("b3 sweep worker: {error}");
+            1
+        }
+    }
+}
+
+fn worker_loop(options: WorkerOptions) -> FsResult<()> {
+    let mut stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+
+    let job = match ToWorker::from_frame(&read_frame(&mut stdin)?)? {
+        ToWorker::Job(job) => job,
+        _ => {
+            return Err(FsError::Corrupted(
+                "worker expected a Job as its first message".into(),
+            ))
+        }
+    };
+    let spec = job.fs.spec(job.era);
+    let monkey = CrashMonkey::with_config(spec.as_ref(), job.crashmonkey);
+    let mut workloads_until_crash = options.die_after_workloads;
+
+    loop {
+        write_frame(&mut stdout, &FromWorker::Claim.to_frame())?;
+        match ToWorker::from_frame(&read_frame(&mut stdin)?)? {
+            ToWorker::Assign(shards) => {
+                for shard in shards {
+                    let result = run_shard(&monkey, &job.bounds, shard, job.num_shards, || {
+                        if let Some(remaining) = &mut workloads_until_crash {
+                            if *remaining == 0 {
+                                // The chaos hook: die mid-shard, leaving
+                                // the claimed shard unreported.
+                                std::process::exit(WORKER_CRASH_EXIT);
+                            }
+                            *remaining -= 1;
+                        }
+                    });
+                    write_frame(
+                        &mut stdout,
+                        &FromWorker::ShardDone { shard, result }.to_frame(),
+                    )?;
+                }
+            }
+            ToWorker::Shutdown => return Ok(()),
+            ToWorker::Job(_) => {
+                return Err(FsError::Corrupted("unexpected second Job message".into()))
+            }
+        }
+    }
+}

@@ -14,6 +14,11 @@
 //!   shards ([`b3_ace::Bounds::shard`]), completed shards are recorded in a
 //!   serializable [`sweep::SweepCheckpoint`], and a killed sweep resumes
 //!   where it left off.
+//! * [`distrib`] — multi-process fan-out over the same shard machinery: a
+//!   coordinator process owns the shard queue and checkpoint file, worker
+//!   child processes claim shards over a stdio protocol, and every returned
+//!   shard result is merged ([`sweep::SweepCheckpoint::merge`]) and
+//!   persisted — the true analogue of the paper's 780-VM cluster.
 //! * [`postprocess`] — bug-report de-duplication: grouping by skeleton and
 //!   consequence, and filtering against the database of known bugs (§5.3,
 //!   Figure 5).
@@ -25,6 +30,7 @@
 
 pub mod baseline;
 pub mod corpus;
+pub mod distrib;
 pub mod postprocess;
 pub mod report;
 pub mod runner;
@@ -32,7 +38,10 @@ pub mod study;
 pub mod sweep;
 
 pub use corpus::{CorpusEntry, FsKind, ReproStatus};
+pub use distrib::{
+    run_distributed, DistribConfig, DistribOutcome, SweepJob, WorkerCommand, WorkerOptions,
+};
 pub use postprocess::{group_reports, BugGroup, KnownBugDatabase};
 pub use report::Table;
 pub use runner::{run_stream, run_stream_observed, RunConfig, RunSummary};
-pub use sweep::{Progress, Sweep, SweepCheckpoint};
+pub use sweep::{Progress, Sweep, SweepCheckpoint, WorkerThroughput};

@@ -136,6 +136,7 @@ impl LiveCounters {
             total_workloads,
             elapsed,
             eta,
+            per_worker: Vec::new(),
         }
     }
 }

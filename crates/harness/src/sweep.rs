@@ -21,12 +21,27 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use b3_ace::{Bounds, WorkloadGenerator};
-use b3_crashmonkey::{BugReport, CrashMonkey};
+use b3_crashmonkey::{BugReport, CrashMonkey, WorkloadOutcome};
 use b3_vfs::codec::{Decoder, Encoder};
 use b3_vfs::error::{FsError, FsResult};
 use b3_vfs::fs::FsSpec;
 
 use crate::runner::{spawn_progress_monitor, LiveCounters, RunConfig, RunSummary};
+
+/// Live throughput of one remote worker process, as observed by a
+/// distributed sweep coordinator (see [`crate::distrib`]).
+#[derive(Debug, Clone)]
+pub struct WorkerThroughput {
+    /// Worker index (0-based, stable for the life of the coordinator).
+    pub worker: usize,
+    /// Workloads this worker has tested so far.
+    pub tested: u64,
+    /// Shards this worker has completed so far.
+    pub shards: u64,
+    /// Workloads tested per second of wall-clock time, or `None` once the
+    /// worker has exited (cleanly or not).
+    pub throughput: Option<f64>,
+}
 
 /// A point-in-time view of a running sweep, handed to progress callbacks.
 #[derive(Debug, Clone)]
@@ -47,6 +62,9 @@ pub struct Progress {
     pub elapsed: Duration,
     /// Estimated time to completion, extrapolated from throughput so far.
     pub eta: Option<Duration>,
+    /// Per-worker throughput, populated only by distributed sweeps (one
+    /// entry per worker process); empty for in-process sweeps.
+    pub per_worker: Vec<WorkerThroughput>,
 }
 
 impl Progress {
@@ -69,22 +87,141 @@ impl Progress {
         if let Some(eta) = self.eta {
             line.push_str(&format!(" | ~{:.0?} left", eta));
         }
+        if !self.per_worker.is_empty() {
+            let workers: Vec<String> = self
+                .per_worker
+                .iter()
+                .map(|w| match w.throughput {
+                    Some(rate) => format!("w{} {:.0}/s", w.worker, rate),
+                    None => format!("w{} gone", w.worker),
+                })
+                .collect();
+            line.push_str(&format!(" | [{}]", workers.join(" ")));
+        }
         line
     }
 }
 
-/// The recorded outcome of one completed shard.
+/// The recorded outcome of one completed shard. Also the unit of work the
+/// distributed protocol ([`crate::distrib`]) ships from worker processes
+/// back to the coordinator.
 #[derive(Debug, Clone, Default, PartialEq)]
-struct ShardResult {
-    tested: u64,
-    skipped: u64,
+pub(crate) struct ShardResult {
+    pub(crate) tested: u64,
+    pub(crate) skipped: u64,
     /// Workloads that produced at least one bug report.
-    buggy: u64,
-    workload_time_nanos: u64,
-    reports: Vec<BugReport>,
+    pub(crate) buggy: u64,
+    pub(crate) workload_time_nanos: u64,
+    pub(crate) reports: Vec<BugReport>,
 }
 
-const CHECKPOINT_MAGIC: u32 = 0x4233_5357; // "B3SW"
+/// What [`ShardResult::absorb`] recorded, so callers can mirror the outcome
+/// into live counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Absorbed {
+    Tested { buggy: bool },
+    Skipped,
+}
+
+impl ShardResult {
+    /// True when two results describe the same outcome — identical counts
+    /// and reports — ignoring `workload_time_nanos`, which is wall-clock
+    /// and differs between independent runs of the same shard.
+    pub(crate) fn same_outcome(&self, other: &ShardResult) -> bool {
+        self.tested == other.tested
+            && self.skipped == other.skipped
+            && self.buggy == other.buggy
+            && self.reports == other.reports
+    }
+
+    /// Folds one CrashMonkey outcome into this shard's counters.
+    pub(crate) fn absorb(&mut self, outcome: FsResult<WorkloadOutcome>) -> Absorbed {
+        match outcome {
+            Ok(outcome) => {
+                if outcome.skipped.is_some() {
+                    self.skipped += 1;
+                    Absorbed::Skipped
+                } else {
+                    self.tested += 1;
+                    self.workload_time_nanos += outcome.timing.total.as_nanos() as u64;
+                    let buggy = outcome.found_bug();
+                    if buggy {
+                        self.buggy += 1;
+                    }
+                    self.reports.extend(outcome.bugs);
+                    Absorbed::Tested { buggy }
+                }
+            }
+            Err(_) => {
+                self.skipped += 1;
+                Absorbed::Skipped
+            }
+        }
+    }
+
+    /// Adds this shard's work to a running summary.
+    pub(crate) fn add_to_summary(&self, summary: &mut RunSummary) {
+        summary.tested += self.tested as usize;
+        summary.skipped += self.skipped as usize;
+        summary.total_workload_time += Duration::from_nanos(self.workload_time_nanos);
+        summary.reports.extend(self.reports.iter().cloned());
+    }
+
+    pub(crate) fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.tested);
+        enc.put_u64(self.skipped);
+        enc.put_u64(self.buggy);
+        enc.put_u64(self.workload_time_nanos);
+        enc.put_u64(self.reports.len() as u64);
+        for report in &self.reports {
+            report.encode(enc);
+        }
+    }
+
+    pub(crate) fn decode(dec: &mut Decoder<'_>) -> FsResult<ShardResult> {
+        let tested = dec.get_u64()?;
+        let skipped = dec.get_u64()?;
+        let buggy = dec.get_u64()?;
+        let workload_time_nanos = dec.get_u64()?;
+        let num_reports = dec.get_u64()? as usize;
+        let mut reports = Vec::with_capacity(num_reports.min(1024));
+        for _ in 0..num_reports {
+            reports.push(BugReport::decode(dec)?);
+        }
+        Ok(ShardResult {
+            tested,
+            skipped,
+            buggy,
+            workload_time_nanos,
+            reports,
+        })
+    }
+}
+
+/// Runs one generator shard to completion on the given CrashMonkey
+/// instance. `tick` runs before every workload — the distributed worker
+/// uses it to implement its crash-injection test hook.
+pub(crate) fn run_shard(
+    monkey: &CrashMonkey<'_>,
+    bounds: &Bounds,
+    shard_index: u32,
+    num_shards: usize,
+    mut tick: impl FnMut(),
+) -> ShardResult {
+    let shard = bounds.shard(shard_index as usize, num_shards);
+    let generator = WorkloadGenerator::for_shard(bounds.clone(), &shard);
+    let mut result = ShardResult::default();
+    for workload in generator {
+        tick();
+        result.absorb(monkey.test_workload(&workload));
+    }
+    result
+}
+
+// "B3S2": bumped from "B3SW" when fingerprints gained the scope prefix, so
+// checkpoints persisted by the pre-scope format fail cleanly at decode
+// ("bad sweep checkpoint magic") instead of as a fingerprint mismatch.
+const CHECKPOINT_MAGIC: u32 = 0x4233_5332;
 
 /// Persistent record of a sweep's completed shards.
 ///
@@ -103,14 +240,24 @@ pub struct SweepCheckpoint {
 impl SweepCheckpoint {
     /// An empty checkpoint for sweeping `bounds` split into `num_shards`.
     pub fn new(bounds: &Bounds, num_shards: usize) -> Self {
+        Self::scoped(bounds, num_shards, "")
+    }
+
+    /// An empty checkpoint additionally scoped by a caller-chosen context
+    /// string. The scope participates in the fingerprint, so checkpoints
+    /// recorded under different execution contexts — e.g. different file
+    /// systems or CrashMonkey configurations in a distributed sweep
+    /// ([`crate::distrib`]) — refuse to resume or merge into each other
+    /// even over identical bounds.
+    pub fn scoped(bounds: &Bounds, num_shards: usize, scope: &str) -> Self {
         SweepCheckpoint {
-            fingerprint: Self::fingerprint_for(bounds, num_shards),
+            fingerprint: Self::fingerprint_for(bounds, num_shards, scope),
             num_shards: num_shards as u32,
             results: BTreeMap::new(),
         }
     }
 
-    fn fingerprint_for(bounds: &Bounds, num_shards: usize) -> String {
+    fn fingerprint_for(bounds: &Bounds, num_shards: usize, scope: &str) -> String {
         // Every knob that affects which workloads the space enumerates (or
         // their order) participates: the op list is order-sensitive on
         // purpose, `describe()` covers the file-set and pattern bounds, and
@@ -118,7 +265,7 @@ impl SweepCheckpoint {
         let ops: Vec<String> = bounds.ops.iter().map(|op| format!("{op:?}")).collect();
         let p = &bounds.persistence;
         format!(
-            "{}/seq{}/[{}]/{}/p{}{}{}{}/{}cand/{}shards",
+            "{scope}|{}/seq{}/[{}]/{}/p{}{}{}{}/{}cand/{}shards",
             bounds.name_prefix,
             bounds.seq_len,
             ops.join(","),
@@ -132,11 +279,100 @@ impl SweepCheckpoint {
         )
     }
 
-    /// True when this checkpoint belongs to the given bounds and shard
-    /// count.
+    /// True when this checkpoint belongs to the given (unscoped) bounds and
+    /// shard count.
     pub fn matches(&self, bounds: &Bounds, num_shards: usize) -> bool {
-        self.fingerprint == Self::fingerprint_for(bounds, num_shards)
+        self.matches_scoped(bounds, num_shards, "")
+    }
+
+    /// True when this checkpoint belongs to the given bounds, shard count,
+    /// and scope (see [`SweepCheckpoint::scoped`]).
+    pub fn matches_scoped(&self, bounds: &Bounds, num_shards: usize, scope: &str) -> bool {
+        self.fingerprint == Self::fingerprint_for(bounds, num_shards, scope)
             && self.num_shards as usize == num_shards
+    }
+
+    /// The fingerprint tying this checkpoint to one (bounds, shard count)
+    /// pair.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Merges the completed shards of `other` into `self` (set union).
+    ///
+    /// Merging is the coordinator's aggregation primitive: workers (or whole
+    /// partial runs) each produce a checkpoint covering a subset of the
+    /// shards, and any merge order converges to the same union — the
+    /// operation is commutative, associative, and idempotent, which
+    /// `tests/checkpoint_merge.rs` pins down property-by-property.
+    ///
+    /// Checkpoints with different fingerprints (different bounds, shard
+    /// counts, or scopes) describe different sweeps; merging them is
+    /// rejected rather than silently combined. When both sides recorded the
+    /// same shard the incoming result wins (last-writer-wins) — a shard's
+    /// *outcome* (counts and reports) is a pure function of (bounds, scope,
+    /// shard index), so duplicates must agree on everything except the
+    /// wall-clock per-shard timing, and debug builds assert exactly that.
+    /// The union is therefore commutative, associative, and idempotent up
+    /// to that timing field.
+    pub fn merge(&mut self, other: &SweepCheckpoint) -> FsResult<()> {
+        if self.fingerprint != other.fingerprint || self.num_shards != other.num_shards {
+            return Err(FsError::InvalidArgument(format!(
+                "cannot merge sweep checkpoints of different sweeps \
+                 (ours {:?}, theirs {:?})",
+                self.fingerprint, other.fingerprint
+            )));
+        }
+        for (&shard, result) in &other.results {
+            if let Some(existing) = self.results.get(&shard) {
+                debug_assert!(
+                    existing.same_outcome(result),
+                    "shard {shard} was re-run with a different outcome; a shard's \
+                     counts and reports must be a pure function of \
+                     (bounds, scope, shard index)"
+                );
+            }
+            self.results.insert(shard, result.clone());
+        }
+        Ok(())
+    }
+
+    /// A copy of this checkpoint restricted to the given shards (shards the
+    /// checkpoint has no result for are ignored). `subset` and [`merge`]
+    /// together let a coordinator split a checkpoint across workers and
+    /// reassemble it.
+    ///
+    /// [`merge`]: SweepCheckpoint::merge
+    pub fn subset(&self, shards: impl IntoIterator<Item = u32>) -> SweepCheckpoint {
+        let mut results = BTreeMap::new();
+        for shard in shards {
+            if let Some(result) = self.results.get(&shard) {
+                results.insert(shard, result.clone());
+            }
+        }
+        SweepCheckpoint {
+            fingerprint: self.fingerprint.clone(),
+            num_shards: self.num_shards,
+            results,
+        }
+    }
+
+    /// Shards not yet recorded, in ascending order — the work remaining.
+    pub fn missing_shards(&self) -> Vec<u32> {
+        (0..self.num_shards)
+            .filter(|shard| !self.results.contains_key(shard))
+            .collect()
+    }
+
+    /// True when the given shard's result is recorded.
+    pub fn has_shard(&self, shard: u32) -> bool {
+        self.results.contains_key(&shard)
+    }
+
+    /// Total workloads that produced at least one bug report, across all
+    /// recorded shards.
+    pub fn total_buggy(&self) -> u64 {
+        self.results.values().map(|r| r.buggy).sum()
     }
 
     /// Number of shards the sweep is split into.
@@ -159,15 +395,12 @@ impl SweepCheckpoint {
     pub fn summary(&self) -> RunSummary {
         let mut summary = RunSummary::default();
         for result in self.results.values() {
-            summary.tested += result.tested as usize;
-            summary.skipped += result.skipped as usize;
-            summary.total_workload_time += Duration::from_nanos(result.workload_time_nanos);
-            summary.reports.extend(result.reports.iter().cloned());
+            result.add_to_summary(&mut summary);
         }
         summary
     }
 
-    fn record(&mut self, shard: u32, result: ShardResult) {
+    pub(crate) fn record(&mut self, shard: u32, result: ShardResult) {
         self.results.insert(shard, result);
     }
 
@@ -180,14 +413,7 @@ impl SweepCheckpoint {
         enc.put_u64(self.results.len() as u64);
         for (shard, result) in &self.results {
             enc.put_u32(*shard);
-            enc.put_u64(result.tested);
-            enc.put_u64(result.skipped);
-            enc.put_u64(result.buggy);
-            enc.put_u64(result.workload_time_nanos);
-            enc.put_u64(result.reports.len() as u64);
-            for report in &result.reports {
-                report.encode(&mut enc);
-            }
+            result.encode(&mut enc);
         }
         enc.finish()
     }
@@ -204,25 +430,7 @@ impl SweepCheckpoint {
         let mut results = BTreeMap::new();
         for _ in 0..count {
             let shard = dec.get_u32()?;
-            let tested = dec.get_u64()?;
-            let skipped = dec.get_u64()?;
-            let buggy = dec.get_u64()?;
-            let workload_time_nanos = dec.get_u64()?;
-            let num_reports = dec.get_u64()? as usize;
-            let mut reports = Vec::with_capacity(num_reports.min(1024));
-            for _ in 0..num_reports {
-                reports.push(BugReport::decode(&mut dec)?);
-            }
-            results.insert(
-                shard,
-                ShardResult {
-                    tested,
-                    skipped,
-                    buggy,
-                    workload_time_nanos,
-                    reports,
-                },
-            );
+            results.insert(shard, ShardResult::decode(&mut dec)?);
         }
         Ok(SweepCheckpoint {
             fingerprint,
@@ -305,7 +513,7 @@ impl<'a> Sweep<'a> {
         // Seed the live counters with the checkpointed work so progress
         // reports are global, not per-resume.
         let seeded = checkpoint.summary();
-        let seeded_buggy: u64 = checkpoint.results.values().map(|r| r.buggy).sum();
+        let seeded_buggy = checkpoint.total_buggy();
         counters.tested.store(seeded.tested, Ordering::Relaxed);
         counters.skipped.store(seeded.skipped, Ordering::Relaxed);
         counters
@@ -368,25 +576,14 @@ impl<'a> Sweep<'a> {
                                     .push(result);
                                 break 'steal;
                             }
-                            match monkey.test_workload(&workload) {
-                                Ok(outcome) => {
-                                    if outcome.skipped.is_some() {
-                                        result.skipped += 1;
-                                        counters.skipped.fetch_add(1, Ordering::Relaxed);
-                                    } else {
-                                        result.tested += 1;
-                                        counters.tested.fetch_add(1, Ordering::Relaxed);
-                                        result.workload_time_nanos +=
-                                            outcome.timing.total.as_nanos() as u64;
-                                        if outcome.found_bug() {
-                                            result.buggy += 1;
-                                            counters.bugs.fetch_add(1, Ordering::Relaxed);
-                                        }
-                                        result.reports.extend(outcome.bugs);
+                            match result.absorb(monkey.test_workload(&workload)) {
+                                Absorbed::Tested { buggy } => {
+                                    counters.tested.fetch_add(1, Ordering::Relaxed);
+                                    if buggy {
+                                        counters.bugs.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
-                                Err(_) => {
-                                    result.skipped += 1;
+                                Absorbed::Skipped => {
                                     counters.skipped.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
@@ -404,10 +601,7 @@ impl<'a> Sweep<'a> {
         let checkpoint = recorded.into_inner().expect("checkpoint poisoned");
         let mut summary = checkpoint.summary();
         for partial in abandoned.into_inner().expect("abandoned results poisoned") {
-            summary.tested += partial.tested as usize;
-            summary.skipped += partial.skipped as usize;
-            summary.total_workload_time += Duration::from_nanos(partial.workload_time_nanos);
-            summary.reports.extend(partial.reports);
+            partial.add_to_summary(&mut summary);
         }
         summary.elapsed = start.elapsed();
         summary

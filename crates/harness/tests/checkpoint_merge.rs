@@ -1,0 +1,130 @@
+//! Property tests for the checkpoint merge algebra.
+//!
+//! A distributed sweep reassembles its result from per-worker partial
+//! checkpoints, so the correctness of the whole fan-out rests on `merge`
+//! being a true set union: commutative, associative, idempotent, and
+//! refusing to combine checkpoints of different sweeps. The subsets here
+//! are carved (via [`SweepCheckpoint::subset`]) out of one real completed
+//! sweep, so every merged shard carries real results, reports included.
+
+use std::sync::OnceLock;
+
+use b3_ace::Bounds;
+use b3_fs_cow::CowFsSpec;
+use b3_harness::{RunConfig, Sweep, SweepCheckpoint};
+use b3_vfs::KernelEra;
+use proptest::prelude::*;
+
+const NUM_SHARDS: usize = 8;
+
+/// One fully swept checkpoint over the tiny bounds, computed once.
+fn full_checkpoint() -> &'static SweepCheckpoint {
+    static FULL: OnceLock<SweepCheckpoint> = OnceLock::new();
+    FULL.get_or_init(|| {
+        let bounds = Bounds::tiny();
+        let spec = CowFsSpec::new(KernelEra::V4_16);
+        let mut checkpoint = SweepCheckpoint::new(&bounds, NUM_SHARDS);
+        let config = RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        };
+        Sweep::new(&spec, config)
+            .shards(NUM_SHARDS)
+            .run_resumable(&bounds, &mut checkpoint);
+        assert!(checkpoint.is_complete());
+        checkpoint
+    })
+}
+
+/// The sub-checkpoint holding the shards selected by `mask`'s bits.
+fn subset(mask: u8) -> SweepCheckpoint {
+    full_checkpoint().subset((0..NUM_SHARDS as u32).filter(|shard| mask & (1 << shard) != 0))
+}
+
+fn merged(a: &SweepCheckpoint, b: &SweepCheckpoint) -> SweepCheckpoint {
+    let mut union = a.clone();
+    union.merge(b).expect("same-sweep merge succeeds");
+    union
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in 0u32..256, b in 0u32..256) {
+        let (a, b) = (subset(a as u8), subset(b as u8));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in 0u32..256, b in 0u32..256, c in 0u32..256) {
+        let (a, b, c) = (subset(a as u8), subset(b as u8), subset(c as u8));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in 0u32..256) {
+        let a = subset(a as u8);
+        prop_assert_eq!(merged(&a, &a), a);
+    }
+
+    #[test]
+    fn merge_is_a_set_union_over_shards(a in 0u32..256, b in 0u32..256) {
+        // Merging overlapping subsets of the same run equals the subset of
+        // the bitmask union — duplicate shards collapse, nothing is counted
+        // twice.
+        let union = merged(&subset(a as u8), &subset(b as u8));
+        prop_assert_eq!(union, subset((a | b) as u8));
+    }
+
+    #[test]
+    fn merged_summary_counts_are_additive_for_disjoint_subsets(a in 0u32..256, b in 0u32..256) {
+        let (a, b) = ((a as u8) & !(b as u8), b as u8);
+        let union = merged(&subset(a), &subset(b));
+        let summary = union.summary();
+        let (sa, sb) = (subset(a).summary(), subset(b).summary());
+        prop_assert_eq!(summary.tested, sa.tested + sb.tested);
+        prop_assert_eq!(summary.skipped, sa.skipped + sb.skipped);
+        prop_assert_eq!(summary.reports.len(), sa.reports.len() + sb.reports.len());
+    }
+}
+
+#[test]
+fn merging_checkpoints_of_different_shard_counts_is_rejected() {
+    let bounds = Bounds::tiny();
+    let mut ours = subset(0b0000_1111);
+    let theirs = SweepCheckpoint::new(&bounds, NUM_SHARDS + 1);
+    let before = ours.clone();
+    assert!(ours.merge(&theirs).is_err());
+    assert!(
+        ours == before,
+        "a rejected merge must leave the checkpoint untouched"
+    );
+    let mut theirs = SweepCheckpoint::new(&bounds, NUM_SHARDS + 1);
+    assert!(theirs.merge(&before).is_err());
+}
+
+#[test]
+fn merging_checkpoints_of_different_bounds_is_rejected() {
+    let mut ours = subset(0b1111_0000);
+    let theirs = SweepCheckpoint::new(&Bounds::paper_seq1(), NUM_SHARDS);
+    assert!(ours.merge(&theirs).is_err());
+}
+
+#[test]
+fn merging_all_single_shard_subsets_rebuilds_the_full_checkpoint() {
+    let mut rebuilt = subset(0);
+    for shard in 0..NUM_SHARDS {
+        rebuilt
+            .merge(&subset(1 << shard))
+            .expect("same-sweep merge succeeds");
+    }
+    assert!(rebuilt.is_complete());
+    assert_eq!(&rebuilt, full_checkpoint());
+    assert_eq!(
+        rebuilt.to_bytes(),
+        full_checkpoint().to_bytes(),
+        "shard-wise reassembly is byte-identical to the uninterrupted run"
+    );
+}

@@ -1,0 +1,221 @@
+//! End-to-end tests of the multi-process sweep fan-out.
+//!
+//! * The **differential** test proves a 4-worker multi-process sweep is
+//!   equivalent to the single-process [`Sweep`] over the same bounds: same
+//!   tested/skipped counts, byte-identical bug reports, same bug groups.
+//! * The **chaos** test extends PR 2's kill/serialize/resume loop across
+//!   process boundaries: every worker of the first run is killed mid-shard
+//!   (via the worker binary's `--die-after-workloads` crash hook), then the
+//!   coordinator itself is repeatedly stopped after partial merges, and the
+//!   checkpoint file still converges to the uninterrupted run's counts.
+//!
+//! Workers are real child processes running the `b3-sweep-worker` binary.
+
+use std::path::PathBuf;
+
+use b3_ace::Bounds;
+use b3_fs_cow::CowFsSpec;
+use b3_harness::distrib::{
+    load_checkpoint, run_distributed, DistribConfig, SweepJob, WorkerCommand,
+};
+use b3_harness::{group_reports, RunConfig, RunSummary, Sweep};
+use b3_vfs::codec::Encoder;
+use b3_vfs::KernelEra;
+
+const NUM_SHARDS: usize = 12;
+
+fn worker_command() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_b3-sweep-worker"))
+}
+
+/// A small two-operation space (~130 workloads): big enough that every
+/// worker sees several shards, small enough for debug-build CI.
+fn small_seq2_bounds() -> Bounds {
+    let mut bounds = Bounds::tiny();
+    bounds.seq_len = 2;
+    bounds.name_prefix = "tiny-seq2".into();
+    bounds
+}
+
+/// The uninterrupted single-process reference sweep.
+fn single_process_summary(bounds: &Bounds) -> RunSummary {
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let config = RunConfig {
+        threads: 2,
+        ..RunConfig::default()
+    };
+    Sweep::new(&spec, config).shards(NUM_SHARDS).run(bounds)
+}
+
+/// Serializes every report of a summary, so equality can be asserted on
+/// bytes rather than field-by-field.
+fn report_bytes(summary: &RunSummary) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    for report in &summary.reports {
+        report.encode(&mut enc);
+    }
+    enc.finish()
+}
+
+fn assert_summaries_equivalent(distributed: &RunSummary, single: &RunSummary) {
+    assert_eq!(distributed.tested, single.tested, "tested counts differ");
+    assert_eq!(distributed.skipped, single.skipped, "skipped counts differ");
+    assert_eq!(
+        report_bytes(distributed),
+        report_bytes(single),
+        "bug reports must be byte-identical (same bugs, same order)"
+    );
+    let single_groups = group_reports(&single.reports);
+    let distributed_groups = group_reports(&distributed.reports);
+    assert_eq!(distributed_groups.len(), single_groups.len());
+    for (d, s) in distributed_groups.iter().zip(&single_groups) {
+        assert_eq!((&d.skeleton, d.count), (&s.skeleton, s.count));
+    }
+}
+
+/// A per-test checkpoint path in the system temp directory.
+fn checkpoint_path(test: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("b3-{test}-{}.ck", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn four_worker_distributed_sweep_matches_single_process() {
+    let bounds = small_seq2_bounds();
+    let single = single_process_summary(&bounds);
+    assert!(single.tested > 0, "reference sweep must test workloads");
+    assert!(
+        !single.reports.is_empty(),
+        "reference sweep must find bugs on the 4.16-era CowFs"
+    );
+
+    let job = SweepJob::new(bounds, NUM_SHARDS);
+    let config = DistribConfig {
+        workers: 4,
+        ..DistribConfig::default()
+    };
+    let final_progress = std::sync::Mutex::new(None);
+    let callback = |p: &b3_harness::Progress| {
+        *final_progress.lock().unwrap() = Some(p.clone());
+    };
+    let outcome = run_distributed(&job, &config, &worker_command(), Some(&callback))
+        .expect("distributed sweep runs");
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.failed_workers, 0);
+    assert_eq!(outcome.resumed_shards, 0);
+    assert_summaries_equivalent(&outcome.summary, &single);
+
+    // The per-worker telemetry of the final progress snapshot accounts for
+    // every shard and every tested workload — no work is double-counted or
+    // attributed to nobody.
+    let progress = final_progress
+        .lock()
+        .unwrap()
+        .take()
+        .expect("the final progress callback fires");
+    assert_eq!(progress.per_worker.len(), 4);
+    let telemetry_shards: u64 = progress.per_worker.iter().map(|w| w.shards).sum();
+    let telemetry_tested: u64 = progress.per_worker.iter().map(|w| w.tested).sum();
+    assert_eq!(telemetry_shards, NUM_SHARDS as u64);
+    assert_eq!(telemetry_tested as usize, outcome.summary.tested);
+}
+
+#[test]
+fn distributed_sweep_rejects_checkpoint_of_a_different_sweep() {
+    let path = checkpoint_path("mismatch");
+    let job = SweepJob::new(Bounds::tiny(), 4);
+    b3_harness::distrib::save_checkpoint(&path, &job.empty_checkpoint()).unwrap();
+
+    // Same file, different shard split: must be rejected, not resumed.
+    let other_job = SweepJob::new(Bounds::tiny(), 5);
+    let config = DistribConfig {
+        workers: 1,
+        checkpoint_path: Some(path.clone()),
+        ..DistribConfig::default()
+    };
+    let result = run_distributed(&other_job, &config, &worker_command(), None);
+    assert!(result.is_err(), "mismatched checkpoint must be rejected");
+
+    // Same bounds and shards, different execution context (file system):
+    // shard results would come from a different file system, so the
+    // checkpoint scope must reject the resume too.
+    let mut other_fs_job = SweepJob::new(Bounds::tiny(), 4);
+    other_fs_job.fs = b3_harness::FsKind::Journal;
+    let result = run_distributed(&other_fs_job, &config, &worker_command(), None);
+    assert!(
+        result.is_err(),
+        "a checkpoint recorded on another file system must be rejected"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn chaos_killed_workers_and_coordinator_converge_to_uninterrupted_counts() {
+    let bounds = small_seq2_bounds();
+    let single = single_process_summary(&bounds);
+    let path = checkpoint_path("chaos");
+    let job = SweepJob::new(bounds, NUM_SHARDS);
+
+    // Round 1: every worker is rigged to die abruptly mid-shard (after 15
+    // workloads each, i.e. partway into its second shard). All four die, so
+    // the run reports an error — but each completed shard was merged and
+    // persisted before the deaths.
+    let config = DistribConfig {
+        workers: 4,
+        checkpoint_path: Some(path.clone()),
+        ..DistribConfig::default()
+    };
+    let dying_worker = worker_command().arg("--die-after-workloads").arg("15");
+    let crashed = run_distributed(&job, &config, &dying_worker, None);
+    assert!(
+        crashed.is_err(),
+        "a run whose every worker dies must report the failure"
+    );
+    let partial = load_checkpoint(&path)
+        .expect("checkpoint file is readable")
+        .expect("partial checkpoint was persisted before the workers died");
+    assert!(
+        partial.completed_shards() > 0,
+        "shards completed before the kill must have been merged"
+    );
+    assert!(
+        !partial.is_complete(),
+        "the worker kills must actually interrupt the sweep"
+    );
+
+    // Rounds 2..: resume with healthy workers, but stop the coordinator
+    // after at most two newly merged shards each round — the moral
+    // equivalent of killing it after a partial merge, since the checkpoint
+    // file is (atomically) rewritten on every merge. Each round starts a
+    // fresh coordinator that reloads the file from disk.
+    let mut rounds = 0;
+    loop {
+        let config = DistribConfig {
+            workers: 4,
+            stop_after_shards: Some(2),
+            checkpoint_path: Some(path.clone()),
+            ..DistribConfig::default()
+        };
+        let outcome = run_distributed(&job, &config, &worker_command(), None)
+            .expect("resumed coordinator runs");
+        assert_eq!(outcome.failed_workers, 0);
+        rounds += 1;
+        assert!(rounds < 100, "the resume loop must converge");
+        if outcome.is_complete() {
+            break;
+        }
+    }
+    assert!(
+        rounds > 1,
+        "stop_after_shards must actually interrupt the coordinator"
+    );
+
+    // The final checkpoint is indistinguishable from an uninterrupted run.
+    let converged = load_checkpoint(&path)
+        .expect("checkpoint file is readable")
+        .expect("final checkpoint exists");
+    assert!(converged.is_complete());
+    assert_summaries_equivalent(&converged.summary(), &single);
+    let _ = std::fs::remove_file(&path);
+}

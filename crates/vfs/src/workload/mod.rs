@@ -349,6 +349,37 @@ impl OpKind {
         }
     }
 
+    /// Every operation kind, in declaration order. `as_str` round-trips
+    /// through [`OpKind::parse`] for each of them.
+    pub const ALL: [OpKind; 21] = [
+        OpKind::Creat,
+        OpKind::Mkdir,
+        OpKind::Mkfifo,
+        OpKind::Symlink,
+        OpKind::Link,
+        OpKind::Unlink,
+        OpKind::Remove,
+        OpKind::Rmdir,
+        OpKind::Rename,
+        OpKind::WriteBuffered,
+        OpKind::WriteDirect,
+        OpKind::WriteMmap,
+        OpKind::Mmap,
+        OpKind::Msync,
+        OpKind::Truncate,
+        OpKind::Falloc,
+        OpKind::SetXattr,
+        OpKind::RemoveXattr,
+        OpKind::Fsync,
+        OpKind::Fdatasync,
+        OpKind::Sync,
+    ];
+
+    /// Parses the mnemonic produced by [`OpKind::as_str`].
+    pub fn parse(s: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|kind| kind.as_str() == s)
+    }
+
     /// The 14 core operations ACE supports (§5.2: "ACE … currently supports
     /// 14 file-system operations. All bugs analyzed in our study used one of
     /// these 14 file-system operations.").
@@ -578,6 +609,14 @@ mod tests {
     fn ace_core_ops_count_is_14() {
         assert_eq!(OpKind::ACE_CORE_OPS.len(), 14);
         assert!(OpKind::ACE_CORE_OPS.iter().all(|k| !k.is_persistence()));
+    }
+
+    #[test]
+    fn op_kind_round_trip() {
+        for kind in OpKind::ALL {
+            assert_eq!(OpKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(OpKind::parse("chmod"), None);
     }
 
     #[test]

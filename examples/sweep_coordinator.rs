@@ -1,0 +1,208 @@
+//! Distributed sweep coordinator: run (or resume) a full preset sweep
+//! across worker *processes* — the single-machine analogue of the paper's
+//! 780-VM cluster (§6.1), built on `b3_harness::distrib`.
+//!
+//! The coordinator owns the shard queue and the checkpoint file; each
+//! worker is a child process (this same binary, re-executed with
+//! `--worker`) that claims shards over stdio, runs them through
+//! CrashMonkey, and ships back per-shard results. Every result is merged
+//! into the checkpoint and atomically persisted, so killing the
+//! coordinator or any worker mid-sweep loses at most the in-flight shards:
+//! re-running the same command resumes from the file.
+//!
+//! ```text
+//! # a bounded smoke of the full 3.9M-candidate seq-3-metadata space:
+//! cargo run --release --example sweep_coordinator -- \
+//!     --workers 4 --preset seq-3-metadata --checkpoint /tmp/seq3.ck --stop-after 20000
+//! # run it again to continue where the previous invocation stopped:
+//! cargo run --release --example sweep_coordinator -- \
+//!     --workers 4 --preset seq-3-metadata --checkpoint /tmp/seq3.ck --stop-after 20000
+//! ```
+//!
+//! Flags: `--workers N` (default 4), `--preset NAME` (`tiny`, `seq-1`,
+//! `seq-2`, `seq-3-data`, `seq-3-metadata` (default), `seq-3-nested`),
+//! `--shards S` (default 64 × workers), `--fs NAME` (btrfs/ext4/F2FS/FSCQ,
+//! default btrfs), `--checkpoint FILE`, `--stop-after M` workloads per
+//! invocation.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use b3::prelude::*;
+use b3_harness::distrib::{
+    load_checkpoint, run_distributed, worker_main, DistribConfig, SweepJob, WorkerCommand,
+    WorkerOptions,
+};
+use b3_harness::{FsKind, Progress};
+
+struct Args {
+    workers: usize,
+    preset: String,
+    shards: Option<usize>,
+    fs: FsKind,
+    checkpoint: Option<PathBuf>,
+    stop_after: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        workers: 4,
+        preset: "seq-3-metadata".into(),
+        shards: None,
+        fs: FsKind::Cow,
+        checkpoint: None,
+        stop_after: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) => (flag.to_string(), Some(value.to_string())),
+            None => (arg, None),
+        };
+        let mut value = || -> Result<String, String> {
+            inline
+                .clone()
+                .or_else(|| args.next())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--workers" => {
+                parsed.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--preset" => parsed.preset = value()?,
+            "--shards" => {
+                parsed.shards = Some(value()?.parse().map_err(|e| format!("--shards: {e}"))?)
+            }
+            "--fs" => {
+                let name = value()?;
+                parsed.fs = FsKind::parse(&name).ok_or(format!("unknown file system {name:?}"))?;
+            }
+            "--checkpoint" => parsed.checkpoint = Some(PathBuf::from(value()?)),
+            "--stop-after" => {
+                parsed.stop_after =
+                    Some(value()?.parse().map_err(|e| format!("--stop-after: {e}"))?)
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn preset_bounds(name: &str) -> Result<Bounds, String> {
+    if name == "tiny" {
+        return Ok(Bounds::tiny());
+    }
+    SequencePreset::ALL
+        .iter()
+        .find(|preset| preset.name() == name)
+        .map(SequencePreset::bounds)
+        .ok_or(format!(
+            "unknown preset {name:?} (expected tiny or a Table 4 name)"
+        ))
+}
+
+fn main() {
+    // Child processes re-exec this binary with `--worker`; everything after
+    // that flag is the worker protocol over stdio.
+    if std::env::args().any(|arg| arg == "--worker") {
+        std::process::exit(worker_main(WorkerOptions::default()));
+    }
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("sweep_coordinator: {message}");
+            std::process::exit(2);
+        }
+    };
+    let bounds = match preset_bounds(&args.preset) {
+        Ok(bounds) => bounds,
+        Err(message) => {
+            eprintln!("sweep_coordinator: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    // Shard count precedence: --shards, else the shard count of an existing
+    // checkpoint (so a sweep can be resumed with a different --workers
+    // without being rejected as "a different sweep"), else 64 per worker.
+    let mut existing_shards = None;
+    if let Some(path) = &args.checkpoint {
+        match load_checkpoint(path) {
+            Ok(Some(existing)) => {
+                println!(
+                    "resuming from {}: {}/{} shards already complete",
+                    path.display(),
+                    existing.completed_shards(),
+                    existing.num_shards()
+                );
+                existing_shards = Some(existing.num_shards());
+            }
+            Ok(None) => println!("checkpoint file {} (new sweep)", path.display()),
+            Err(error) => {
+                eprintln!("sweep_coordinator: unreadable checkpoint: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let num_shards = args
+        .shards
+        .or(existing_shards)
+        .unwrap_or(args.workers.max(1) * 64);
+    let total = WorkloadGenerator::estimate_candidates(&bounds);
+    println!(
+        "sweeping {} ({total} candidates) over {num_shards} shards with {} worker processes",
+        args.preset, args.workers
+    );
+
+    let mut job = SweepJob::new(bounds, num_shards);
+    job.fs = args.fs;
+    let config = DistribConfig {
+        workers: args.workers,
+        checkpoint_path: args.checkpoint.clone(),
+        stop_after_workloads: args.stop_after,
+        progress_interval: Duration::from_secs(2),
+        ..DistribConfig::default()
+    };
+    let worker =
+        WorkerCommand::new(std::env::current_exe().expect("coordinator knows its own executable"))
+            .arg("--worker");
+
+    let progress = |p: &Progress| println!("  [progress] {}", p.describe());
+    let outcome = match run_distributed(&job, &config, &worker, Some(&progress)) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("sweep_coordinator: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    let summary = &outcome.summary;
+    let groups = group_reports(&summary.reports);
+    println!(
+        "\n{} of {total} candidates tested ({} skipped) | {:.0} workloads/s this run | \
+         {} raw reports in {} bug groups | {}/{} shards complete",
+        summary.tested,
+        summary.skipped,
+        outcome.throughput_this_run(),
+        summary.reports.len(),
+        groups.len(),
+        outcome.checkpoint.completed_shards(),
+        outcome.checkpoint.num_shards(),
+    );
+    if outcome.failed_workers > 0 {
+        println!(
+            "{} worker(s) died; their shards were re-queued",
+            outcome.failed_workers
+        );
+    }
+    if outcome.is_complete() {
+        println!("sweep complete");
+    } else if let Some(path) = &args.checkpoint {
+        println!(
+            "sweep incomplete; re-run the same command to resume from {}",
+            path.display()
+        );
+    } else {
+        println!("sweep incomplete and no --checkpoint was given, progress is lost");
+    }
+}
