@@ -179,7 +179,10 @@ impl BugReport {
         }
     }
 
-    /// Deserializes a report produced by [`BugReport::encode`].
+    /// Deserializes a report produced by [`BugReport::encode`]. Every
+    /// declared element count is validated against the remaining buffer
+    /// before allocation, so a truncated or corrupt input (e.g. a desynced
+    /// worker frame) yields an error instead of a huge allocation.
     pub fn decode(dec: &mut b3_vfs::codec::Decoder<'_>) -> b3_vfs::error::FsResult<BugReport> {
         use b3_vfs::error::FsError;
         let get_consequence = |dec: &mut b3_vfs::codec::Decoder<'_>| {
@@ -187,25 +190,37 @@ impl BugReport {
             Consequence::from_code(code)
                 .ok_or_else(|| FsError::Corrupted(format!("unknown consequence code {code}")))
         };
+        // `min_element_bytes` is a floor on the encoded size of one element,
+        // so `count * min > remaining` proves the count is bogus.
+        let get_count = |dec: &mut b3_vfs::codec::Decoder<'_>, min_element_bytes: usize, what| {
+            let count = dec.get_u64()? as usize;
+            if count > dec.remaining() / min_element_bytes {
+                return Err(FsError::Corrupted(format!(
+                    "bug report declares {count} {what} but only {} bytes remain",
+                    dec.remaining()
+                )));
+            }
+            Ok(count)
+        };
         let workload_name = dec.get_str()?;
         let skeleton = dec.get_str()?;
         let fs_name = dec.get_str()?;
         let crash_point = dec.get_u32()?;
         let consequence = get_consequence(dec)?;
-        let count = dec.get_u64()? as usize;
-        let mut all_consequences = Vec::with_capacity(count.min(64));
+        let count = get_count(dec, 1, "consequences")?;
+        let mut all_consequences = Vec::with_capacity(count);
         for _ in 0..count {
             all_consequences.push(get_consequence(dec)?);
         }
         let expected = dec.get_str()?;
         let actual = dec.get_str()?;
-        let count = dec.get_u64()? as usize;
-        let mut diffs = Vec::with_capacity(count.min(64));
+        let count = get_count(dec, 9, "diffs")?;
+        let mut diffs = Vec::with_capacity(count);
         for _ in 0..count {
             diffs.push(SnapshotDiff::decode(dec)?);
         }
-        let count = dec.get_u64()? as usize;
-        let mut write_check_failures = Vec::with_capacity(count.min(64));
+        let count = get_count(dec, 8, "write-check failures")?;
+        let mut write_check_failures = Vec::with_capacity(count);
         for _ in 0..count {
             write_check_failures.push(dec.get_str()?);
         }

@@ -1,7 +1,9 @@
 //! The worker side of the distributed sweep protocol (see
 //! `b3_harness::distrib`): reads a job plus shard assignments from stdin,
 //! runs each shard through CrashMonkey, and writes per-shard results to
-//! stdout. Spawned by a sweep coordinator; not meant to be run by hand.
+//! stdout — with bug reports deduplicated at the source into per-group
+//! exemplars + counts, so a frame stays small no matter how bug-dense the
+//! shard is. Spawned by a sweep coordinator; not meant to be run by hand.
 //!
 //! `--die-after-workloads N` is the chaos-test hook: the process exits
 //! abruptly just before its `N+1`-th workload, simulating a worker VM dying

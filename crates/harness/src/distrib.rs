@@ -21,20 +21,27 @@
 //!  Shutdown ───────────────────────────────▶ exit 0
 //! ```
 //!
-//! Every `ShardDone` is merged into the coordinator's
-//! [`SweepCheckpoint`] (via [`SweepCheckpoint::merge`] — union of completed
-//! shards) and atomically persisted to the checkpoint file, so killing the
-//! coordinator *or* any worker at any point loses at most the shards that
-//! were in flight: the next coordinator run reloads the file, re-queues
-//! exactly the missing shards, and converges to the same counts as an
-//! uninterrupted single-process sweep (`tests/distrib.rs` proves both the
-//! differential and the chaos direction).
+//! A `ShardDone` frame carries the shard's **grouped** result — per-bug-group
+//! exemplars and counts ([`crate::dedup::GroupTable`]), not every raw
+//! report — so frame size, coordinator memory, and checkpoint size are all
+//! bounded by bug diversity rather than bug density. Every frame is merged
+//! into the coordinator's [`SweepCheckpoint`] (via [`SweepCheckpoint::merge`]
+//! — union of completed shards) and durably appended to the checkpoint
+//! file as one small fsync'd *delta record* (see the coordinator's `Persister`); the file is
+//! an append-only segment log, compacted to a fresh snapshot atomically when
+//! the run starts and whenever the deltas outgrow the last snapshot — never
+//! rewritten in full per merge. Killing the coordinator *or* any worker at
+//! any point therefore loses at most the shards that were in flight (a torn
+//! trailing record is ignored on load): the next coordinator run replays the
+//! file, re-queues exactly the missing shards, and converges to the same
+//! counts as an uninterrupted single-process sweep (`tests/distrib.rs`
+//! proves both the differential and the chaos direction).
 
 use std::collections::VecDeque;
 use std::io::{BufReader, Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -227,7 +234,16 @@ impl ToWorker {
             MSG_JOB => Ok(ToWorker::Job(SweepJob::decode(&mut dec)?)),
             MSG_ASSIGN => {
                 let count = dec.get_u64()? as usize;
-                let mut shards = Vec::with_capacity(count.min(4096));
+                // Validate the declared length against the remaining frame
+                // before allocating, so a corrupt frame errors instead of
+                // attempting a huge allocation.
+                if count > dec.remaining() / 4 {
+                    return Err(FsError::Corrupted(format!(
+                        "assignment declares {count} shards but only {} bytes remain",
+                        dec.remaining()
+                    )));
+                }
+                let mut shards = Vec::with_capacity(count);
                 for _ in 0..count {
                     shards.push(dec.get_u32()?);
                 }
@@ -321,8 +337,10 @@ pub struct DistribConfig {
     /// in this run. Shards are the scheduling unit, so the run overshoots
     /// to the end of in-flight shards.
     pub stop_after_workloads: Option<usize>,
-    /// Where the merged checkpoint is persisted (atomically, after every
-    /// merge). `None` keeps the checkpoint in memory only.
+    /// Where the merged checkpoint is persisted: a segment log that gets
+    /// one durably-appended delta record per merged shard and is compacted
+    /// at run start and when the deltas outgrow the last snapshot. `None`
+    /// keeps the checkpoint in memory only.
     pub checkpoint_path: Option<PathBuf>,
     /// How often the progress callback fires.
     pub progress_interval: Duration,
@@ -379,11 +397,153 @@ impl DistribOutcome {
     }
 }
 
-/// Loads a checkpoint file written by [`save_checkpoint`]. Returns
-/// `Ok(None)` when the file does not exist.
+// ---------------------------------------------------------------------------
+// Checkpoint file: an append-only segment log.
+//
+// Layout: 4 magic bytes, then records of `tag(u8) | len(u32 LE) | payload`.
+// A SNAPSHOT record holds a full serialized `SweepCheckpoint`; a DELTA
+// record holds one `shard(u32) | ShardResult` pair belonging to the most
+// recent preceding snapshot. Snapshots are only ever written by an atomic
+// tmp+rename (so they are all-or-nothing); deltas are appended with an
+// fdatasync each, so a crash can leave at most one torn record at the tail,
+// which the loader detects by its length field and ignores — the shard it
+// carried is simply re-run.
+// ---------------------------------------------------------------------------
+
+/// "B3SG": magic prefix of segment-format checkpoint files.
+const SEGMENT_MAGIC: [u8; 4] = *b"B3SG";
+const REC_SNAPSHOT: u8 = 1;
+const REC_DELTA: u8 = 2;
+/// Compaction floor: deltas are allowed to grow to at least this many bytes
+/// before a compaction is considered, so tiny sweeps don't thrash rewrites.
+const MIN_COMPACT_BYTES: u64 = 64 << 10;
+
+/// Frames one record of the segment log.
+fn segment_record(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut record = Vec::with_capacity(payload.len() + 5);
+    record.push(tag);
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(payload);
+    record
+}
+
+/// The bytes of a fresh (compacted) segment file holding one snapshot.
+fn snapshot_file_bytes(checkpoint: &SweepCheckpoint) -> Vec<u8> {
+    let payload = checkpoint.to_bytes();
+    let mut bytes = Vec::with_capacity(payload.len() + 9);
+    bytes.extend_from_slice(&SEGMENT_MAGIC);
+    bytes.extend_from_slice(&segment_record(REC_SNAPSHOT, &payload));
+    bytes
+}
+
+/// Replays a segment file: the latest snapshot, with every subsequent delta
+/// merged in. A truncated trailing record (the signature a killed writer
+/// leaves) is ignored; corruption anywhere else is an error.
+fn replay_segment_file(bytes: &[u8], path: &Path) -> FsResult<SweepCheckpoint> {
+    let corrupt =
+        |what: String| FsError::Corrupted(format!("segment checkpoint {}: {what}", path.display()));
+    let mut pos = SEGMENT_MAGIC.len();
+    let mut current: Option<SweepCheckpoint> = None;
+    while bytes.len() - pos >= 5 {
+        let tag = bytes[pos];
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let end = pos + 5 + len;
+        if end > bytes.len() {
+            // Torn tail: the writer died mid-append. The record's shard is
+            // lost (and will be re-run); everything before it is intact.
+            break;
+        }
+        let payload = &bytes[pos + 5..end];
+        match tag {
+            REC_SNAPSHOT => current = Some(SweepCheckpoint::from_bytes(payload)?),
+            REC_DELTA => {
+                let checkpoint = current
+                    .as_mut()
+                    .ok_or_else(|| corrupt("delta record before any snapshot".into()))?;
+                let mut dec = Decoder::new(payload);
+                let shard = dec.get_u32()?;
+                if shard as usize >= checkpoint.num_shards() {
+                    return Err(corrupt(format!(
+                        "delta for shard {shard} of a {}-shard sweep",
+                        checkpoint.num_shards()
+                    )));
+                }
+                let result = ShardResult::decode(&mut dec)?;
+                checkpoint.record(shard, result);
+            }
+            other => return Err(corrupt(format!("unknown record tag {other:#x}"))),
+        }
+        pos = end;
+    }
+    current.ok_or_else(|| corrupt("no snapshot record".into()))
+}
+
+/// Per-record statistics of a segment checkpoint file — used by tests and
+/// resume diagnostics to see how the file was produced (one snapshot per
+/// compaction, one delta per merged shard since).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Snapshot (compaction) records.
+    pub snapshots: usize,
+    /// Per-shard delta records.
+    pub deltas: usize,
+    /// Bytes of a torn trailing record, ignored on load (0 for a cleanly
+    /// written file).
+    pub truncated_tail_bytes: usize,
+}
+
+/// Scans the record framing of a segment checkpoint file (payloads are not
+/// decoded). Errors on files that are not in the segment format.
+pub fn segment_stats(path: &Path) -> FsResult<SegmentStats> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| FsError::Device(format!("read checkpoint {}: {e}", path.display())))?;
+    if bytes.len() < 4 || bytes[0..4] != SEGMENT_MAGIC {
+        return Err(FsError::InvalidArgument(format!(
+            "{} is not a segment-format checkpoint",
+            path.display()
+        )));
+    }
+    let mut stats = SegmentStats {
+        snapshots: 0,
+        deltas: 0,
+        truncated_tail_bytes: 0,
+    };
+    let mut pos = SEGMENT_MAGIC.len();
+    while bytes.len() - pos >= 5 {
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let end = pos + 5 + len;
+        if end > bytes.len() {
+            break;
+        }
+        match bytes[pos] {
+            REC_SNAPSHOT => stats.snapshots += 1,
+            REC_DELTA => stats.deltas += 1,
+            other => {
+                return Err(FsError::Corrupted(format!(
+                    "segment checkpoint {}: unknown record tag {other:#x}",
+                    path.display()
+                )))
+            }
+        }
+        pos = end;
+    }
+    stats.truncated_tail_bytes = bytes.len() - pos;
+    Ok(stats)
+}
+
+/// Loads a checkpoint file written by [`save_checkpoint`] or a coordinator's
+/// `Persister`. Accepts both the segment format (replaying deltas onto the
+/// latest snapshot, tolerating a torn trailing record) and a bare serialized
+/// checkpoint. Returns `Ok(None)` when the file does not exist.
 pub fn load_checkpoint(path: &Path) -> FsResult<Option<SweepCheckpoint>> {
     match std::fs::read(path) {
-        Ok(bytes) => Ok(Some(SweepCheckpoint::from_bytes(&bytes)?)),
+        Ok(bytes) => {
+            if bytes.len() >= 4 && bytes[0..4] == SEGMENT_MAGIC {
+                replay_segment_file(&bytes, path).map(Some)
+            } else {
+                SweepCheckpoint::from_bytes(&bytes).map(Some)
+            }
+        }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
         Err(e) => Err(FsError::Device(format!(
             "read checkpoint {}: {e}",
@@ -392,21 +552,33 @@ pub fn load_checkpoint(path: &Path) -> FsResult<Option<SweepCheckpoint>> {
     }
 }
 
-/// Atomically writes `bytes` to `path`: a sibling temp file, fsynced
-/// before the rename (and the parent directory fsynced after), so neither
-/// a process kill nor a power cut mid-write corrupts the destination —
-/// rename-without-fsync is precisely the bug class this project tests for.
+/// Atomically writes `bytes` to `path`: a uniquely-named sibling temp file
+/// (per process *and* per call, so concurrent writers never clobber each
+/// other's temp), fsynced before the rename, with the parent directory
+/// fsynced after — rename-without-fsync is precisely the bug class this
+/// project tests for. A failed attempt removes its temp file.
 fn write_atomic(path: &Path, bytes: &[u8]) -> FsResult<()> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     fn inner(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         use std::io::Write;
         let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
+        tmp.push(format!(
+            ".{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let tmp = PathBuf::from(tmp);
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(bytes)?;
-        file.sync_all()?;
-        drop(file);
-        std::fs::rename(&tmp, path)?;
+        let write_and_rename = |tmp: &Path| -> std::io::Result<()> {
+            let mut file = std::fs::File::create(tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(tmp, path)
+        };
+        if let Err(error) = write_and_rename(&tmp) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(error);
+        }
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::File::open(parent)?.sync_all()?;
         }
@@ -416,10 +588,11 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> FsResult<()> {
         .map_err(|e| FsError::Device(format!("persist checkpoint {}: {e}", path.display())))
 }
 
-/// Atomically persists a checkpoint: a temp-file write followed by a
-/// rename, so a kill mid-write never corrupts the file.
+/// Persists a checkpoint as a one-snapshot segment file, atomically (a
+/// temp-file write followed by a rename, so a kill mid-write never corrupts
+/// the file).
 pub fn save_checkpoint(path: &Path, checkpoint: &SweepCheckpoint) -> FsResult<()> {
-    write_atomic(path, &checkpoint.to_bytes())
+    write_atomic(path, &snapshot_file_bytes(checkpoint))
 }
 
 /// Shared coordinator state plus the condition variable idle worker
@@ -432,25 +605,128 @@ struct Coord {
     wake: Condvar,
 }
 
-/// Serializes checkpoint-file writes so they happen *outside* the
-/// coordinator mutex (the encode is cheap and stays under the lock; the
-/// write + rename is the slow part) without ever letting a stale snapshot
-/// overwrite a newer one.
+/// Incremental checkpoint persistence over the segment log.
+///
+/// Opening the persister compacts the file to a fresh snapshot (one atomic
+/// rewrite per *run*); each merged shard then costs one small fdatasync'd
+/// delta append instead of a full-file rewrite, and the file is re-compacted
+/// only when the appended deltas outgrow the last snapshot. All writes
+/// happen *outside* the coordinator mutex (encoding is memory-speed and
+/// stays under it); the persister's own mutex serializes the file, and the
+/// version check keeps a compaction encoded before a concurrent delta from
+/// wiping that delta off disk.
 struct Persister {
     path: PathBuf,
-    last_version: Mutex<u64>,
+    state: Mutex<PersisterState>,
+}
+
+struct PersisterState {
+    /// Append handle to the live segment file (replaced on compaction,
+    /// since the rename puts a new inode at the path).
+    file: std::fs::File,
+    /// Size of the last compacted file (its lone snapshot record).
+    snapshot_bytes: u64,
+    /// Delta bytes appended since that compaction.
+    segment_bytes: u64,
+    /// Newest merge version recorded on disk (delta or compaction).
+    last_version: u64,
+    /// Set when a failed append may have left a torn record that could
+    /// *not* be truncated away. Appending anything after such a record
+    /// would let its declared length swallow the next record on replay —
+    /// breaking the "torn records only ever sit at the tail" invariant —
+    /// so further appends are refused until a compaction (an atomic full
+    /// rewrite) replaces the file.
+    wedged: bool,
 }
 
 impl Persister {
-    /// Writes `bytes` (the checkpoint as of merge number `version`)
-    /// atomically, unless a newer version has already been written.
-    fn persist(&self, version: u64, bytes: &[u8]) -> FsResult<()> {
-        let mut last = self.last_version.lock().expect("persister poisoned");
-        if version <= *last {
+    /// Compacts `checkpoint` to `path` (atomically replacing whatever was
+    /// there — the caller has already loaded and validated it) and opens
+    /// the file for delta appends.
+    fn open(path: &Path, checkpoint: &SweepCheckpoint) -> FsResult<Persister> {
+        let bytes = snapshot_file_bytes(checkpoint);
+        write_atomic(path, &bytes)?;
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| FsError::Device(format!("open checkpoint {}: {e}", path.display())))?;
+        Ok(Persister {
+            path: path.to_path_buf(),
+            state: Mutex::new(PersisterState {
+                file,
+                snapshot_bytes: bytes.len() as u64,
+                segment_bytes: 0,
+                last_version: 0,
+                wedged: false,
+            }),
+        })
+    }
+
+    /// Durably appends one delta record (`payload` is the encoded
+    /// `shard | ShardResult` of merge number `version`). Returns true when
+    /// the deltas have outgrown the snapshot and a compaction is due.
+    ///
+    /// A failed append (ENOSPC, EIO…) may have written a partial record; the
+    /// partial bytes are truncated away so the file stays replayable, and if
+    /// even the truncation fails the persister refuses further appends
+    /// (appending a complete record *after* torn bytes would let the torn
+    /// record's declared length swallow it on replay) until a compaction
+    /// atomically rewrites the file.
+    fn append_delta(&self, version: u64, payload: &[u8]) -> FsResult<bool> {
+        let record = segment_record(REC_DELTA, payload);
+        let mut state = self.state.lock().expect("persister poisoned");
+        if state.wedged {
+            return Err(FsError::Device(format!(
+                "append checkpoint {}: a previous failed append left a torn \
+                 record that could not be truncated",
+                self.path.display()
+            )));
+        }
+        let append = state
+            .file
+            .write_all(&record)
+            .and_then(|()| state.file.sync_data());
+        if let Err(error) = append {
+            // Roll the file back to its last-good length; on success the
+            // torn bytes are gone and later appends are safe again.
+            let good_len = state.snapshot_bytes + state.segment_bytes;
+            if state.file.set_len(good_len).is_err() {
+                state.wedged = true;
+            }
+            return Err(FsError::Device(format!(
+                "append checkpoint {}: {error}",
+                self.path.display()
+            )));
+        }
+        state.segment_bytes += record.len() as u64;
+        state.last_version = state.last_version.max(version);
+        Ok(state.segment_bytes > state.snapshot_bytes.max(MIN_COMPACT_BYTES))
+    }
+
+    /// Atomically rewrites the file as one snapshot (the checkpoint as of
+    /// merge number `version`), dropping the replayed deltas. Skipped when
+    /// a newer delta is already on disk — the snapshot would not contain
+    /// it, so compacting over it would lose a persisted shard.
+    fn compact(&self, version: u64, snapshot_payload: &[u8]) -> FsResult<()> {
+        let mut state = self.state.lock().expect("persister poisoned");
+        if version < state.last_version {
             return Ok(());
         }
-        write_atomic(&self.path, bytes)?;
-        *last = version;
+        let mut bytes = Vec::with_capacity(snapshot_payload.len() + 9);
+        bytes.extend_from_slice(&SEGMENT_MAGIC);
+        bytes.extend_from_slice(&segment_record(REC_SNAPSHOT, snapshot_payload));
+        write_atomic(&self.path, &bytes)?;
+        state.file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| {
+                FsError::Device(format!("reopen checkpoint {}: {e}", self.path.display()))
+            })?;
+        state.snapshot_bytes = bytes.len() as u64;
+        state.segment_bytes = 0;
+        state.last_version = version;
+        // The atomic rewrite replaced whatever a failed append left behind.
+        state.wedged = false;
         Ok(())
     }
 }
@@ -532,8 +808,10 @@ impl CoordState {
 
 /// Runs (or resumes) a distributed sweep: spawns `config.workers` child
 /// processes with `worker`, feeds them shards, merges every returned
-/// per-shard result into the checkpoint, and persists the merge after
-/// every shard.
+/// grouped per-shard result into the checkpoint, and durably appends each
+/// merge to the checkpoint file as one delta record (compacting the file
+/// when the deltas outgrow the last snapshot — never a full rewrite per
+/// shard).
 ///
 /// When `config.checkpoint_path` names an existing file, the sweep resumes
 /// from it; a checkpoint recorded for a different sweep — other bounds,
@@ -573,6 +851,13 @@ pub fn run_distributed(
     let seeded_shards = checkpoint.completed_shards();
     let seeded = checkpoint.summary();
     let total_workloads = WorkloadGenerator::estimate_candidates(&job.bounds);
+    // Open the persister only after the loaded checkpoint was validated:
+    // opening compacts (rewrites) the file, and a mismatched checkpoint
+    // must be rejected untouched.
+    let persister = match &config.checkpoint_path {
+        Some(path) => Some(Persister::open(path, &checkpoint)?),
+        None => None,
+    };
 
     let coord = Coord {
         state: Mutex::new(CoordState {
@@ -597,10 +882,6 @@ pub fn run_distributed(
         }),
         wake: Condvar::new(),
     };
-    let persister = config.checkpoint_path.as_ref().map(|path| Persister {
-        path: path.clone(),
-        last_version: Mutex::new(0),
-    });
     let done = AtomicBool::new(false);
 
     let job_frame = ToWorker::Job(job.clone()).to_frame();
@@ -683,9 +964,10 @@ pub fn run_distributed(
         .state
         .into_inner()
         .expect("coordinator state poisoned");
-    if let Some(path) = &config.checkpoint_path {
-        save_checkpoint(path, &state.checkpoint)?;
-    }
+    // No final rewrite: every merged shard is already on disk as a delta
+    // record (the same state a killed coordinator leaves behind); the next
+    // run's persister open compacts the log.
+    drop(persister);
     let mut summary = state.checkpoint.summary();
     summary.elapsed = started.elapsed();
     Ok(DistribOutcome {
@@ -796,21 +1078,34 @@ fn serve_worker(
                         let worker = &mut state.workers[index];
                         worker.shards += 1;
                         worker.tested += result.tested;
-                        // Merge the single-shard result as a checkpoint
-                        // union, so the one aggregation primitive (`merge`)
-                        // is the one the protocol exercises.
+                        // Encode the delta record under the lock
+                        // (memory-speed), then merge the single-shard
+                        // result as a checkpoint union, so the one
+                        // aggregation primitive (`merge`) is the one the
+                        // protocol exercises.
+                        let delta = persister.map(|p| {
+                            let mut enc = Encoder::new();
+                            enc.put_u32(shard);
+                            result.encode(&mut enc);
+                            (p, state.merged_this_run as u64, enc.finish())
+                        });
                         let mut incoming = state.checkpoint.subset([]);
                         incoming.record(shard, result);
                         state.checkpoint.merge(&incoming)?;
                         coord.wake.notify_all();
-                        // Serialize under the lock (memory-speed), but do
-                        // the file write outside it so workers don't stall
-                        // behind checkpoint IO.
-                        persister
-                            .map(|p| (p, state.merged_this_run as u64, state.checkpoint.to_bytes()))
+                        delta
                     };
-                    if let Some((persister, version, bytes)) = to_persist {
-                        persister.persist(version, &bytes)?;
+                    // The file IO happens outside the coordinator lock so
+                    // workers don't stall behind it: one small fsync'd
+                    // append per shard, plus the occasional compaction.
+                    if let Some((persister, version, delta)) = to_persist {
+                        if persister.append_delta(version, &delta)? {
+                            let (version, snapshot) = {
+                                let state = coord.state.lock().expect("coordinator state poisoned");
+                                (state.merged_this_run as u64, state.checkpoint.to_bytes())
+                            };
+                            persister.compact(version, &snapshot)?;
+                        }
                     }
                 }
             }

@@ -19,6 +19,10 @@
 //!   child processes claim shards over a stdio protocol, and every returned
 //!   shard result is merged ([`sweep::SweepCheckpoint::merge`]) and
 //!   persisted — the true analogue of the paper's 780-VM cluster.
+//! * [`dedup`] — first-class report deduplication: the grouped
+//!   (exemplar + count) [`dedup::GroupTable`] that shard results, checkpoint
+//!   aggregation, and post-hoc grouping all share, bounding sweep memory and
+//!   checkpoint size by bug diversity instead of bug density.
 //! * [`postprocess`] — bug-report de-duplication: grouping by skeleton and
 //!   consequence, and filtering against the database of known bugs (§5.3,
 //!   Figure 5).
@@ -30,6 +34,7 @@
 
 pub mod baseline;
 pub mod corpus;
+pub mod dedup;
 pub mod distrib;
 pub mod postprocess;
 pub mod report;
@@ -38,10 +43,11 @@ pub mod study;
 pub mod sweep;
 
 pub use corpus::{CorpusEntry, FsKind, ReproStatus};
+pub use dedup::{GroupEntry, GroupTable};
 pub use distrib::{
     run_distributed, DistribConfig, DistribOutcome, SweepJob, WorkerCommand, WorkerOptions,
 };
 pub use postprocess::{group_reports, BugGroup, KnownBugDatabase};
-pub use report::Table;
+pub use report::{bug_group_table, Table};
 pub use runner::{run_stream, run_stream_observed, RunConfig, RunSummary};
 pub use sweep::{Progress, Sweep, SweepCheckpoint, WorkerThroughput};

@@ -10,8 +10,10 @@ use std::collections::BTreeMap;
 
 use b3_crashmonkey::{BugReport, Consequence};
 
+use crate::dedup::GroupTable;
+
 /// A group of bug reports believed to stem from the same underlying bug.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BugGroup {
     /// The shared skeleton.
     pub skeleton: String,
@@ -19,25 +21,20 @@ pub struct BugGroup {
     pub consequence: Consequence,
     /// Number of reports in the group.
     pub count: usize,
-    /// A representative report.
+    /// A representative report: the one from the lexicographically-first
+    /// workload in the group.
     pub example: BugReport,
 }
 
 /// Groups reports by (skeleton, consequence), as in Figure 5.
+///
+/// Built on the shared [`GroupTable`], so the result — including each
+/// group's example report, which is the lexicographically-first workload of
+/// the group — is deterministic regardless of the order of `reports`, and
+/// identical to what a sweep's source-level deduplication
+/// ([`crate::sweep::SweepCheckpoint::grouped`]) produces for the same bugs.
 pub fn group_reports(reports: &[BugReport]) -> Vec<BugGroup> {
-    let mut groups: BTreeMap<(String, Consequence), Vec<&BugReport>> = BTreeMap::new();
-    for report in reports {
-        groups.entry(report.group_key()).or_default().push(report);
-    }
-    groups
-        .into_iter()
-        .map(|((skeleton, consequence), members)| BugGroup {
-            skeleton,
-            consequence,
-            count: members.len(),
-            example: members[0].clone(),
-        })
-        .collect()
+    GroupTable::from_reports(reports).groups()
 }
 
 /// The database of previously found bugs ACE consults before reporting a new

@@ -1,6 +1,30 @@
 //! Plain-text table rendering used by the benches and examples that
 //! regenerate the paper's tables.
 
+use crate::postprocess::BugGroup;
+
+/// Renders deduplicated bug groups as the standard four-column table
+/// (skeleton, consequence, raw-report count, exemplar workload) the
+/// examples print — one place to keep the format consistent between the
+/// quickstart pipeline and the sweep coordinator.
+pub fn bug_group_table(groups: &[BugGroup]) -> Table {
+    let mut table = Table::new(vec![
+        "skeleton",
+        "consequence",
+        "reports",
+        "example workload",
+    ]);
+    for group in groups {
+        table.row(vec![
+            group.skeleton.clone(),
+            group.consequence.to_string(),
+            group.count.to_string(),
+            group.example.workload_name.clone(),
+        ]);
+    }
+    table
+}
+
 /// A simple column-aligned text table.
 #[derive(Debug, Clone)]
 pub struct Table {

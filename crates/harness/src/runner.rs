@@ -62,7 +62,13 @@ pub struct RunSummary {
     pub tested: usize,
     /// Workloads skipped because they could not execute.
     pub skipped: usize,
-    /// All bug reports produced.
+    /// Total raw bug reports produced, before any deduplication. For
+    /// [`run_stream`] summaries this equals `reports.len()`; for sweep
+    /// summaries (which deduplicate at the source and keep only group
+    /// exemplars in `reports`) it counts every underlying report.
+    pub raw_reports: usize,
+    /// The bug reports kept: every raw report for [`run_stream`], one
+    /// exemplar per (skeleton, consequence) group for sweeps.
     pub reports: Vec<BugReport>,
     /// Total wall-clock time of the run.
     pub elapsed: Duration,
@@ -312,6 +318,7 @@ fn record(summary: &Mutex<RunSummary>, counters: &LiveCounters, outcome: Workloa
     }
     summary.tested += 1;
     summary.total_workload_time += outcome.timing.total;
+    summary.raw_reports += outcome.bugs.len();
     summary.reports.extend(outcome.bugs);
 }
 

@@ -21,11 +21,13 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use b3_ace::{Bounds, WorkloadGenerator};
-use b3_crashmonkey::{BugReport, CrashMonkey, WorkloadOutcome};
+use b3_crashmonkey::{CrashMonkey, WorkloadOutcome};
 use b3_vfs::codec::{Decoder, Encoder};
 use b3_vfs::error::{FsError, FsResult};
 use b3_vfs::fs::FsSpec;
 
+use crate::dedup::GroupTable;
+use crate::postprocess::BugGroup;
 use crate::runner::{spawn_progress_monitor, LiveCounters, RunConfig, RunSummary};
 
 /// Live throughput of one remote worker process, as observed by a
@@ -105,6 +107,13 @@ impl Progress {
 /// The recorded outcome of one completed shard. Also the unit of work the
 /// distributed protocol ([`crate::distrib`]) ships from worker processes
 /// back to the coordinator.
+///
+/// Bug reports are deduplicated *at the source*: instead of every raw
+/// [`b3_crashmonkey::BugReport`], a shard records its per-group exemplars
+/// and counts in a [`GroupTable`]. A shard of a bug-dense file system can
+/// produce tens of thousands of raw reports in a few dozen groups, so this
+/// bounds shard frames, coordinator memory, and checkpoint size by bug
+/// *diversity* rather than bug *density*.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct ShardResult {
     pub(crate) tested: u64,
@@ -112,7 +121,8 @@ pub(crate) struct ShardResult {
     /// Workloads that produced at least one bug report.
     pub(crate) buggy: u64,
     pub(crate) workload_time_nanos: u64,
-    pub(crate) reports: Vec<BugReport>,
+    /// Per-bug-group exemplars + counts for every report of the shard.
+    pub(crate) groups: GroupTable,
 }
 
 /// What [`ShardResult::absorb`] recorded, so callers can mirror the outcome
@@ -125,13 +135,15 @@ pub(crate) enum Absorbed {
 
 impl ShardResult {
     /// True when two results describe the same outcome — identical counts
-    /// and reports — ignoring `workload_time_nanos`, which is wall-clock
-    /// and differs between independent runs of the same shard.
+    /// and grouped reports — ignoring `workload_time_nanos`, which is
+    /// wall-clock and differs between independent runs of the same shard.
+    /// This is the comparison duplicate-shard merges must use: a
+    /// legitimately re-run shard reproduces everything *except* its timing.
     pub(crate) fn same_outcome(&self, other: &ShardResult) -> bool {
         self.tested == other.tested
             && self.skipped == other.skipped
             && self.buggy == other.buggy
-            && self.reports == other.reports
+            && self.groups == other.groups
     }
 
     /// Folds one CrashMonkey outcome into this shard's counters.
@@ -148,7 +160,9 @@ impl ShardResult {
                     if buggy {
                         self.buggy += 1;
                     }
-                    self.reports.extend(outcome.bugs);
+                    for bug in outcome.bugs {
+                        self.groups.observe(bug);
+                    }
                     Absorbed::Tested { buggy }
                 }
             }
@@ -159,12 +173,13 @@ impl ShardResult {
         }
     }
 
-    /// Adds this shard's work to a running summary.
-    pub(crate) fn add_to_summary(&self, summary: &mut RunSummary) {
+    /// Adds this shard's scalar counters to a running summary (grouped
+    /// reports are aggregated separately, via [`GroupTable::merge_from`]).
+    pub(crate) fn add_counts(&self, summary: &mut RunSummary) {
         summary.tested += self.tested as usize;
         summary.skipped += self.skipped as usize;
+        summary.raw_reports += self.groups.total_reports() as usize;
         summary.total_workload_time += Duration::from_nanos(self.workload_time_nanos);
-        summary.reports.extend(self.reports.iter().cloned());
     }
 
     pub(crate) fn encode(&self, enc: &mut Encoder) {
@@ -172,28 +187,24 @@ impl ShardResult {
         enc.put_u64(self.skipped);
         enc.put_u64(self.buggy);
         enc.put_u64(self.workload_time_nanos);
-        enc.put_u64(self.reports.len() as u64);
-        for report in &self.reports {
-            report.encode(enc);
-        }
+        self.groups.encode(enc);
     }
 
+    /// Decodes one shard result. All length fields are validated against
+    /// the remaining buffer (see [`GroupTable::decode`]), so a truncated or
+    /// corrupt worker frame yields an error instead of a huge allocation.
     pub(crate) fn decode(dec: &mut Decoder<'_>) -> FsResult<ShardResult> {
         let tested = dec.get_u64()?;
         let skipped = dec.get_u64()?;
         let buggy = dec.get_u64()?;
         let workload_time_nanos = dec.get_u64()?;
-        let num_reports = dec.get_u64()? as usize;
-        let mut reports = Vec::with_capacity(num_reports.min(1024));
-        for _ in 0..num_reports {
-            reports.push(BugReport::decode(dec)?);
-        }
+        let groups = GroupTable::decode(dec)?;
         Ok(ShardResult {
             tested,
             skipped,
             buggy,
             workload_time_nanos,
-            reports,
+            groups,
         })
     }
 }
@@ -218,10 +229,11 @@ pub(crate) fn run_shard(
     result
 }
 
-// "B3S2": bumped from "B3SW" when fingerprints gained the scope prefix, so
-// checkpoints persisted by the pre-scope format fail cleanly at decode
-// ("bad sweep checkpoint magic") instead of as a fingerprint mismatch.
-const CHECKPOINT_MAGIC: u32 = 0x4233_5332;
+// "B3S3": bumped from "B3S2" when shard results switched from raw report
+// lists to grouped exemplar + count tables, so checkpoints persisted by the
+// raw-report format fail cleanly at decode ("bad sweep checkpoint magic")
+// instead of as garbage group tables.
+const CHECKPOINT_MAGIC: u32 = 0x4233_5333;
 
 /// Persistent record of a sweep's completed shards.
 ///
@@ -298,23 +310,31 @@ impl SweepCheckpoint {
         &self.fingerprint
     }
 
-    /// Merges the completed shards of `other` into `self` (set union).
+    /// Merges the completed shards of `other` into `self` (set union of
+    /// per-shard grouped results).
     ///
     /// Merging is the coordinator's aggregation primitive: workers (or whole
     /// partial runs) each produce a checkpoint covering a subset of the
     /// shards, and any merge order converges to the same union — the
     /// operation is commutative, associative, and idempotent, which
-    /// `tests/checkpoint_merge.rs` pins down property-by-property.
+    /// `tests/checkpoint_merge.rs` pins down property-by-property. The
+    /// aggregate group view ([`SweepCheckpoint::grouped`]) unions the
+    /// per-shard [`GroupTable`]s — counts add, and each group keeps the
+    /// lexicographically-first exemplar — so the grouped result is also
+    /// independent of shard partition and merge order, and equals post-hoc
+    /// [`crate::postprocess::group_reports`] over the raw report stream.
     ///
     /// Checkpoints with different fingerprints (different bounds, shard
     /// counts, or scopes) describe different sweeps; merging them is
     /// rejected rather than silently combined. When both sides recorded the
     /// same shard the incoming result wins (last-writer-wins) — a shard's
-    /// *outcome* (counts and reports) is a pure function of (bounds, scope,
-    /// shard index), so duplicates must agree on everything except the
-    /// wall-clock per-shard timing, and debug builds assert exactly that.
-    /// The union is therefore commutative, associative, and idempotent up
-    /// to that timing field.
+    /// *outcome* (counts and grouped reports) is a pure function of
+    /// (bounds, scope, shard index), so duplicates must agree on everything
+    /// except the wall-clock per-shard timing, and debug builds assert
+    /// exactly that via the timing-ignoring `ShardResult::same_outcome`
+    /// (full `ShardResult` equality would spuriously panic on a
+    /// legitimately re-run shard). The union is therefore commutative,
+    /// associative, and idempotent up to that timing field.
     pub fn merge(&mut self, other: &SweepCheckpoint) -> FsResult<()> {
         if self.fingerprint != other.fingerprint || self.num_shards != other.num_shards {
             return Err(FsError::InvalidArgument(format!(
@@ -391,13 +411,33 @@ impl SweepCheckpoint {
     }
 
     /// Aggregates all recorded shard results into a summary (elapsed time is
-    /// zero — the checkpoint records work, not wall-clock).
+    /// zero — the checkpoint records work, not wall-clock). The summary's
+    /// `reports` are the deduplicated group **exemplars** in group-key
+    /// order; `raw_reports` counts every underlying report.
     pub fn summary(&self) -> RunSummary {
         let mut summary = RunSummary::default();
         for result in self.results.values() {
-            result.add_to_summary(&mut summary);
+            result.add_counts(&mut summary);
         }
+        summary.reports = self.grouped().into_exemplars();
         summary
+    }
+
+    /// The union of every recorded shard's group table: per bug group, the
+    /// total raw-report count and the lexicographically-first exemplar.
+    /// Independent of shard partition and merge order.
+    pub fn grouped(&self) -> GroupTable {
+        let mut table = GroupTable::new();
+        for result in self.results.values() {
+            table.merge_from(&result.groups);
+        }
+        table
+    }
+
+    /// The deduplicated bug groups of all recorded shards (the
+    /// post-processing view of [`SweepCheckpoint::grouped`]).
+    pub fn bug_groups(&self) -> Vec<BugGroup> {
+        self.grouped().groups()
     }
 
     pub(crate) fn record(&mut self, shard: u32, result: ShardResult) {
@@ -427,6 +467,15 @@ impl SweepCheckpoint {
         let fingerprint = dec.get_str()?;
         let num_shards = dec.get_u32()?;
         let count = dec.get_u64()? as usize;
+        // Each recorded shard needs at least its index, four counters, and
+        // an (empty) group table — 44 bytes; a declared count beyond what
+        // the buffer can hold is corruption, not an allocation request.
+        if count > dec.remaining() / 44 {
+            return Err(FsError::Corrupted(format!(
+                "checkpoint declares {count} shard results but only {} bytes remain",
+                dec.remaining()
+            )));
+        }
         let mut results = BTreeMap::new();
         for _ in 0..count {
             let shard = dec.get_u32()?;
@@ -599,10 +648,19 @@ impl<'a> Sweep<'a> {
         });
 
         let checkpoint = recorded.into_inner().expect("checkpoint poisoned");
-        let mut summary = checkpoint.summary();
-        for partial in abandoned.into_inner().expect("abandoned results poisoned") {
-            partial.add_to_summary(&mut summary);
+        let mut summary = RunSummary::default();
+        for result in checkpoint.results.values() {
+            result.add_counts(&mut summary);
         }
+        // Fold abandoned partial shards into the counts *and* the grouped
+        // view, so a sweep stopped by `stop_after_bugs` still reports the
+        // bug that stopped it.
+        let mut grouped = checkpoint.grouped();
+        for partial in abandoned.into_inner().expect("abandoned results poisoned") {
+            partial.add_counts(&mut summary);
+            grouped.merge_from(&partial.groups);
+        }
+        summary.reports = grouped.into_exemplars();
         summary.elapsed = start.elapsed();
         summary
     }
@@ -652,7 +710,15 @@ mod tests {
         let swept = Sweep::new(&spec, tiny_config()).shards(5).run(&bounds);
         assert_eq!(swept.tested, streamed.tested);
         assert_eq!(swept.skipped, streamed.skipped);
-        assert_eq!(swept.reports.len(), streamed.reports.len());
+        // The sweep's summary is deduplicated at the source: its raw-report
+        // count matches the streamed run's full report list, and its
+        // exemplars are exactly the post-hoc grouping of that list.
+        assert_eq!(swept.raw_reports, streamed.reports.len());
+        let post_hoc = crate::postprocess::group_reports(&streamed.reports);
+        assert_eq!(swept.reports.len(), post_hoc.len());
+        for (exemplar, group) in swept.reports.iter().zip(&post_hoc) {
+            assert_eq!(exemplar, &group.example);
+        }
     }
 
     #[test]
@@ -705,8 +771,9 @@ mod tests {
         let resumed = checkpoint.summary();
         assert_eq!(resumed.tested, uninterrupted.tested);
         assert_eq!(resumed.skipped, uninterrupted.skipped);
+        assert_eq!(resumed.raw_reports, uninterrupted.raw_reports);
         assert_eq!(resumed.reports.len(), uninterrupted.reports.len());
-        // Shard-ordered aggregation makes even the report order identical.
+        // Group-keyed aggregation makes even the exemplar order identical.
         let names = |s: &RunSummary| -> Vec<String> {
             s.reports.iter().map(|r| r.workload_name.clone()).collect()
         };
@@ -727,6 +794,29 @@ mod tests {
             !summary.reports.is_empty(),
             "the bug that stopped the sweep must be in the summary"
         );
+    }
+
+    #[test]
+    fn decode_rejects_wire_counts_larger_than_the_frame() {
+        // A corrupt/truncated worker frame declaring a huge group count
+        // must fail to decode instead of attempting a huge allocation.
+        let mut enc = Encoder::new();
+        enc.put_u64(1); // tested
+        enc.put_u64(0); // skipped
+        enc.put_u64(1); // buggy
+        enc.put_u64(42); // workload_time_nanos
+        enc.put_u64(u64::MAX); // declared group count, no payload behind it
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(ShardResult::decode(&mut dec).is_err());
+
+        // Same for a checkpoint declaring more shard results than fit.
+        let bounds = Bounds::tiny();
+        let checkpoint = SweepCheckpoint::new(&bounds, 4);
+        let mut bytes = checkpoint.to_bytes();
+        let shard_count_offset = bytes.len() - 8; // trailing empty map count
+        bytes[shard_count_offset..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(SweepCheckpoint::from_bytes(&bytes).is_err());
     }
 
     #[test]

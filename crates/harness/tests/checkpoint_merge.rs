@@ -5,13 +5,21 @@
 //! being a true set union: commutative, associative, idempotent, and
 //! refusing to combine checkpoints of different sweeps. The subsets here
 //! are carved (via [`SweepCheckpoint::subset`]) out of one real completed
-//! sweep, so every merged shard carries real results, reports included.
+//! sweep, so every merged shard carries real results, grouped reports
+//! included.
+//!
+//! Shard results are deduplicated at the source (per-group exemplars +
+//! counts, see `b3_harness::dedup`), so this suite additionally pins the
+//! **dedup equivalence**: merging grouped shard results over *any* shard
+//! partition, in *any* order, produces the same (group → count, exemplar)
+//! table as post-hoc `group_reports` over the raw, ungrouped report stream
+//! of a plain `run_stream` sweep.
 
 use std::sync::OnceLock;
 
-use b3_ace::Bounds;
+use b3_ace::{Bounds, WorkloadGenerator};
 use b3_fs_cow::CowFsSpec;
-use b3_harness::{RunConfig, Sweep, SweepCheckpoint};
+use b3_harness::{group_reports, run_stream, BugGroup, RunConfig, Sweep, SweepCheckpoint};
 use b3_vfs::KernelEra;
 use proptest::prelude::*;
 
@@ -33,6 +41,24 @@ fn full_checkpoint() -> &'static SweepCheckpoint {
             .run_resumable(&bounds, &mut checkpoint);
         assert!(checkpoint.is_complete());
         checkpoint
+    })
+}
+
+/// The post-hoc grouping of the *raw* report stream over the same bounds:
+/// an ungrouped `run_stream` sweep (which keeps every report), grouped
+/// after the fact — the §5.3 reference the grouped checkpoint must match.
+fn post_hoc_groups() -> &'static Vec<BugGroup> {
+    static GROUPS: OnceLock<Vec<BugGroup>> = OnceLock::new();
+    GROUPS.get_or_init(|| {
+        let bounds = Bounds::tiny();
+        let spec = CowFsSpec::new(KernelEra::V4_16);
+        let config = RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        };
+        let summary = run_stream(&spec, WorkloadGenerator::new(bounds), &config);
+        assert_eq!(summary.raw_reports, summary.reports.len());
+        group_reports(&summary.reports)
     })
 }
 
@@ -86,7 +112,43 @@ proptest! {
         let (sa, sb) = (subset(a).summary(), subset(b).summary());
         prop_assert_eq!(summary.tested, sa.tested + sb.tested);
         prop_assert_eq!(summary.skipped, sa.skipped + sb.skipped);
-        prop_assert_eq!(summary.reports.len(), sa.reports.len() + sb.reports.len());
+        // Raw-report totals add; group counts union (counts add per key,
+        // exemplars take the lexicographic minimum), so the number of
+        // *groups* is bounded by the union of the two sides' group keys.
+        prop_assert_eq!(summary.raw_reports, sa.raw_reports + sb.raw_reports);
+        let grouped = union.grouped();
+        prop_assert_eq!(grouped.total_reports() as usize, summary.raw_reports);
+        prop_assert_eq!(summary.reports.len(), grouped.len());
+    }
+
+    /// The dedup-equivalence property: split the shards into up to four
+    /// partition cells by an arbitrary assignment, merge the cells in an
+    /// arbitrary rotation, and the grouped result — every group's key,
+    /// raw-report count, and byte-exact exemplar — equals post-hoc
+    /// `group_reports` over the raw report stream of an ungrouped sweep.
+    #[test]
+    fn any_partition_and_order_matches_post_hoc_grouping(
+        assignment in prop::collection::vec(0usize..4, NUM_SHARDS..NUM_SHARDS + 1),
+        rotation in 0usize..4,
+    ) {
+        let mut cells = vec![Vec::new(); 4];
+        for (shard, &cell) in assignment.iter().enumerate() {
+            cells[cell].push(shard as u32);
+        }
+        let mut rebuilt = subset(0);
+        for step in 0..4 {
+            let cell = &cells[(step + rotation) % 4];
+            rebuilt
+                .merge(&full_checkpoint().subset(cell.iter().copied()))
+                .expect("same-sweep merge succeeds");
+        }
+        prop_assert!(rebuilt.is_complete());
+        let grouped = rebuilt.bug_groups();
+        let reference = post_hoc_groups();
+        prop_assert_eq!(grouped.len(), reference.len());
+        for (ours, theirs) in grouped.iter().zip(reference.iter()) {
+            prop_assert_eq!(ours, theirs);
+        }
     }
 }
 
@@ -110,6 +172,42 @@ fn merging_checkpoints_of_different_bounds_is_rejected() {
     let mut ours = subset(0b1111_0000);
     let theirs = SweepCheckpoint::new(&Bounds::paper_seq1(), NUM_SHARDS);
     assert!(ours.merge(&theirs).is_err());
+}
+
+/// A shard legitimately re-run (after a crash, or by a second worker)
+/// reproduces identical counts and grouped reports but *different*
+/// wall-clock timing. Merging the re-run into a checkpoint that already
+/// holds the shard must not trip the duplicate-shard debug assertion: the
+/// comparison is the timing-ignoring `same_outcome`, not full equality.
+#[test]
+fn rerun_shard_with_different_timing_merges_without_panic() {
+    let bounds = Bounds::tiny();
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let config = RunConfig {
+        threads: 1,
+        ..RunConfig::default()
+    };
+    // Two independent runs of the same sweep: same outcomes, different
+    // per-shard `workload_time_nanos`.
+    let mut first = SweepCheckpoint::new(&bounds, NUM_SHARDS);
+    Sweep::new(&spec, config)
+        .shards(NUM_SHARDS)
+        .run_resumable(&bounds, &mut first);
+    let mut second = SweepCheckpoint::new(&bounds, NUM_SHARDS);
+    Sweep::new(&spec, config)
+        .shards(NUM_SHARDS)
+        .run_resumable(&bounds, &mut second);
+    assert!(first.is_complete() && second.is_complete());
+
+    // Every shard is a duplicate here; with the old full-equality debug
+    // assertion this merge would spuriously panic whenever any shard's
+    // timing differed between the runs.
+    let summary_before = first.summary();
+    first.merge(&second).expect("same-sweep merge succeeds");
+    let summary_after = first.summary();
+    assert_eq!(summary_before.tested, summary_after.tested);
+    assert_eq!(summary_before.raw_reports, summary_after.raw_reports);
+    assert_eq!(summary_before.reports, summary_after.reports);
 }
 
 #[test]

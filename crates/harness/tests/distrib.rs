@@ -2,23 +2,31 @@
 //!
 //! * The **differential** test proves a 4-worker multi-process sweep is
 //!   equivalent to the single-process [`Sweep`] over the same bounds: same
-//!   tested/skipped counts, byte-identical bug reports, same bug groups.
+//!   tested/skipped counts, byte-identical exemplar reports — and, since
+//!   shard results are deduplicated at the source, that its grouped result
+//!   (group → raw-report count + exemplar) equals post-hoc `group_reports`
+//!   over the raw report stream of an ungrouped `run_stream` sweep.
 //! * The **chaos** test extends PR 2's kill/serialize/resume loop across
 //!   process boundaries: every worker of the first run is killed mid-shard
 //!   (via the worker binary's `--die-after-workloads` crash hook), then the
 //!   coordinator itself is repeatedly stopped after partial merges, and the
 //!   checkpoint file still converges to the uninterrupted run's counts.
+//! * The **segment** tests cover the append-only checkpoint file: per-shard
+//!   delta appends instead of full rewrites, replay equivalence, tolerance
+//!   of the torn trailing record a killed coordinator can leave, and the
+//!   legacy single-blob format.
 //!
 //! Workers are real child processes running the `b3-sweep-worker` binary.
 
 use std::path::PathBuf;
 
-use b3_ace::Bounds;
+use b3_ace::{Bounds, WorkloadGenerator};
 use b3_fs_cow::CowFsSpec;
 use b3_harness::distrib::{
-    load_checkpoint, run_distributed, DistribConfig, SweepJob, WorkerCommand,
+    load_checkpoint, run_distributed, save_checkpoint, segment_stats, DistribConfig, SweepJob,
+    WorkerCommand,
 };
-use b3_harness::{group_reports, RunConfig, RunSummary, Sweep};
+use b3_harness::{group_reports, run_stream, BugGroup, RunConfig, RunSummary, Sweep};
 use b3_vfs::codec::Encoder;
 use b3_vfs::KernelEra;
 
@@ -47,6 +55,19 @@ fn single_process_summary(bounds: &Bounds) -> RunSummary {
     Sweep::new(&spec, config).shards(NUM_SHARDS).run(bounds)
 }
 
+/// Post-hoc grouping of the *raw* (ungrouped) report stream over the same
+/// bounds — the §5.3 reference the source-deduplicated sweeps must match.
+fn post_hoc_reference(bounds: &Bounds) -> (usize, Vec<BugGroup>) {
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let config = RunConfig {
+        threads: 2,
+        ..RunConfig::default()
+    };
+    let raw = run_stream(&spec, WorkloadGenerator::new(bounds.clone()), &config);
+    let groups = group_reports(&raw.reports);
+    (raw.reports.len(), groups)
+}
+
 /// Serializes every report of a summary, so equality can be asserted on
 /// bytes rather than field-by-field.
 fn report_bytes(summary: &RunSummary) -> Vec<u8> {
@@ -61,16 +82,14 @@ fn assert_summaries_equivalent(distributed: &RunSummary, single: &RunSummary) {
     assert_eq!(distributed.tested, single.tested, "tested counts differ");
     assert_eq!(distributed.skipped, single.skipped, "skipped counts differ");
     assert_eq!(
+        distributed.raw_reports, single.raw_reports,
+        "raw report counts differ"
+    );
+    assert_eq!(
         report_bytes(distributed),
         report_bytes(single),
-        "bug reports must be byte-identical (same bugs, same order)"
+        "exemplar reports must be byte-identical (same bugs, same order)"
     );
-    let single_groups = group_reports(&single.reports);
-    let distributed_groups = group_reports(&distributed.reports);
-    assert_eq!(distributed_groups.len(), single_groups.len());
-    for (d, s) in distributed_groups.iter().zip(&single_groups) {
-        assert_eq!((&d.skeleton, d.count), (&s.skeleton, s.count));
-    }
 }
 
 /// A per-test checkpoint path in the system temp directory.
@@ -90,7 +109,7 @@ fn four_worker_distributed_sweep_matches_single_process() {
         "reference sweep must find bugs on the 4.16-era CowFs"
     );
 
-    let job = SweepJob::new(bounds, NUM_SHARDS);
+    let job = SweepJob::new(bounds.clone(), NUM_SHARDS);
     let config = DistribConfig {
         workers: 4,
         ..DistribConfig::default()
@@ -105,6 +124,18 @@ fn four_worker_distributed_sweep_matches_single_process() {
     assert_eq!(outcome.failed_workers, 0);
     assert_eq!(outcome.resumed_shards, 0);
     assert_summaries_equivalent(&outcome.summary, &single);
+
+    // Dedup equivalence over the wire: the grouped shard frames the four
+    // worker processes shipped must reassemble into exactly the table that
+    // post-hoc grouping of the raw, ungrouped report stream produces —
+    // same group keys, same raw-report counts, byte-identical exemplars.
+    let (raw_reports, reference) = post_hoc_reference(&bounds);
+    assert_eq!(outcome.summary.raw_reports, raw_reports);
+    let grouped = outcome.checkpoint.bug_groups();
+    assert_eq!(grouped.len(), reference.len());
+    for (ours, theirs) in grouped.iter().zip(&reference) {
+        assert_eq!(ours, theirs);
+    }
 
     // The per-worker telemetry of the final progress snapshot accounts for
     // every shard and every tested workload — no work is double-counted or
@@ -217,5 +248,149 @@ fn chaos_killed_workers_and_coordinator_converge_to_uninterrupted_counts() {
         .expect("final checkpoint exists");
     assert!(converged.is_complete());
     assert_summaries_equivalent(&converged.summary(), &single);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The checkpoint file is an append-only segment log: one snapshot written
+/// at run start, then one delta record per merged shard — never a full
+/// rewrite per merge — and replaying it yields the in-memory checkpoint.
+#[test]
+fn checkpoint_file_grows_by_deltas_not_rewrites() {
+    let bounds = small_seq2_bounds();
+    let path = checkpoint_path("segments");
+    let job = SweepJob::new(bounds, NUM_SHARDS);
+    let config = DistribConfig {
+        workers: 2,
+        stop_after_shards: Some(3),
+        checkpoint_path: Some(path.clone()),
+        ..DistribConfig::default()
+    };
+    let outcome =
+        run_distributed(&job, &config, &worker_command(), None).expect("partial run succeeds");
+    assert!(!outcome.is_complete());
+
+    let stats = segment_stats(&path).expect("segment file parses");
+    assert_eq!(stats.snapshots, 1, "exactly the run-start compaction");
+    assert!(
+        stats.deltas >= 3,
+        "every merged shard must be an appended delta (got {})",
+        stats.deltas
+    );
+    assert_eq!(stats.truncated_tail_bytes, 0);
+
+    let replayed = load_checkpoint(&path)
+        .expect("checkpoint file is readable")
+        .expect("checkpoint file exists");
+    assert_eq!(replayed, outcome.checkpoint);
+    assert_eq!(replayed.completed_shards(), stats.deltas);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A coordinator killed mid-append leaves a torn trailing record; the
+/// loader must ignore it (losing only that one in-flight shard) and a
+/// resumed sweep must still converge to the uninterrupted counts.
+#[test]
+fn torn_trailing_record_is_ignored_on_load() {
+    let bounds = small_seq2_bounds();
+    let single = single_process_summary(&bounds);
+    let path = checkpoint_path("torn");
+    let job = SweepJob::new(bounds, NUM_SHARDS);
+    let config = DistribConfig {
+        workers: 2,
+        stop_after_shards: Some(4),
+        checkpoint_path: Some(path.clone()),
+        ..DistribConfig::default()
+    };
+    run_distributed(&job, &config, &worker_command(), None).expect("partial run succeeds");
+    let before = load_checkpoint(&path)
+        .expect("checkpoint file is readable")
+        .expect("checkpoint file exists");
+
+    // Simulate the kill: a delta record whose declared length runs past
+    // end-of-file, i.e. the append was cut short.
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("checkpoint file opens for append");
+        file.write_all(&[2u8]).expect("tag byte");
+        file.write_all(&0xFFF0_u32.to_le_bytes()).expect("length");
+        file.write_all(b"partial delta payload cut off by a crash")
+            .expect("torn payload");
+    }
+    let stats = segment_stats(&path).expect("segment file still parses");
+    assert!(stats.truncated_tail_bytes > 0, "the tail must look torn");
+    let after = load_checkpoint(&path)
+        .expect("a torn tail must not make the checkpoint unreadable")
+        .expect("checkpoint file exists");
+    assert_eq!(after, before, "the torn record contributes nothing");
+
+    // And the resume completes as if nothing happened.
+    let config = DistribConfig {
+        workers: 2,
+        checkpoint_path: Some(path.clone()),
+        ..DistribConfig::default()
+    };
+    let outcome =
+        run_distributed(&job, &config, &worker_command(), None).expect("resumed run succeeds");
+    assert!(outcome.is_complete());
+    assert_summaries_equivalent(&outcome.summary, &single);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Pre-segment checkpoint files (a bare serialized checkpoint, no record
+/// framing) still load, so old files resume instead of erroring.
+#[test]
+fn legacy_single_blob_checkpoint_still_loads() {
+    let path = checkpoint_path("legacy");
+    let job = SweepJob::new(small_seq2_bounds(), NUM_SHARDS);
+    let checkpoint = job.empty_checkpoint();
+    std::fs::write(&path, checkpoint.to_bytes()).expect("legacy write");
+    let loaded = load_checkpoint(&path)
+        .expect("legacy checkpoint loads")
+        .expect("checkpoint file exists");
+    assert_eq!(loaded, checkpoint);
+    assert!(
+        segment_stats(&path).is_err(),
+        "a legacy blob is not a segment file"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Concurrent atomic saves to the same path must not clobber each other's
+/// temp files (they are uniquely named per call) and must always leave a
+/// loadable checkpoint plus no temp litter behind.
+#[test]
+fn concurrent_saves_keep_the_checkpoint_loadable() {
+    let path = checkpoint_path("concurrent");
+    let job = SweepJob::new(small_seq2_bounds(), NUM_SHARDS);
+    let checkpoint = job.empty_checkpoint();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                for _ in 0..25 {
+                    save_checkpoint(&path, &checkpoint).expect("save succeeds");
+                }
+            });
+        }
+    });
+    let loaded = load_checkpoint(&path)
+        .expect("checkpoint loads after concurrent saves")
+        .expect("checkpoint file exists");
+    assert_eq!(loaded, checkpoint);
+    let dir = path.parent().expect("checkpoint has a parent");
+    let base = path.file_name().expect("file name").to_string_lossy();
+    let leftovers: Vec<String> = std::fs::read_dir(dir)
+        .expect("parent dir lists")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().to_string_lossy().into_owned();
+            (name.starts_with(&format!("{base}.")) && name.ends_with(".tmp")).then_some(name)
+        })
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp litter left behind: {leftovers:?}"
+    );
     let _ = std::fs::remove_file(&path);
 }

@@ -86,7 +86,17 @@ fn figure_1_bug() {
 fn print_summary(summary: &RunSummary) {
     println!("  tested:       {}", summary.tested);
     println!("  skipped:      {}", summary.skipped);
-    println!("  bug reports:  {}", summary.reports.len());
+    if summary.raw_reports == summary.reports.len() {
+        println!("  bug reports:  {}", summary.reports.len());
+    } else {
+        // Sweep summaries deduplicate at the source: one exemplar per
+        // (skeleton, consequence) group, with the raw total alongside.
+        println!(
+            "  bug reports:  {} raw, kept as {} group exemplars",
+            summary.raw_reports,
+            summary.reports.len()
+        );
+    }
     println!("  elapsed:      {:.2?}", summary.elapsed);
     println!("  avg latency:  {:.2?}", summary.avg_workload_latency());
     println!("  throughput:   {:.0} workloads/s", summary.throughput());
@@ -121,21 +131,7 @@ fn seq1_pipeline() {
         return;
     }
     println!("\nde-duplicated bug groups (skeleton x consequence):");
-    let mut table = Table::new(vec![
-        "skeleton",
-        "consequence",
-        "reports",
-        "example workload",
-    ]);
-    for group in &groups {
-        table.row(vec![
-            group.skeleton.clone(),
-            group.consequence.to_string(),
-            group.count.to_string(),
-            group.example.workload_name.clone(),
-        ]);
-    }
-    println!("{}", table.render());
+    println!("{}", b3_harness::bug_group_table(&groups).render());
 }
 
 fn seq2_sweep(stop_after: Option<usize>) {
@@ -206,10 +202,11 @@ fn resume_demo() {
         .shards(shards)
         .run_resumable(&bounds, &mut restored);
     println!(
-        "resumed to completion: {} tested, {} skipped, {} reports (complete: {})",
+        "resumed to completion: {} tested, {} skipped, {} raw reports in {} groups (complete: {})",
         resumed.tested,
         resumed.skipped,
-        resumed.reports.len(),
+        resumed.raw_reports,
+        restored.bug_groups().len(),
         restored.is_complete()
     );
 }

@@ -5,10 +5,15 @@
 //! The coordinator owns the shard queue and the checkpoint file; each
 //! worker is a child process (this same binary, re-executed with
 //! `--worker`) that claims shards over stdio, runs them through
-//! CrashMonkey, and ships back per-shard results. Every result is merged
-//! into the checkpoint and atomically persisted, so killing the
-//! coordinator or any worker mid-sweep loses at most the in-flight shards:
-//! re-running the same command resumes from the file.
+//! CrashMonkey, and ships back per-shard results — deduplicated at the
+//! source into per-bug-group exemplars + counts, so a bug-dense sweep
+//! ships (and checkpoints) tens of groups instead of hundreds of thousands
+//! of raw reports. Every result is merged into the checkpoint and durably
+//! appended to the checkpoint file as one small delta record (the file is
+//! an append-only segment log, compacted at run start and whenever the
+//! deltas outgrow the snapshot), so killing the coordinator or any worker
+//! mid-sweep loses at most the in-flight shards: re-running the same
+//! command resumes from the file.
 //!
 //! ```text
 //! # a bounded smoke of the full 3.9M-candidate seq-3-metadata space:
@@ -30,10 +35,10 @@ use std::time::Duration;
 
 use b3::prelude::*;
 use b3_harness::distrib::{
-    load_checkpoint, run_distributed, worker_main, DistribConfig, SweepJob, WorkerCommand,
-    WorkerOptions,
+    load_checkpoint, run_distributed, segment_stats, worker_main, DistribConfig, SweepJob,
+    WorkerCommand, WorkerOptions,
 };
-use b3_harness::{FsKind, Progress};
+use b3_harness::{bug_group_table, FsKind, Progress};
 
 struct Args {
     workers: usize,
@@ -177,18 +182,28 @@ fn main() {
     };
 
     let summary = &outcome.summary;
-    let groups = group_reports(&summary.reports);
+    let groups = outcome.checkpoint.bug_groups();
     println!(
         "\n{} of {total} candidates tested ({} skipped) | {:.0} workloads/s this run | \
-         {} raw reports in {} bug groups | {}/{} shards complete",
+         {} raw reports deduplicated into {} bug groups | {}/{} shards complete",
         summary.tested,
         summary.skipped,
         outcome.throughput_this_run(),
-        summary.reports.len(),
+        summary.raw_reports,
         groups.len(),
         outcome.checkpoint.completed_shards(),
         outcome.checkpoint.num_shards(),
     );
+    if let Some(path) = &args.checkpoint {
+        if let (Ok(metadata), Ok(stats)) = (std::fs::metadata(path), segment_stats(path)) {
+            println!(
+                "checkpoint file: {} bytes ({} snapshot(s) + {} delta record(s))",
+                metadata.len(),
+                stats.snapshots,
+                stats.deltas,
+            );
+        }
+    }
     if outcome.failed_workers > 0 {
         println!(
             "{} worker(s) died; their shards were re-queued",
@@ -196,6 +211,10 @@ fn main() {
         );
     }
     if outcome.is_complete() {
+        if !groups.is_empty() {
+            println!("\nde-duplicated bug groups (skeleton x consequence):");
+            println!("{}", bug_group_table(&groups).render());
+        }
         println!("sweep complete");
     } else if let Some(path) = &args.checkpoint {
         println!(
