@@ -1,31 +1,66 @@
 //! The worker side of the distributed sweep protocol (see
-//! `b3_harness::distrib`): reads a job plus shard assignments from stdin,
-//! runs each shard through CrashMonkey, and writes per-shard results to
-//! stdout — with bug reports deduplicated at the source into per-group
-//! exemplars + counts, so a frame stays small no matter how bug-dense the
-//! shard is. Spawned by a sweep coordinator; not meant to be run by hand.
+//! `b3_harness::distrib` and `docs/PROTOCOL.md`): announces itself with a
+//! `Hello` frame, reads a job plus shard assignments, runs each shard
+//! through CrashMonkey, and writes per-shard results back — with bug
+//! reports deduplicated at the source into per-group exemplars + counts,
+//! so a frame stays small no matter how bug-dense the shard is.
 //!
+//! Two transports, same protocol:
+//!
+//! * spawned by a coordinator (stdio child or ssh pipe): frames flow over
+//!   this process's stdin/stdout;
+//! * `--connect HOST:PORT`: dial a coordinator's TCP listener and speak
+//!   frames over the socket — this is how remote machines join a sweep.
+//!
+//! `--calibrate[=N]` runs a short measured burst before the `Hello` so the
+//! coordinator can size this worker's shard batches by its throughput.
 //! `--die-after-workloads N` is the chaos-test hook: the process exits
 //! abruptly just before its `N+1`-th workload, simulating a worker VM dying
 //! mid-shard.
 
-use b3_harness::distrib::{worker_main, WorkerOptions};
+use b3_harness::distrib::{
+    worker_connect, worker_main, WorkerOptions, DEFAULT_CALIBRATION_WORKLOADS,
+};
 
 fn main() {
     let mut options = WorkerOptions::default();
+    let mut connect: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let value = if arg == "--die-after-workloads" {
-            args.next()
-        } else if let Some(value) = arg.strip_prefix("--die-after-workloads=") {
-            Some(value.to_string())
-        } else {
-            eprintln!("b3-sweep-worker: unknown argument {arg:?}");
-            std::process::exit(2);
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) => (flag.to_string(), Some(value.to_string())),
+            None => (arg, None),
         };
-        let value = value.expect("--die-after-workloads needs a number");
-        options.die_after_workloads =
-            Some(value.parse().expect("--die-after-workloads needs a number"));
+        let mut value = |name: &str| -> String {
+            inline.clone().or_else(|| args.next()).unwrap_or_else(|| {
+                eprintln!("b3-sweep-worker: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--die-after-workloads" => {
+                options.die_after_workloads = Some(
+                    value("--die-after-workloads")
+                        .parse()
+                        .expect("--die-after-workloads needs a number"),
+                );
+            }
+            "--connect" => connect = Some(value("--connect")),
+            "--calibrate" => {
+                options.calibration_workloads = match inline {
+                    Some(burst) => burst.parse().expect("--calibrate needs a number"),
+                    None => DEFAULT_CALIBRATION_WORKLOADS,
+                };
+            }
+            other => {
+                eprintln!("b3-sweep-worker: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
     }
-    std::process::exit(worker_main(options));
+    let code = match connect {
+        Some(addr) => worker_connect(&addr, options),
+        None => worker_main(options),
+    };
+    std::process::exit(code);
 }

@@ -1,0 +1,1055 @@
+//! Distributed sweep fan-out: a coordinator/worker protocol over the
+//! sharded sweep engine, generalized over pluggable worker transports.
+//!
+//! The paper fanned its 3.37M workloads out to 780 VMs on a 65-node cluster
+//! (§6.1); [`crate::sweep`] is the in-process analogue, and this module is
+//! the multi-process *and* multi-machine one. A coordinator owns the shard
+//! queue and the checkpoint file; workers speak a tiny length-prefixed,
+//! codec-serialized protocol ([`protocol`], specified in
+//! `docs/PROTOCOL.md`) over whatever byte pipe a [`Transport`] provides —
+//! a child's stdio ([`ChildTransport`]), an inbound TCP connection
+//! ([`TcpTransport`], workers dial in with `b3-sweep-worker --connect`),
+//! or an ssh session ([`SshTransport`], the remote worker's stdio *is* the
+//! pipe):
+//!
+//! ```text
+//!  coordinator                               worker (any transport)
+//!  ───────────                               ──────────────────────
+//!  connect ────────────────────────────────▶ start (+ calibration burst)
+//!                    ◀ Hello { version, calibrated rate }
+//!  (version checked; batches sized by rate)
+//!  Job { job, fingerprint } ───────────────▶ recompute fingerprint; on
+//!                                            mismatch: Reject + exit
+//!                                          ◀ Claim
+//!  Assign { shard indices } ───────────────▶ run each shard via the
+//!                                            sweep engine's shard runner
+//!                          ◀ ShardDone { shard, result }   (per shard)
+//!                                          ◀ Claim
+//!  …until the queue drains, then…
+//!  Shutdown ───────────────────────────────▶ exit 0
+//! ```
+//!
+//! A `ShardDone` frame carries the shard's **grouped** result — per-bug-group
+//! exemplars and counts ([`crate::dedup::GroupTable`]), not every raw
+//! report — so frame size, coordinator memory, and checkpoint size are all
+//! bounded by bug diversity rather than bug density. Every frame is merged
+//! into the coordinator's [`SweepCheckpoint`] (via [`SweepCheckpoint::merge`]
+//! — union of completed shards) and durably appended to the checkpoint
+//! file as one small fsync'd *delta record* (see [`segment`], specified in
+//! `docs/FORMATS.md`); the file is an append-only segment log, compacted to
+//! a fresh snapshot atomically when the run starts and whenever the deltas
+//! outgrow the last snapshot — never rewritten in full per merge.
+//!
+//! **Worker death is survivable at every layer.** Killing the coordinator
+//! loses at most the shards that were in flight (a torn trailing record is
+//! ignored on load): the next run replays the file, re-queues exactly the
+//! missing shards, and converges to the same counts as an uninterrupted
+//! single-process sweep. Killing a *worker* re-queues its in-flight shards
+//! and — when [`DistribConfig::respawn_budget`] allows — asks the transport
+//! for a replacement link (a fresh child, a fresh inbound connection, a
+//! fresh ssh session), so a fleet of perpetually crashing workers still
+//! drives the sweep to completion (`tests/distrib.rs` proves the
+//! differential, chaos, and respawn directions).
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use b3_ace::{Bounds, WorkloadGenerator};
+use b3_crashmonkey::{CrashMonkeyConfig, CrashPointPolicy};
+use b3_vfs::codec::{Decoder, Encoder};
+use b3_vfs::error::{FsError, FsResult};
+use b3_vfs::KernelEra;
+
+use crate::corpus::FsKind;
+use crate::runner::RunSummary;
+use crate::sweep::{Progress, SweepCheckpoint, WorkerThroughput};
+
+pub mod protocol;
+pub mod segment;
+mod transport;
+mod worker;
+
+pub use protocol::{Hello, PROTOCOL_VERSION};
+pub use segment::{load_checkpoint, save_checkpoint, segment_stats, SegmentStats};
+pub use transport::{
+    ChildTransport, SshTransport, TcpTransport, Transport, WorkerCommand, WorkerLink,
+};
+pub use worker::{
+    worker_connect, worker_main, WorkerOptions, DEFAULT_CALIBRATION_WORKLOADS, WORKER_CRASH_EXIT,
+};
+
+use protocol::{validate_hello, FromWorker, ToWorker};
+use segment::Persister;
+
+/// Everything a worker needs to reproduce its slice of the sweep: which
+/// simulated file system (and kernel era) to test, the exact bounds, the
+/// shard split, and the CrashMonkey configuration.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The simulated file system under test.
+    pub fs: FsKind,
+    /// The kernel era the file system simulates.
+    pub era: KernelEra,
+    /// The bounded workload space.
+    pub bounds: Bounds,
+    /// How many shards the space is split into.
+    pub num_shards: usize,
+    /// CrashMonkey configuration every worker uses.
+    pub crashmonkey: CrashMonkeyConfig,
+}
+
+impl SweepJob {
+    /// A job over the given space with the paper's evaluation-era defaults
+    /// (CowFs at 4.16, small CrashMonkey device).
+    pub fn new(bounds: Bounds, num_shards: usize) -> SweepJob {
+        SweepJob {
+            fs: FsKind::Cow,
+            era: KernelEra::EVALUATION,
+            bounds,
+            num_shards,
+            crashmonkey: CrashMonkeyConfig::small(),
+        }
+    }
+
+    /// The execution context this job's checkpoints are scoped to: the file
+    /// system, kernel era, and CrashMonkey configuration. Two jobs over
+    /// identical bounds but different contexts produce different shard
+    /// results, so their checkpoints must never resume or merge into each
+    /// other.
+    pub fn scope(&self) -> String {
+        let cm = &self.crashmonkey;
+        format!(
+            "{}@{}/blk{}/cp{}{}{}",
+            self.fs.paper_name(),
+            self.era.as_str(),
+            cm.device_blocks,
+            u8::from(matches!(cm.crash_points, CrashPointPolicy::All)),
+            u8::from(cm.direct_write_is_persistence_point),
+            u8::from(cm.model_kernel_delays),
+        )
+    }
+
+    /// An empty checkpoint for this job's (bounds, shard count, context)
+    /// triple.
+    pub fn empty_checkpoint(&self) -> SweepCheckpoint {
+        SweepCheckpoint::scoped(&self.bounds, self.num_shards, &self.scope())
+    }
+
+    pub(crate) fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self.fs.paper_name());
+        enc.put_str(self.era.as_str());
+        self.bounds.encode(enc);
+        enc.put_u64(self.num_shards as u64);
+        enc.put_u64(self.crashmonkey.device_blocks);
+        enc.put_bool(matches!(
+            self.crashmonkey.crash_points,
+            CrashPointPolicy::All
+        ));
+        enc.put_bool(self.crashmonkey.direct_write_is_persistence_point);
+        enc.put_bool(self.crashmonkey.model_kernel_delays);
+    }
+
+    pub(crate) fn decode(dec: &mut Decoder<'_>) -> FsResult<SweepJob> {
+        let fs_name = dec.get_str()?;
+        let fs = FsKind::parse(&fs_name)
+            .ok_or_else(|| FsError::Corrupted(format!("unknown file system {fs_name:?}")))?;
+        let era_name = dec.get_str()?;
+        let era = KernelEra::parse(&era_name)
+            .ok_or_else(|| FsError::Corrupted(format!("unknown kernel era {era_name:?}")))?;
+        let bounds = Bounds::decode(dec)?;
+        let num_shards = dec.get_u64()? as usize;
+        let crashmonkey = CrashMonkeyConfig {
+            device_blocks: dec.get_u64()?,
+            crash_points: if dec.get_bool()? {
+                CrashPointPolicy::All
+            } else {
+                CrashPointPolicy::LastOnly
+            },
+            direct_write_is_persistence_point: dec.get_bool()?,
+            model_kernel_delays: dec.get_bool()?,
+        };
+        Ok(SweepJob {
+            fs,
+            era,
+            bounds,
+            num_shards,
+            crashmonkey,
+        })
+    }
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct DistribConfig {
+    /// Number of worker slots to serve. Each slot asks the transport for
+    /// one link (plus one per respawn).
+    pub workers: usize,
+    /// Shards handed out per assignment when capability-based sizing is
+    /// off (or the worker reported no calibrated rate). One is the safest
+    /// (losing a worker loses at most one in-flight shard); larger batches
+    /// amortize protocol round-trips when shards are tiny.
+    pub assign_batch: usize,
+    /// When set, each worker's batches are sized so one batch is roughly
+    /// this much work at the rate the worker's [`Hello`] reported — a fast
+    /// host gets more shards per round-trip instead of being drip-fed —
+    /// clamped to [`assign_batch`, [`max_batch`]]. Workers that did not
+    /// calibrate fall back to [`assign_batch`].
+    ///
+    /// [`assign_batch`]: DistribConfig::assign_batch
+    /// [`max_batch`]: DistribConfig::max_batch
+    pub batch_target: Option<Duration>,
+    /// Upper bound on capability-sized batches (bounds the work lost when
+    /// a fast worker dies mid-batch).
+    pub max_batch: usize,
+    /// How many replacement links a dead worker slot may establish: the
+    /// dead link's in-flight shards are re-queued and the transport is
+    /// asked for a fresh link (a new child, a new inbound TCP connection,
+    /// a new ssh session). `0` (the default) keeps the PR 3 behavior — a
+    /// dead worker just shrinks the fleet. Version-mismatch and `Reject`
+    /// failures are never respawned (a replacement of the same binary
+    /// would fail the same way).
+    pub respawn_budget: usize,
+    /// Stop handing out work after this many shards have been merged *in
+    /// this run* (the chaos tests' stand-in for killing the coordinator
+    /// after a partial merge).
+    pub stop_after_shards: Option<usize>,
+    /// Stop handing out work once this many workloads have been processed
+    /// in this run. Shards are the scheduling unit, so the run overshoots
+    /// to the end of in-flight shards.
+    pub stop_after_workloads: Option<usize>,
+    /// Where the merged checkpoint is persisted: a segment log that gets
+    /// one durably-appended delta record per merged shard and is compacted
+    /// at run start and when the deltas outgrow the last snapshot. `None`
+    /// keeps the checkpoint in memory only.
+    pub checkpoint_path: Option<PathBuf>,
+    /// How often the progress callback fires.
+    pub progress_interval: Duration,
+}
+
+impl Default for DistribConfig {
+    fn default() -> Self {
+        DistribConfig {
+            workers: 4,
+            assign_batch: 1,
+            batch_target: None,
+            max_batch: 64,
+            respawn_budget: 0,
+            stop_after_shards: None,
+            stop_after_workloads: None,
+            checkpoint_path: None,
+            progress_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// What a coordinator run produced.
+#[derive(Debug)]
+pub struct DistribOutcome {
+    /// Aggregate counts of *all* completed shards (including ones restored
+    /// from the checkpoint file), in shard order — identical to a
+    /// single-process sweep's summary once complete.
+    pub summary: RunSummary,
+    /// The merged checkpoint (also persisted to the checkpoint file, when
+    /// one is configured).
+    pub checkpoint: SweepCheckpoint,
+    /// Shards that were already in the checkpoint when this run started.
+    pub resumed_shards: usize,
+    /// Workloads processed (tested + skipped) by *this* run, excluding
+    /// work restored from the checkpoint.
+    pub processed_this_run: usize,
+    /// Wall-clock time of this run.
+    pub elapsed: Duration,
+    /// Worker slots that gave up (exited or broke the protocol with no
+    /// respawn budget left) before shutdown.
+    pub failed_workers: usize,
+    /// Replacement links established after worker deaths, across all
+    /// slots. A slot that respawned and then finished cleanly counts here
+    /// but not in `failed_workers`.
+    pub respawns: usize,
+}
+
+impl DistribOutcome {
+    /// True once every shard of the space is recorded.
+    pub fn is_complete(&self) -> bool {
+        self.checkpoint.is_complete()
+    }
+
+    /// Workloads per second of wall-clock time achieved by this run (not
+    /// counting checkpointed work from previous runs).
+    pub fn throughput_this_run(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.processed_this_run as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Shared coordinator state plus the condition variable idle worker
+/// threads wait on when the queue is empty but other workers still have
+/// shards in flight (a dying worker may hand its shards back).
+struct Coord {
+    state: Mutex<CoordState>,
+    /// Notified whenever the queue or the in-flight set changes, or when
+    /// the coordinator starts stopping.
+    wake: Condvar,
+}
+
+/// The coordinator's mutable state: the shard queue, the merged
+/// checkpoint, and per-worker telemetry. One mutex guards it all —
+/// traffic is one message per completed shard, so contention is
+/// negligible.
+struct CoordState {
+    queue: VecDeque<u32>,
+    /// Shards assigned to some worker whose results are not merged yet.
+    in_flight: usize,
+    checkpoint: SweepCheckpoint,
+    /// Running totals mirroring the checkpoint (kept incrementally so the
+    /// progress monitor does not re-aggregate every tick).
+    tested: usize,
+    skipped: usize,
+    buggy: usize,
+    merged_this_run: usize,
+    processed_this_run: usize,
+    /// Candidates covered by every shard assigned this run (in flight or
+    /// done). A workload budget gates *assignment* on this estimate, not on
+    /// merged results — otherwise claims granted while the first shards are
+    /// still in flight overshoot the budget by workers × shard size.
+    assigned_candidates: u64,
+    stopping: bool,
+    workers: Vec<WorkerTelemetry>,
+    failed_workers: usize,
+    respawns: usize,
+}
+
+struct WorkerTelemetry {
+    /// Transport endpoint of the slot's current link (`child:<pid>`,
+    /// `host:port`, `ssh:<host>#<pid>`); empty until the first handshake.
+    endpoint: String,
+    /// Calibrated throughput from the worker's `Hello`, if it calibrated.
+    rate: Option<f64>,
+    tested: u64,
+    shards: u64,
+    respawns: u64,
+    alive: bool,
+}
+
+impl CoordState {
+    fn should_stop(&self, config: &DistribConfig) -> bool {
+        config
+            .stop_after_shards
+            .is_some_and(|limit| self.merged_this_run >= limit)
+            || config.stop_after_workloads.is_some_and(|limit| {
+                self.processed_this_run >= limit || self.assigned_candidates >= limit as u64
+            })
+    }
+
+    /// True when a fresh link would have nothing to do: the run is
+    /// stopping, or the queue is empty with nothing in flight that could
+    /// flow back to it.
+    fn no_work_left(&self, config: &DistribConfig) -> bool {
+        self.stopping || self.should_stop(config) || (self.queue.is_empty() && self.in_flight == 0)
+    }
+
+    fn progress(&self, started: Instant, total_workloads: u64, seeded_shards: usize) -> Progress {
+        let elapsed = started.elapsed();
+        let completed = self.checkpoint.completed_shards();
+        let total_shards = self.checkpoint.num_shards();
+        let done_this_run = completed.saturating_sub(seeded_shards);
+        let remaining = total_shards.saturating_sub(completed);
+        let eta = (done_this_run > 0 && remaining > 0 && !self.stopping)
+            .then(|| elapsed.mul_f64(remaining as f64 / done_this_run as f64));
+        Progress {
+            tested: self.tested,
+            skipped: self.skipped,
+            bugs: self.buggy,
+            completed_shards: completed,
+            total_shards,
+            total_workloads: Some(total_workloads),
+            elapsed,
+            eta,
+            per_worker: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(index, w)| WorkerThroughput {
+                    worker: index,
+                    endpoint: w.endpoint.clone(),
+                    tested: w.tested,
+                    shards: w.shards,
+                    throughput: (w.alive && !elapsed.is_zero())
+                        .then(|| w.tested as f64 / elapsed.as_secs_f64()),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Sizes one assignment batch for a worker: `assign_batch` when capability
+/// sizing is off or the worker reported no rate; otherwise enough shards
+/// that the batch is roughly `batch_target` of work at the calibrated
+/// rate, clamped to `[assign_batch, max_batch]`.
+fn sized_batch(config: &DistribConfig, rate: Option<f64>, avg_shard_workloads: f64) -> usize {
+    let base = config.assign_batch.max(1);
+    let (Some(target), Some(rate)) = (config.batch_target, rate) else {
+        return base;
+    };
+    if rate <= 0.0 || avg_shard_workloads <= 0.0 {
+        return base;
+    }
+    let sized = (rate * target.as_secs_f64() / avg_shard_workloads) as usize;
+    sized.clamp(base, config.max_batch.max(base))
+}
+
+/// Runs (or resumes) a distributed sweep over stdio worker child
+/// processes — the transport-pinned convenience wrapper around
+/// [`run_with_transport`] that PR 3 callers use.
+pub fn run_distributed(
+    job: &SweepJob,
+    config: &DistribConfig,
+    worker: &WorkerCommand,
+    progress: Option<&(dyn Fn(&Progress) + Sync)>,
+) -> FsResult<DistribOutcome> {
+    run_with_transport(job, config, &ChildTransport::new(worker.clone()), progress)
+}
+
+/// Runs (or resumes) a distributed sweep over any [`Transport`]: serves
+/// `config.workers` worker slots, feeds each link shards (batch-sized by
+/// its calibrated throughput when [`DistribConfig::batch_target`] is set),
+/// merges every returned grouped per-shard result into the checkpoint, and
+/// durably appends each merge to the checkpoint file as one delta record
+/// (compacting the file when the deltas outgrow the last snapshot — never
+/// a full rewrite per shard).
+///
+/// When `config.checkpoint_path` names an existing file, the sweep resumes
+/// from it; a checkpoint recorded for a different sweep — other bounds,
+/// shard count, file system, kernel era, or CrashMonkey configuration
+/// ([`SweepJob::scope`]) — is rejected with an error rather than silently
+/// combined. Worker death is tolerated: the dead link's in-flight shards
+/// go back on the queue, and the slot asks the transport for a
+/// replacement link while [`DistribConfig::respawn_budget`] lasts. If a
+/// slot gives up, surviving slots absorb its work; if *every* slot gives
+/// up the coordinator returns an incomplete (but persisted) checkpoint the
+/// next run picks up.
+pub fn run_with_transport(
+    job: &SweepJob,
+    config: &DistribConfig,
+    transport: &dyn Transport,
+    progress: Option<&(dyn Fn(&Progress) + Sync)>,
+) -> FsResult<DistribOutcome> {
+    let started = Instant::now();
+    let checkpoint = match &config.checkpoint_path {
+        Some(path) => match load_checkpoint(path)? {
+            Some(existing) => {
+                // The scope covers the file system, era, and CrashMonkey
+                // configuration: a checkpoint recorded under any other
+                // execution context (not just other bounds) is rejected.
+                if !existing.matches_scoped(&job.bounds, job.num_shards, &job.scope()) {
+                    return Err(FsError::InvalidArgument(format!(
+                        "checkpoint {} was recorded for a different sweep \
+                         (its fingerprint: {})",
+                        path.display(),
+                        existing.fingerprint()
+                    )));
+                }
+                existing
+            }
+            None => job.empty_checkpoint(),
+        },
+        None => job.empty_checkpoint(),
+    };
+    let seeded_shards = checkpoint.completed_shards();
+    let seeded = checkpoint.summary();
+    let total_workloads = WorkloadGenerator::estimate_candidates(&job.bounds);
+    // Open the persister only after the loaded checkpoint was validated:
+    // opening compacts (rewrites) the file, and a mismatched checkpoint
+    // must be rejected untouched.
+    let persister = match &config.checkpoint_path {
+        Some(path) => Some(Persister::open(path, &checkpoint)?),
+        None => None,
+    };
+
+    let coord = Coord {
+        state: Mutex::new(CoordState {
+            queue: checkpoint.missing_shards().into(),
+            in_flight: 0,
+            tested: seeded.tested,
+            skipped: seeded.skipped,
+            buggy: checkpoint.total_buggy() as usize,
+            checkpoint,
+            merged_this_run: 0,
+            processed_this_run: 0,
+            assigned_candidates: 0,
+            stopping: false,
+            workers: (0..config.workers.max(1))
+                .map(|_| WorkerTelemetry {
+                    endpoint: String::new(),
+                    rate: None,
+                    tested: 0,
+                    shards: 0,
+                    respawns: 0,
+                    alive: true,
+                })
+                .collect(),
+            failed_workers: 0,
+            respawns: 0,
+        }),
+        wake: Condvar::new(),
+    };
+    let done = AtomicBool::new(false);
+
+    let job_frame = ToWorker::Job {
+        job: job.clone(),
+        fingerprint: job.empty_checkpoint().fingerprint().to_string(),
+    }
+    .to_frame();
+    let workers_to_spawn = config.workers.max(1);
+    let shard_sizes: Vec<u64> = (0..job.num_shards)
+        .map(|index| job.bounds.shard(index, job.num_shards).candidates())
+        .collect();
+    let avg_shard_workloads = if job.num_shards > 0 {
+        total_workloads as f64 / job.num_shards as f64
+    } else {
+        0.0
+    };
+    let slot_context = SlotContext {
+        job_frame: &job_frame,
+        shard_sizes: &shard_sizes,
+        avg_shard_workloads,
+        coord: &coord,
+        persister: persister.as_ref(),
+        config,
+        transport,
+    };
+
+    std::thread::scope(|scope| -> FsResult<()> {
+        if let Some(callback) = progress {
+            let coord = &coord;
+            let done = &done;
+            let interval = config.progress_interval;
+            scope.spawn(move || {
+                let mut last_fired = Instant::now();
+                while !done.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    if last_fired.elapsed() >= interval {
+                        let snapshot = coord
+                            .state
+                            .lock()
+                            .expect("coordinator state poisoned")
+                            .progress(started, total_workloads, seeded_shards);
+                        callback(&snapshot);
+                        last_fired = Instant::now();
+                    }
+                }
+                let snapshot = coord
+                    .state
+                    .lock()
+                    .expect("coordinator state poisoned")
+                    .progress(started, total_workloads, seeded_shards);
+                callback(&snapshot);
+            });
+        }
+
+        let handles: Vec<_> = (0..workers_to_spawn)
+            .map(|index| {
+                let slot_context = &slot_context;
+                scope.spawn(move || serve_slot(index, slot_context))
+            })
+            .collect();
+        let mut first_error = None;
+        for handle in handles {
+            if let Err(error) = handle.join().expect("worker thread panicked") {
+                let mut state = coord.state.lock().expect("coordinator state poisoned");
+                state.failed_workers += 1;
+                first_error.get_or_insert(error);
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+        // A worker failure is only fatal when it left work unfinished AND
+        // unpersisted progress — shards it completed are already merged, so
+        // surviving workers usually absorb the loss. Report the error only
+        // if the sweep neither completed nor was asked to stop early.
+        let state = coord.state.lock().expect("coordinator state poisoned");
+        if let Some(error) = first_error {
+            if !state.checkpoint.is_complete() && !state.should_stop(config) {
+                drop(state);
+                return Err(error);
+            }
+        }
+        Ok(())
+    })?;
+
+    let state = coord
+        .state
+        .into_inner()
+        .expect("coordinator state poisoned");
+    // No final rewrite: every merged shard is already on disk as a delta
+    // record (the same state a killed coordinator leaves behind); the next
+    // run's persister open compacts the log.
+    drop(persister);
+    let mut summary = state.checkpoint.summary();
+    summary.elapsed = started.elapsed();
+    Ok(DistribOutcome {
+        summary,
+        checkpoint: state.checkpoint,
+        resumed_shards: seeded_shards,
+        processed_this_run: state.processed_this_run,
+        elapsed: started.elapsed(),
+        failed_workers: state.failed_workers,
+        respawns: state.respawns,
+    })
+}
+
+/// Everything a worker slot needs, bundled so the spawn loop stays
+/// readable.
+struct SlotContext<'a> {
+    job_frame: &'a [u8],
+    shard_sizes: &'a [u64],
+    avg_shard_workloads: f64,
+    coord: &'a Coord,
+    persister: Option<&'a Persister>,
+    config: &'a DistribConfig,
+    transport: &'a dyn Transport,
+}
+
+/// How one link's session ended, as seen by the slot's respawn loop.
+enum LinkEnd {
+    /// Clean shutdown: the queue drained (or a stop condition fired) and
+    /// the worker was told to exit.
+    Finished,
+    /// The link died or desynced mid-session; a replacement link can pick
+    /// up where it left off.
+    Lost(FsError),
+    /// The failure is inherent to the worker binary or the coordinator
+    /// (version mismatch, `Reject`, a desynced stream, a
+    /// checkpoint-persist error): respawning would fail identically, so
+    /// the slot gives up immediately.
+    Fatal(FsError),
+}
+
+impl LinkEnd {
+    /// Classifies a receive failure: a `Corrupted` error means the frame
+    /// stream itself is desynced (oversized frame, unknown tag, truncated
+    /// payload) — a respawned copy of the same binary would desync the
+    /// same way, so it is fatal, exactly as `docs/PROTOCOL.md`'s error
+    /// table specifies. IO errors (`Device`) mean the worker died; a
+    /// replacement can pick up.
+    fn from_recv_error(error: FsError) -> LinkEnd {
+        match error {
+            FsError::Corrupted(_) => LinkEnd::Fatal(error),
+            other => LinkEnd::Lost(other),
+        }
+    }
+}
+
+/// Drives one worker slot to completion: connect through the transport,
+/// serve the link until it finishes or dies, and — within the respawn
+/// budget — replace dead links (after re-queueing their in-flight shards)
+/// until the sweep has no work left for this slot. Returns an error if
+/// the slot gave up with the sweep unfinished.
+fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
+    let coord = ctx.coord;
+    let mut respawns_left = ctx.config.respawn_budget;
+    // Links this slot has actually served; connections after the first
+    // are the respawns the outcome reports.
+    let mut links_served = 0usize;
+    loop {
+        {
+            // A fresh link is pointless when the run is stopping or the
+            // queue is drained with nothing in flight — and for listener
+            // transports it would block in accept for a worker that is
+            // never coming.
+            let mut state = coord.state.lock().expect("coordinator state poisoned");
+            if state.no_work_left(ctx.config) {
+                state.workers[index].alive = false;
+                return Ok(());
+            }
+        }
+        // Slow transports (a TCP listener waiting for a worker to dial
+        // in) poll this so a slot stops waiting the moment the sweep has
+        // no work left — otherwise a finished run would stall until the
+        // accept timeout for workers that are never coming.
+        let cancelled = || {
+            coord
+                .state
+                .lock()
+                .expect("coordinator state poisoned")
+                .no_work_left(ctx.config)
+        };
+        let mut link = match ctx.transport.connect(&cancelled) {
+            Ok(Some(link)) => link,
+            Ok(None) => {
+                // Cancelled: loop back to the no-work check, which will
+                // wind the slot down cleanly.
+                continue;
+            }
+            Err(error) => {
+                // Never-started workers must still drop out of the
+                // telemetry, or progress reports them as alive at 0/s
+                // forever.
+                let mut state = coord.state.lock().expect("coordinator state poisoned");
+                state.workers[index].alive = false;
+                if respawns_left == 0 {
+                    return Err(error);
+                }
+                respawns_left -= 1;
+                continue;
+            }
+        };
+        if links_served > 0 {
+            // Only a link that actually got established counts as a
+            // respawn — a granted retry that never connects (or winds
+            // down because the work ran out) is not a "replacement link".
+            let mut state = coord.state.lock().expect("coordinator state poisoned");
+            state.respawns += 1;
+            state.workers[index].respawns += 1;
+        }
+        links_served += 1;
+        // Shards assigned over this link whose results have not come back.
+        let mut in_flight: Vec<u32> = Vec::new();
+        let (error, fatal) = match serve_link(index, link.as_mut(), ctx, &mut in_flight) {
+            LinkEnd::Finished => {
+                link.close();
+                let mut state = coord.state.lock().expect("coordinator state poisoned");
+                state.workers[index].alive = false;
+                return Ok(());
+            }
+            LinkEnd::Lost(error) => (error, false),
+            LinkEnd::Fatal(error) => (error, true),
+        };
+        // The worker died or broke protocol: reclaim its in-flight shards
+        // so a replacement (or the surviving slots) can run them, then
+        // tear the link down.
+        link.abort();
+        let mut state = coord.state.lock().expect("coordinator state poisoned");
+        for &shard in in_flight.iter() {
+            state.in_flight -= 1;
+            if !state.checkpoint.has_shard(shard) {
+                state.queue.push_front(shard);
+                state.assigned_candidates = state
+                    .assigned_candidates
+                    .saturating_sub(ctx.shard_sizes[shard as usize]);
+            }
+        }
+        state.workers[index].alive = false;
+        // Wake any worker waiting for in-flight shards: either the queue
+        // just grew, or this was the last in-flight holder.
+        coord.wake.notify_all();
+        if fatal || respawns_left == 0 {
+            return Err(error);
+        }
+        respawns_left -= 1;
+    }
+}
+
+/// Serves one established link: handshake, then alternate claims and
+/// assignments until the queue drains or a stop condition fires.
+/// `in_flight` tracks shards assigned over this link that have not been
+/// merged yet; on a lost link the caller re-queues them.
+fn serve_link(
+    index: usize,
+    link: &mut dyn WorkerLink,
+    ctx: &SlotContext<'_>,
+    in_flight: &mut Vec<u32>,
+) -> LinkEnd {
+    let coord = ctx.coord;
+    let config = ctx.config;
+
+    // Send the Job eagerly, before waiting for the handshake: a v2 worker
+    // sends its Hello without reading first, so the two frames simply
+    // cross on the wire — but a pre-handshake (v1) binary writes nothing
+    // until it has a Job, and awaiting its Hello first would deadlock both
+    // sides forever. Fed a Job, a v1 worker answers Claim instead of
+    // Hello, which the check below turns into the intended clean rejection.
+    if let Err(error) = link.send(ctx.job_frame) {
+        return LinkEnd::Lost(error);
+    }
+
+    // Handshake: the worker leads with Hello; anything else (or a dead
+    // pipe) means the binary predates the handshake or crashed on start.
+    let hello = match link.recv().and_then(|f| FromWorker::from_frame(&f)) {
+        Ok(FromWorker::Hello(hello)) => hello,
+        Ok(_) => {
+            return LinkEnd::Fatal(FsError::Corrupted(
+                "worker did not open with a Hello frame (pre-handshake binary?)".into(),
+            ))
+        }
+        Err(error) => return LinkEnd::from_recv_error(error),
+    };
+    if let Err(error) = validate_hello(&hello) {
+        return LinkEnd::Fatal(error);
+    }
+    {
+        let mut state = coord.state.lock().expect("coordinator state poisoned");
+        let telemetry = &mut state.workers[index];
+        telemetry.endpoint = link.endpoint().to_string();
+        telemetry.rate = (hello.calibrated_rate > 0.0).then_some(hello.calibrated_rate);
+        telemetry.alive = true;
+    }
+
+    loop {
+        let message = match link.recv().and_then(|f| FromWorker::from_frame(&f)) {
+            Ok(message) => message,
+            Err(error) => return LinkEnd::from_recv_error(error),
+        };
+        match message {
+            FromWorker::Hello(_) => {
+                return LinkEnd::Fatal(FsError::Corrupted(
+                    "worker sent a second Hello mid-session".into(),
+                ))
+            }
+            FromWorker::Reject { reason } => {
+                return LinkEnd::Fatal(FsError::InvalidArgument(format!(
+                    "worker {} refused the job: {reason}",
+                    link.endpoint()
+                )))
+            }
+            FromWorker::Claim => {
+                let batch: Vec<u32> = {
+                    let mut state = coord.state.lock().expect("coordinator state poisoned");
+                    loop {
+                        if state.stopping || state.should_stop(config) {
+                            state.stopping = true;
+                            coord.wake.notify_all();
+                            break Vec::new();
+                        }
+                        if !state.queue.is_empty() {
+                            let want = sized_batch(
+                                config,
+                                state.workers[index].rate,
+                                ctx.avg_shard_workloads,
+                            );
+                            let take = want.min(state.queue.len());
+                            let batch: Vec<u32> = state.queue.drain(..take).collect();
+                            for &shard in &batch {
+                                state.assigned_candidates += ctx.shard_sizes[shard as usize];
+                            }
+                            state.in_flight += batch.len();
+                            break batch;
+                        }
+                        if state.in_flight == 0 {
+                            // Queue drained and nothing in flight: the
+                            // sweep (or this run's slice of it) is done.
+                            break Vec::new();
+                        }
+                        // Queue empty but other workers still hold
+                        // shards; if one of them dies, its shards come
+                        // back to the queue — wait instead of shutting
+                        // this worker down and stranding that work.
+                        state = coord.wake.wait(state).expect("coordinator state poisoned");
+                    }
+                };
+                if batch.is_empty() {
+                    return match link.send(&ToWorker::Shutdown.to_frame()) {
+                        Ok(()) => LinkEnd::Finished,
+                        Err(error) => LinkEnd::Lost(error),
+                    };
+                }
+                in_flight.extend(&batch);
+                if let Err(error) = link.send(&ToWorker::Assign(batch).to_frame()) {
+                    return LinkEnd::Lost(error);
+                }
+            }
+            FromWorker::ShardDone { shard, result } => {
+                // A result for a shard this worker was never assigned
+                // (or already reported) is a protocol violation; bail
+                // before it corrupts the shared counters.
+                let Some(position) = in_flight.iter().position(|&s| s == shard) else {
+                    return LinkEnd::Fatal(FsError::Corrupted(format!(
+                        "worker reported shard {shard} it does not hold"
+                    )));
+                };
+                in_flight.swap_remove(position);
+                let to_persist = {
+                    let mut state = coord.state.lock().expect("coordinator state poisoned");
+                    state.in_flight -= 1;
+                    state.tested += result.tested as usize;
+                    state.skipped += result.skipped as usize;
+                    state.buggy += result.buggy as usize;
+                    state.processed_this_run += (result.tested + result.skipped) as usize;
+                    state.merged_this_run += 1;
+                    let telemetry = &mut state.workers[index];
+                    telemetry.shards += 1;
+                    telemetry.tested += result.tested;
+                    // Encode the delta record under the lock
+                    // (memory-speed), then merge the single-shard
+                    // result as a checkpoint union, so the one
+                    // aggregation primitive (`merge`) is the one the
+                    // protocol exercises.
+                    let delta = ctx.persister.map(|p| {
+                        let mut enc = Encoder::new();
+                        enc.put_u32(shard);
+                        result.encode(&mut enc);
+                        (p, state.merged_this_run as u64, enc.finish())
+                    });
+                    let mut incoming = state.checkpoint.subset([]);
+                    incoming.record(shard, result);
+                    if let Err(error) = state.checkpoint.merge(&incoming) {
+                        return LinkEnd::Fatal(error);
+                    }
+                    coord.wake.notify_all();
+                    delta
+                };
+                // The file IO happens outside the coordinator lock so
+                // workers don't stall behind it: one small fsync'd
+                // append per shard, plus the occasional compaction.
+                if let Some((persister, version, delta)) = to_persist {
+                    match persister.append_delta(version, &delta) {
+                        Ok(true) => {
+                            let (version, snapshot) = {
+                                let state = coord.state.lock().expect("coordinator state poisoned");
+                                (state.merged_this_run as u64, state.checkpoint.to_bytes())
+                            };
+                            if let Err(error) = persister.compact(version, &snapshot) {
+                                return LinkEnd::Fatal(error);
+                            }
+                        }
+                        Ok(false) => {}
+                        // A persist failure is a coordinator-side problem;
+                        // respawning the worker cannot fix the disk.
+                        Err(error) => return LinkEnd::Fatal(error),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_with(batch_target: Option<Duration>) -> DistribConfig {
+        DistribConfig {
+            assign_batch: 1,
+            batch_target,
+            max_batch: 16,
+            ..DistribConfig::default()
+        }
+    }
+
+    #[test]
+    fn uncalibrated_workers_get_the_base_batch() {
+        let config = config_with(Some(Duration::from_secs(2)));
+        assert_eq!(sized_batch(&config, None, 100.0), 1);
+        // Capability sizing off entirely: rate is ignored.
+        let config = config_with(None);
+        assert_eq!(sized_batch(&config, Some(10_000.0), 100.0), 1);
+    }
+
+    #[test]
+    fn fast_workers_get_bigger_batches_than_slow_ones() {
+        let config = config_with(Some(Duration::from_secs(2)));
+        // 100 workloads per shard: a 1000/s worker covers ~20 shards in the
+        // 2s target (clamped to max_batch), a 100/s worker 2, a 10/s worker
+        // stays at the floor.
+        assert_eq!(sized_batch(&config, Some(1000.0), 100.0), 16);
+        assert_eq!(sized_batch(&config, Some(100.0), 100.0), 2);
+        assert_eq!(sized_batch(&config, Some(10.0), 100.0), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_the_floor() {
+        let config = config_with(Some(Duration::from_secs(2)));
+        assert_eq!(sized_batch(&config, Some(0.0), 100.0), 1);
+        assert_eq!(sized_batch(&config, Some(100.0), 0.0), 1);
+    }
+
+    /// The error table in `docs/PROTOCOL.md`: desynced streams are fatal
+    /// (a respawned identical binary would desync again), dead pipes are
+    /// retryable.
+    #[test]
+    fn recv_error_classification_matches_the_spec() {
+        assert!(matches!(
+            LinkEnd::from_recv_error(FsError::Corrupted("unknown tag".into())),
+            LinkEnd::Fatal(_)
+        ));
+        assert!(matches!(
+            LinkEnd::from_recv_error(FsError::Device("broken pipe".into())),
+            LinkEnd::Lost(_)
+        ));
+    }
+
+    /// A pre-handshake (protocol v1) worker never sends Hello — its first
+    /// action is to wait for a Job. Because the coordinator sends the Job
+    /// eagerly, such a worker answers `Claim` instead of `Hello`, and the
+    /// session must end in a clean fatal rejection rather than both sides
+    /// blocking on a frame the other will never send.
+    #[test]
+    fn pre_handshake_worker_is_rejected_not_deadlocked() {
+        struct V1Link;
+        impl WorkerLink for V1Link {
+            fn endpoint(&self) -> &str {
+                "mock:v1"
+            }
+            fn send(&mut self, _payload: &[u8]) -> FsResult<()> {
+                Ok(())
+            }
+            fn recv(&mut self) -> FsResult<Vec<u8>> {
+                // The v1 worker consumed the eagerly sent Job (its decoder
+                // ignores the trailing fingerprint) and claims work.
+                Ok(FromWorker::Claim.to_frame())
+            }
+            fn close(&mut self) {}
+            fn abort(&mut self) {}
+        }
+
+        let job = SweepJob::new(Bounds::tiny(), 2);
+        let config = DistribConfig {
+            workers: 1,
+            ..DistribConfig::default()
+        };
+        let coord = Coord {
+            state: Mutex::new(CoordState {
+                queue: [0u32, 1].into(),
+                in_flight: 0,
+                checkpoint: job.empty_checkpoint(),
+                tested: 0,
+                skipped: 0,
+                buggy: 0,
+                merged_this_run: 0,
+                processed_this_run: 0,
+                assigned_candidates: 0,
+                stopping: false,
+                workers: vec![WorkerTelemetry {
+                    endpoint: String::new(),
+                    rate: None,
+                    tested: 0,
+                    shards: 0,
+                    respawns: 0,
+                    alive: true,
+                }],
+                failed_workers: 0,
+                respawns: 0,
+            }),
+            wake: Condvar::new(),
+        };
+        let job_frame = ToWorker::Job {
+            job: job.clone(),
+            fingerprint: job.empty_checkpoint().fingerprint().to_string(),
+        }
+        .to_frame();
+        let shard_sizes = vec![5u64, 5];
+        let transport = ChildTransport::new(WorkerCommand::new("unused"));
+        let ctx = SlotContext {
+            job_frame: &job_frame,
+            shard_sizes: &shard_sizes,
+            avg_shard_workloads: 5.0,
+            coord: &coord,
+            persister: None,
+            config: &config,
+            transport: &transport,
+        };
+        let mut in_flight = Vec::new();
+        match serve_link(0, &mut V1Link, &ctx, &mut in_flight) {
+            LinkEnd::Fatal(error) => {
+                assert!(error.to_string().contains("Hello"), "{error}");
+            }
+            LinkEnd::Finished => panic!("a pre-handshake worker must not finish cleanly"),
+            LinkEnd::Lost(error) => panic!("must be fatal, not retryable: {error}"),
+        }
+    }
+}

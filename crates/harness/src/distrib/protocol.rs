@@ -1,0 +1,338 @@
+//! The coordinator/worker wire protocol: length-prefixed, codec-serialized
+//! frames.
+//!
+//! This module is the *implementation* of the protocol; the authoritative
+//! human-readable specification — frame grammar, handshake sequence, and
+//! error behavior — is `docs/PROTOCOL.md` at the repository root, and the
+//! [`wire`] constants below are cross-checked against the tag table in that
+//! document by the `docs` integration test. Every frame travels over a
+//! [`Transport`](super::transport::Transport) link: the same bytes flow
+//! whether the link is a child's stdio, a TCP socket, or an ssh pipe.
+//!
+//! A session is strictly ordered:
+//!
+//! 1. the worker sends [`Hello`] (protocol version + calibrated throughput),
+//! 2. the coordinator validates the version and replies with `Job`
+//!    (the [`SweepJob`] plus the checkpoint fingerprint it expects),
+//! 3. the worker recomputes the fingerprint from the decoded job and either
+//!    [`FromWorker::Reject`]s a mismatch or starts the `Claim` →
+//!    `Assign`/`Shutdown` → `ShardDone` loop.
+
+use std::io::{Read, Write};
+
+use b3_vfs::codec::{Decoder, Encoder};
+use b3_vfs::error::{FsError, FsResult};
+
+use super::SweepJob;
+use crate::sweep::ShardResult;
+
+/// Version of the frame grammar and handshake. Bumped on any change to
+/// frame tags, payload layouts, or the handshake sequence; a coordinator
+/// refuses a worker whose [`Hello`] carries a different version (a
+/// mismatched binary would desync on the very next frame).
+///
+/// History: v1 was the PR 3 stdio-only protocol (no handshake); v2 added
+/// the `Hello`/`Reject` handshake, the job fingerprint echo, and grouped
+/// report frames.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Frame tag bytes. Coordinator-to-worker tags occupy the low range,
+/// worker-to-coordinator tags have the high bit set — so a desynced stream
+/// (a frame read in the wrong direction) fails tag dispatch immediately
+/// instead of mis-parsing a payload.
+pub mod wire {
+    /// Coordinator → worker: the sweep job + expected checkpoint fingerprint.
+    pub const JOB: u8 = 0x01;
+    /// Coordinator → worker: a batch of shard indices to run.
+    pub const ASSIGN: u8 = 0x02;
+    /// Coordinator → worker: no more work; exit cleanly.
+    pub const SHUTDOWN: u8 = 0x03;
+    /// Worker → coordinator: version + capability handshake (first frame).
+    pub const HELLO: u8 = 0x80;
+    /// Worker → coordinator: idle, requesting shards.
+    pub const CLAIM: u8 = 0x81;
+    /// Worker → coordinator: one assigned shard ran to completion.
+    pub const SHARD_DONE: u8 = 0x82;
+    /// Worker → coordinator: the job was refused (fingerprint mismatch).
+    pub const REJECT: u8 = 0x83;
+}
+
+/// Largest frame either side accepts. Real frames are far smaller (a Job
+/// is a few KB, a ShardDone carries one shard's grouped reports); the cap
+/// exists so a desynced stream — stray bytes on a worker's stdout, say —
+/// surfaces as a protocol error instead of a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+pub(super) fn transport_err(context: &str, error: std::io::Error) -> FsError {
+    FsError::Device(format!("worker transport: {context}: {error}"))
+}
+
+/// Writes one length-prefixed frame: a little-endian `u32` payload length,
+/// then the payload, then a flush (frames are the protocol's only unit of
+/// buffering).
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> FsResult<()> {
+    writer
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|()| writer.write_all(payload))
+        .and_then(|()| writer.flush())
+        .map_err(|e| transport_err("write frame", e))
+}
+
+/// Reads one length-prefixed frame. A declared length beyond
+/// [`MAX_FRAME_BYTES`] is rejected before any allocation; a stream that
+/// ends mid-frame (short read) surfaces the underlying IO error.
+pub fn read_frame(reader: &mut impl Read) -> FsResult<Vec<u8>> {
+    let mut len = [0u8; 4];
+    reader
+        .read_exact(&mut len)
+        .map_err(|e| transport_err("read frame length", e))?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FsError::Corrupted(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte protocol limit \
+             (desynced stream?)"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|e| transport_err("read frame payload", e))?;
+    Ok(payload)
+}
+
+/// The worker's opening handshake frame: which protocol it speaks and how
+/// fast it measured itself to be.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hello {
+    /// The worker binary's [`PROTOCOL_VERSION`]. The coordinator refuses
+    /// any other value — and never respawns after a refusal, since the
+    /// same binary would fail the same way.
+    pub version: u32,
+    /// Workloads per second measured by a short calibration burst on the
+    /// worker's host, or `0.0` when calibration was disabled. The
+    /// coordinator uses this to size the worker's shard batches
+    /// (capability negotiation); it is a relative capability signal, not a
+    /// promise of sweep throughput.
+    pub calibrated_rate: f64,
+}
+
+/// Coordinator-to-worker messages.
+#[derive(Debug, Clone)]
+pub enum ToWorker {
+    /// The sweep job, plus the checkpoint fingerprint the coordinator
+    /// computed for it. The worker recomputes the fingerprint from the
+    /// decoded job; a difference means the two binaries disagree about
+    /// what the job *means* (e.g. a changed enumeration order), so the
+    /// worker must refuse rather than silently produce unmergeable
+    /// results.
+    Job {
+        /// Everything the worker needs to reproduce its slice of the sweep.
+        job: SweepJob,
+        /// `job.empty_checkpoint().fingerprint()` as the coordinator sees it.
+        fingerprint: String,
+    },
+    /// Shard indices to run, in order. Sized by the worker's calibrated
+    /// throughput when capability-based batching is on.
+    Assign(Vec<u32>),
+    /// No more work; the worker exits cleanly.
+    Shutdown,
+}
+
+impl ToWorker {
+    /// Encodes this message as one frame payload.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            ToWorker::Job { job, fingerprint } => {
+                enc.put_u8(wire::JOB);
+                job.encode(&mut enc);
+                enc.put_str(fingerprint);
+            }
+            ToWorker::Assign(shards) => {
+                enc.put_u8(wire::ASSIGN);
+                enc.put_u64(shards.len() as u64);
+                for shard in shards {
+                    enc.put_u32(*shard);
+                }
+            }
+            ToWorker::Shutdown => enc.put_u8(wire::SHUTDOWN),
+        }
+        enc.finish()
+    }
+
+    /// Decodes one coordinator-to-worker frame payload.
+    pub fn from_frame(frame: &[u8]) -> FsResult<ToWorker> {
+        let mut dec = Decoder::new(frame);
+        match dec.get_u8()? {
+            wire::JOB => {
+                let job = SweepJob::decode(&mut dec)?;
+                let fingerprint = dec.get_str()?;
+                Ok(ToWorker::Job { job, fingerprint })
+            }
+            wire::ASSIGN => {
+                let count = dec.get_u64()? as usize;
+                // Validate the declared length against the remaining frame
+                // before allocating, so a corrupt frame errors instead of
+                // attempting a huge allocation.
+                if count > dec.remaining() / 4 {
+                    return Err(FsError::Corrupted(format!(
+                        "assignment declares {count} shards but only {} bytes remain",
+                        dec.remaining()
+                    )));
+                }
+                let mut shards = Vec::with_capacity(count);
+                for _ in 0..count {
+                    shards.push(dec.get_u32()?);
+                }
+                Ok(ToWorker::Assign(shards))
+            }
+            wire::SHUTDOWN => Ok(ToWorker::Shutdown),
+            tag => Err(FsError::Corrupted(format!(
+                "unknown coordinator message tag {tag:#x}"
+            ))),
+        }
+    }
+}
+
+/// Worker-to-coordinator messages.
+#[derive(Debug, Clone)]
+pub enum FromWorker {
+    /// The opening handshake (must be the worker's first frame, and must
+    /// never repeat).
+    Hello(Hello),
+    /// The worker is idle and wants shards.
+    Claim,
+    /// One assigned shard ran to completion.
+    ShardDone {
+        /// The shard index the result belongs to.
+        shard: u32,
+        /// The shard's grouped (exemplar + count) result.
+        result: ShardResult,
+    },
+    /// The worker refuses the job (fingerprint mismatch) and is about to
+    /// exit. Terminal: the coordinator must not respawn, since the same
+    /// binary would refuse again.
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+}
+
+impl FromWorker {
+    /// Encodes this message as one frame payload.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            FromWorker::Hello(hello) => {
+                enc.put_u8(wire::HELLO);
+                enc.put_u32(hello.version);
+                enc.put_u64(hello.calibrated_rate.to_bits());
+            }
+            FromWorker::Claim => enc.put_u8(wire::CLAIM),
+            FromWorker::ShardDone { shard, result } => {
+                enc.put_u8(wire::SHARD_DONE);
+                enc.put_u32(*shard);
+                result.encode(&mut enc);
+            }
+            FromWorker::Reject { reason } => {
+                enc.put_u8(wire::REJECT);
+                enc.put_str(reason);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Decodes one worker-to-coordinator frame payload.
+    pub fn from_frame(frame: &[u8]) -> FsResult<FromWorker> {
+        let mut dec = Decoder::new(frame);
+        match dec.get_u8()? {
+            wire::HELLO => {
+                let version = dec.get_u32()?;
+                let calibrated_rate = f64::from_bits(dec.get_u64()?);
+                Ok(FromWorker::Hello(Hello {
+                    version,
+                    calibrated_rate,
+                }))
+            }
+            wire::CLAIM => Ok(FromWorker::Claim),
+            wire::SHARD_DONE => Ok(FromWorker::ShardDone {
+                shard: dec.get_u32()?,
+                result: ShardResult::decode(&mut dec)?,
+            }),
+            wire::REJECT => Ok(FromWorker::Reject {
+                reason: dec.get_str()?,
+            }),
+            tag => Err(FsError::Corrupted(format!(
+                "unknown worker message tag {tag:#x}"
+            ))),
+        }
+    }
+}
+
+/// Validates a worker's handshake against this coordinator's protocol
+/// version. A mismatch is terminal for the worker slot: respawning the
+/// same binary cannot fix it.
+pub fn validate_hello(hello: &Hello) -> FsResult<()> {
+    if hello.version != PROTOCOL_VERSION {
+        return Err(FsError::InvalidArgument(format!(
+            "worker speaks protocol version {} but this coordinator speaks {} \
+             (mismatched binaries?)",
+            hello.version, PROTOCOL_VERSION
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips_including_rate() {
+        let hello = Hello {
+            version: PROTOCOL_VERSION,
+            calibrated_rate: 1234.5678,
+        };
+        let frame = FromWorker::Hello(hello).to_frame();
+        match FromWorker::from_frame(&frame).unwrap() {
+            FromWorker::Hello(decoded) => assert_eq!(decoded, hello),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_and_current_version_accepted() {
+        assert!(validate_hello(&Hello {
+            version: PROTOCOL_VERSION,
+            calibrated_rate: 0.0,
+        })
+        .is_ok());
+        let stale = Hello {
+            version: PROTOCOL_VERSION + 1,
+            calibrated_rate: 0.0,
+        };
+        let error = validate_hello(&stale).unwrap_err();
+        assert!(error.to_string().contains("protocol version"));
+    }
+
+    #[test]
+    fn reject_round_trips_its_reason() {
+        let frame = FromWorker::Reject {
+            reason: "fingerprint mismatch".into(),
+        }
+        .to_frame();
+        match FromWorker::from_frame(&frame).unwrap() {
+            FromWorker::Reject { reason } => assert_eq!(reason, "fingerprint mismatch"),
+            other => panic!("expected Reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_before_allocation() {
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut reader = std::io::Cursor::new(stream);
+        let error = read_frame(&mut reader).unwrap_err();
+        assert!(error.to_string().contains("protocol limit"));
+    }
+}

@@ -1,0 +1,190 @@
+//! The worker side of the distributed sweep protocol.
+//!
+//! A worker is transport-agnostic: [`worker_main`] speaks frames over this
+//! process's stdin/stdout (for stdio-child and ssh-pipe transports, where
+//! the spawner owns the pipe), and [`worker_connect`] dials a coordinator's
+//! TCP listener and speaks the same frames over the socket. Both run the
+//! identical loop: calibrate (optionally), send `Hello`, receive the job,
+//! verify its fingerprint, then claim and run shards until `Shutdown`.
+
+use std::io::{Read, Write};
+use std::time::Instant;
+
+use b3_ace::Bounds;
+use b3_crashmonkey::{CrashMonkey, CrashMonkeyConfig};
+use b3_vfs::error::{FsError, FsResult};
+use b3_vfs::KernelEra;
+
+use super::protocol::PROTOCOL_VERSION;
+use super::protocol::{read_frame, transport_err, write_frame, FromWorker, Hello, ToWorker};
+use crate::corpus::FsKind;
+use crate::sweep::run_shard;
+
+/// Exit code a worker uses when its injected crash hook fires (the chaos
+/// tests' stand-in for a worker VM dying mid-shard).
+pub const WORKER_CRASH_EXIT: i32 = 41;
+
+/// Default size of the calibration burst `--calibrate` runs (workloads).
+pub const DEFAULT_CALIBRATION_WORKLOADS: u64 = 64;
+
+/// Options for [`worker_main`] / [`worker_connect`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Chaos-test hook: exit with [`WORKER_CRASH_EXIT`] immediately before
+    /// running workload `N` (counted across all assigned shards), i.e. die
+    /// mid-shard. `None` disables the hook.
+    pub die_after_workloads: Option<u64>,
+    /// Workloads to run in the calibration burst before the `Hello` frame.
+    /// `0` (the default) skips calibration and reports an unknown rate; the
+    /// coordinator then falls back to fixed-size shard batches for this
+    /// worker.
+    pub calibration_workloads: u64,
+}
+
+/// Measures this host's crash-testing throughput with a short burst over a
+/// fixed tiny space (CowFs at the evaluation era, CrashMonkey's small
+/// device), cycling the space as needed. The result is a *relative*
+/// capability signal for batch sizing — the real job's per-workload cost
+/// differs — so precision beyond "fast host vs slow host" is not the goal.
+fn calibration_rate(workloads: u64) -> f64 {
+    let bounds = Bounds::tiny();
+    let spec = FsKind::Cow.spec(KernelEra::EVALUATION);
+    let monkey = CrashMonkey::with_config(spec.as_ref(), CrashMonkeyConfig::small());
+    let started = Instant::now();
+    let mut remaining = workloads;
+    while remaining > 0 {
+        for workload in b3_ace::WorkloadGenerator::new(bounds.clone()) {
+            let _ = monkey.test_workload(&workload);
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    if elapsed > 0.0 {
+        workloads as f64 / elapsed
+    } else {
+        0.0
+    }
+}
+
+/// The worker side of the protocol, speaking frames over this process's
+/// stdin/stdout — used when a stdio-child or ssh-pipe transport spawned us
+/// and owns the pipe. Returns the process exit code; the caller (the
+/// `b3-sweep-worker` binary or a `--worker`-mode coordinator) passes it to
+/// [`std::process::exit`].
+pub fn worker_main(options: WorkerOptions) -> i32 {
+    let mut stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    exit_code(worker_loop(&mut stdin, &mut stdout, &options))
+}
+
+/// The worker side of the protocol over TCP: dials `addr` (a coordinator's
+/// [`TcpTransport`](super::transport::TcpTransport) listener, as passed to
+/// `b3-sweep-worker --connect`) and runs the same loop as [`worker_main`]
+/// over the socket. Returns the process exit code.
+pub fn worker_connect(addr: &str, options: WorkerOptions) -> i32 {
+    let run = || -> FsResult<()> {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| transport_err(&format!("connect to coordinator {addr}"), e))?;
+        let _ = stream.set_nodelay(true);
+        let mut reader = std::io::BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| transport_err("clone tcp stream", e))?,
+        );
+        let mut writer = stream;
+        worker_loop(&mut reader, &mut writer, &options)
+    };
+    exit_code(run())
+}
+
+fn exit_code(result: FsResult<()>) -> i32 {
+    match result {
+        Ok(()) => 0,
+        Err(error) => {
+            eprintln!("b3 sweep worker: {error}");
+            1
+        }
+    }
+}
+
+/// One full worker session over any framed byte pipe: `Hello` → `Job`
+/// (fingerprint-verified) → `Claim`/`Assign`/`ShardDone` → `Shutdown`.
+fn worker_loop(
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+    options: &WorkerOptions,
+) -> FsResult<()> {
+    let calibrated_rate = if options.calibration_workloads > 0 {
+        calibration_rate(options.calibration_workloads)
+    } else {
+        0.0
+    };
+    write_frame(
+        writer,
+        &FromWorker::Hello(Hello {
+            version: PROTOCOL_VERSION,
+            calibrated_rate,
+        })
+        .to_frame(),
+    )?;
+
+    let (job, expected_fingerprint) = match ToWorker::from_frame(&read_frame(reader)?)? {
+        ToWorker::Job { job, fingerprint } => (job, fingerprint),
+        _ => {
+            return Err(FsError::Corrupted(
+                "worker expected a Job as its first message".into(),
+            ))
+        }
+    };
+    // The coordinator's fingerprint and ours must agree on what the job
+    // *means* — bounds enumeration, scope, shard split. A divergence means
+    // the two binaries would silently produce unmergeable shard results,
+    // so refuse loudly instead.
+    let actual_fingerprint = job.empty_checkpoint().fingerprint().to_string();
+    if actual_fingerprint != expected_fingerprint {
+        let reason = format!(
+            "job fingerprint mismatch: coordinator expects {expected_fingerprint:?} \
+             but this worker computes {actual_fingerprint:?} (mismatched binaries?)"
+        );
+        write_frame(
+            writer,
+            &FromWorker::Reject {
+                reason: reason.clone(),
+            }
+            .to_frame(),
+        )?;
+        return Err(FsError::InvalidArgument(reason));
+    }
+
+    let spec = job.fs.spec(job.era);
+    let monkey = CrashMonkey::with_config(spec.as_ref(), job.crashmonkey);
+    let mut workloads_until_crash = options.die_after_workloads;
+
+    loop {
+        write_frame(writer, &FromWorker::Claim.to_frame())?;
+        match ToWorker::from_frame(&read_frame(reader)?)? {
+            ToWorker::Assign(shards) => {
+                for shard in shards {
+                    let result = run_shard(&monkey, &job.bounds, shard, job.num_shards, || {
+                        if let Some(remaining) = &mut workloads_until_crash {
+                            if *remaining == 0 {
+                                // The chaos hook: die mid-shard, leaving
+                                // the claimed shard unreported.
+                                std::process::exit(WORKER_CRASH_EXIT);
+                            }
+                            *remaining -= 1;
+                        }
+                    });
+                    write_frame(writer, &FromWorker::ShardDone { shard, result }.to_frame())?;
+                }
+            }
+            ToWorker::Shutdown => return Ok(()),
+            ToWorker::Job { .. } => {
+                return Err(FsError::Corrupted("unexpected second Job message".into()))
+            }
+        }
+    }
+}

@@ -14,11 +14,14 @@
 //!   shards ([`b3_ace::Bounds::shard`]), completed shards are recorded in a
 //!   serializable [`sweep::SweepCheckpoint`], and a killed sweep resumes
 //!   where it left off.
-//! * [`distrib`] — multi-process fan-out over the same shard machinery: a
-//!   coordinator process owns the shard queue and checkpoint file, worker
-//!   child processes claim shards over a stdio protocol, and every returned
-//!   shard result is merged ([`sweep::SweepCheckpoint::merge`]) and
-//!   persisted — the true analogue of the paper's 780-VM cluster.
+//! * [`distrib`] — multi-process *and* multi-host fan-out over the same
+//!   shard machinery: a coordinator process owns the shard queue and
+//!   checkpoint file, workers claim shards over a framed protocol carried
+//!   by a pluggable transport (stdio children, TCP, ssh pipes; see
+//!   `docs/PROTOCOL.md`), dead workers are respawned within a budget, and
+//!   every returned shard result is merged
+//!   ([`sweep::SweepCheckpoint::merge`]) and persisted — the true analogue
+//!   of the paper's 780-VM cluster.
 //! * [`dedup`] — first-class report deduplication: the grouped
 //!   (exemplar + count) [`dedup::GroupTable`] that shard results, checkpoint
 //!   aggregation, and post-hoc grouping all share, bounding sweep memory and
@@ -45,7 +48,8 @@ pub mod sweep;
 pub use corpus::{CorpusEntry, FsKind, ReproStatus};
 pub use dedup::{GroupEntry, GroupTable};
 pub use distrib::{
-    run_distributed, DistribConfig, DistribOutcome, SweepJob, WorkerCommand, WorkerOptions,
+    run_distributed, run_with_transport, ChildTransport, DistribConfig, DistribOutcome,
+    SshTransport, SweepJob, TcpTransport, Transport, WorkerCommand, WorkerLink, WorkerOptions,
 };
 pub use postprocess::{group_reports, BugGroup, KnownBugDatabase};
 pub use report::{bug_group_table, Table};

@@ -36,6 +36,11 @@ use crate::runner::{spawn_progress_monitor, LiveCounters, RunConfig, RunSummary}
 pub struct WorkerThroughput {
     /// Worker index (0-based, stable for the life of the coordinator).
     pub worker: usize,
+    /// Transport endpoint of the worker's current link (`child:<pid>`,
+    /// `host:port`, `ssh:<host>#<pid>`), so multi-host progress output is
+    /// attributable to a machine rather than a bare index. Empty until the
+    /// worker's handshake arrives (and for in-process sweeps).
+    pub endpoint: String,
     /// Workloads this worker has tested so far.
     pub tested: u64,
     /// Shards this worker has completed so far.
@@ -93,9 +98,16 @@ impl Progress {
             let workers: Vec<String> = self
                 .per_worker
                 .iter()
-                .map(|w| match w.throughput {
-                    Some(rate) => format!("w{} {:.0}/s", w.worker, rate),
-                    None => format!("w{} gone", w.worker),
+                .map(|w| {
+                    let label = if w.endpoint.is_empty() {
+                        format!("w{}", w.worker)
+                    } else {
+                        format!("w{}@{}", w.worker, w.endpoint)
+                    };
+                    match w.throughput {
+                        Some(rate) => format!("{label} {rate:.0}/s"),
+                        None => format!("{label} gone"),
+                    }
                 })
                 .collect();
             line.push_str(&format!(" | [{}]", workers.join(" ")));
@@ -114,8 +126,12 @@ impl Progress {
 /// produce tens of thousands of raw reports in a few dozen groups, so this
 /// bounds shard frames, coordinator memory, and checkpoint size by bug
 /// *diversity* rather than bug *density*.
+///
+/// Public only because it rides inside the public protocol frames
+/// ([`crate::distrib::protocol::FromWorker::ShardDone`]); its fields are an
+/// internal detail of the sweep engine and stay crate-private.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub(crate) struct ShardResult {
+pub struct ShardResult {
     pub(crate) tested: u64,
     pub(crate) skipped: u64,
     /// Workloads that produced at least one bug report.

@@ -15,16 +15,26 @@
 //!   delta appends instead of full rewrites, replay equivalence, tolerance
 //!   of the torn trailing record a killed coordinator can leave, and the
 //!   legacy single-blob format.
+//! * The **transport** tests drive the same differential and chaos
+//!   equivalences over the TCP and ssh-pipe transports: 4 TCP workers are
+//!   byte-identical to the single-process sweep, a TCP worker killed
+//!   mid-shard is respawned (in-flight shards re-queued, a fresh
+//!   connection accepted) until the sweep converges, an ssh-pipe fleet
+//!   (via a stub `ssh`) matches too, and a worker refuses a job whose
+//!   fingerprint does not match what it computes (the mismatched-binary
+//!   handshake).
 //!
 //! Workers are real child processes running the `b3-sweep-worker` binary.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use b3_ace::{Bounds, WorkloadGenerator};
 use b3_fs_cow::CowFsSpec;
+use b3_harness::distrib::protocol::{FromWorker, Hello, ToWorker, PROTOCOL_VERSION};
 use b3_harness::distrib::{
-    load_checkpoint, run_distributed, save_checkpoint, segment_stats, DistribConfig, SweepJob,
-    WorkerCommand,
+    load_checkpoint, run_distributed, run_with_transport, save_checkpoint, segment_stats,
+    ChildTransport, DistribConfig, SshTransport, SweepJob, TcpTransport, Transport, WorkerCommand,
 };
 use b3_harness::{group_reports, run_stream, BugGroup, RunConfig, RunSummary, Sweep};
 use b3_vfs::codec::Encoder;
@@ -393,4 +403,284 @@ fn concurrent_saves_keep_the_checkpoint_loadable() {
         "temp litter left behind: {leftovers:?}"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// Four workers over the TCP transport (loopback listener + launcher, with
+/// calibration and capability-sized batches on) produce results
+/// byte-identical to the single-process sweep, and the final telemetry
+/// labels every worker by its socket endpoint.
+#[test]
+fn four_tcp_workers_match_single_process_with_endpoint_labels() {
+    let bounds = small_seq2_bounds();
+    let single = single_process_summary(&bounds);
+    let job = SweepJob::new(bounds, NUM_SHARDS);
+    let config = DistribConfig {
+        workers: 4,
+        batch_target: Some(Duration::from_millis(200)),
+        ..DistribConfig::default()
+    };
+    let transport = TcpTransport::bind("127.0.0.1:0")
+        .expect("loopback listener binds")
+        .with_launcher(worker_command().arg("--calibrate=8"));
+
+    let final_progress = std::sync::Mutex::new(None);
+    let callback = |p: &b3_harness::Progress| {
+        *final_progress.lock().unwrap() = Some(p.clone());
+    };
+    let outcome =
+        run_with_transport(&job, &config, &transport, Some(&callback)).expect("tcp sweep runs");
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.failed_workers, 0);
+    assert_eq!(outcome.respawns, 0);
+    assert_summaries_equivalent(&outcome.summary, &single);
+
+    // Every worker that did work is attributed to a host:port endpoint,
+    // not a bare index, and the telemetry accounts for all shards.
+    let progress = final_progress
+        .lock()
+        .unwrap()
+        .take()
+        .expect("the final progress callback fires");
+    assert_eq!(progress.per_worker.len(), 4);
+    let telemetry_shards: u64 = progress.per_worker.iter().map(|w| w.shards).sum();
+    assert_eq!(telemetry_shards, NUM_SHARDS as u64);
+    for worker in progress.per_worker.iter().filter(|w| w.shards > 0) {
+        assert!(
+            worker.endpoint.starts_with("127.0.0.1:"),
+            "tcp workers must be labelled by socket endpoint, got {:?}",
+            worker.endpoint
+        );
+        assert!(progress.describe().contains(&worker.endpoint));
+    }
+}
+
+/// A fleet of TCP workers that *always* die mid-shard still drives the
+/// sweep to completion when respawn is enabled: every death re-queues the
+/// in-flight shards and accepts a replacement connection, and the final
+/// counts are byte-identical to the uninterrupted single-process sweep —
+/// nothing lost, nothing double-counted.
+#[test]
+fn tcp_workers_killed_mid_shard_are_respawned_until_convergence() {
+    let bounds = small_seq2_bounds();
+    let single = single_process_summary(&bounds);
+    let job = SweepJob::new(bounds, NUM_SHARDS);
+    let config = DistribConfig {
+        workers: 4,
+        // Every generation dies after 15 workloads (mid-second-shard), so
+        // convergence *requires* respawn to keep re-establishing links.
+        respawn_budget: 50,
+        ..DistribConfig::default()
+    };
+    let transport = TcpTransport::bind("127.0.0.1:0")
+        .expect("loopback listener binds")
+        .with_launcher(worker_command().arg("--die-after-workloads").arg("15"));
+
+    let outcome =
+        run_with_transport(&job, &config, &transport, None).expect("respawned sweep converges");
+    assert!(outcome.is_complete());
+    assert!(
+        outcome.respawns > 0,
+        "the dying workers must actually trigger respawns"
+    );
+    assert_eq!(
+        outcome.failed_workers, 0,
+        "every slot must finish cleanly once the queue drains"
+    );
+    assert_summaries_equivalent(&outcome.summary, &single);
+}
+
+/// The ssh-pipe transport re-execs the worker over an `ssh` program whose
+/// stdio is the frame pipe. A stub `ssh` (drop options + host, exec the
+/// remote command locally) proves the full path — spawn, handshake, shard
+/// traffic, shutdown — without needing a real remote host.
+#[test]
+#[cfg(unix)]
+fn ssh_pipe_workers_match_single_process() {
+    use std::os::unix::fs::PermissionsExt;
+
+    let bounds = small_seq2_bounds();
+    let single = single_process_summary(&bounds);
+    let stub = std::env::temp_dir().join(format!("b3-fake-ssh-{}.sh", std::process::id()));
+    std::fs::write(
+        &stub,
+        "#!/bin/sh\n\
+         # Stub ssh: skip options, drop the host argument, exec the rest.\n\
+         while [ $# -gt 0 ]; do case \"$1\" in -*) shift;; *) break;; esac; done\n\
+         shift\n\
+         exec \"$@\"\n",
+    )
+    .expect("stub ssh writes");
+    std::fs::set_permissions(&stub, std::fs::Permissions::from_mode(0o755))
+        .expect("stub ssh becomes executable");
+
+    let job = SweepJob::new(bounds, NUM_SHARDS);
+    let config = DistribConfig {
+        workers: 2,
+        ..DistribConfig::default()
+    };
+    let transport = SshTransport::new(
+        ["testhost-a", "testhost-b"],
+        [env!("CARGO_BIN_EXE_b3-sweep-worker")],
+    )
+    .with_ssh_program(&stub);
+
+    let final_progress = std::sync::Mutex::new(None);
+    let callback = |p: &b3_harness::Progress| {
+        *final_progress.lock().unwrap() = Some(p.clone());
+    };
+    let outcome =
+        run_with_transport(&job, &config, &transport, Some(&callback)).expect("ssh sweep runs");
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.failed_workers, 0);
+    assert_summaries_equivalent(&outcome.summary, &single);
+
+    // The two slots were handed one host each (round-robin), and each is
+    // labelled by its ssh endpoint. Which slot got which host depends on
+    // thread scheduling, so assert the *set*, not a per-index mapping.
+    let progress = final_progress
+        .lock()
+        .unwrap()
+        .take()
+        .expect("the final progress callback fires");
+    let mut hosts: Vec<&str> = progress
+        .per_worker
+        .iter()
+        .map(|w| {
+            w.endpoint
+                .split('#')
+                .next()
+                .expect("ssh endpoints are host#pid")
+        })
+        .collect();
+    hosts.sort_unstable();
+    assert_eq!(hosts, ["ssh:testhost-a", "ssh:testhost-b"]);
+    let _ = std::fs::remove_file(&stub);
+}
+
+/// The fingerprint half of the handshake: a worker sent a job whose
+/// fingerprint differs from what it computes itself must answer `Reject`
+/// (and exit) instead of producing unmergeable shard results. Drives a
+/// real worker process by hand through the transport seam.
+#[test]
+fn worker_rejects_job_with_mismatched_fingerprint() {
+    let transport = ChildTransport::new(worker_command());
+    let mut link = transport
+        .connect(&|| false)
+        .expect("worker spawns")
+        .expect("child transports always produce a link");
+
+    // The worker leads with a version-correct Hello.
+    let hello = FromWorker::from_frame(&link.recv().expect("hello arrives")).unwrap();
+    match hello {
+        FromWorker::Hello(Hello { version, .. }) => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("worker must open with Hello, sent {other:?}"),
+    }
+
+    // Send the job with a fingerprint no binary would compute.
+    let job = SweepJob::new(small_seq2_bounds(), NUM_SHARDS);
+    let frame = ToWorker::Job {
+        job,
+        fingerprint: "not-a-real-fingerprint".into(),
+    }
+    .to_frame();
+    link.send(&frame).expect("job frame sends");
+
+    match FromWorker::from_frame(&link.recv().expect("reject arrives")).unwrap() {
+        FromWorker::Reject { reason } => {
+            assert!(reason.contains("fingerprint mismatch"), "{reason}");
+        }
+        other => panic!("worker must Reject a mismatched fingerprint, sent {other:?}"),
+    }
+    link.abort();
+}
+
+/// The acceptance-scale differential: the **full paper seq-2 space**
+/// (~330K tested workloads) over 4 TCP-loopback workers produces a
+/// checkpoint and `RunSummary` byte-identical to the single-process
+/// `Sweep`. Ignored by default (tens of seconds even in release); run it
+/// with `cargo test --release -p b3-harness --test distrib -- --ignored`.
+#[test]
+#[ignore = "full seq-2 space; run explicitly in release builds"]
+fn full_seq2_tcp_sweep_matches_single_process() {
+    let bounds = Bounds::paper_seq2();
+    let shards = 64;
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let config = RunConfig {
+        threads: 2,
+        ..RunConfig::default()
+    };
+    let single = Sweep::new(&spec, config).shards(shards).run(&bounds);
+    assert!(single.tested > 100_000, "seq-2 must be the full space");
+
+    let job = SweepJob::new(bounds, shards);
+    let config = DistribConfig {
+        workers: 4,
+        batch_target: Some(Duration::from_millis(500)),
+        respawn_budget: 2,
+        ..DistribConfig::default()
+    };
+    let transport = TcpTransport::bind("127.0.0.1:0")
+        .expect("loopback listener binds")
+        .with_launcher(worker_command().arg("--calibrate"));
+    let outcome =
+        run_with_transport(&job, &config, &transport, None).expect("tcp seq-2 sweep runs");
+    assert!(outcome.is_complete());
+    assert_summaries_equivalent(&outcome.summary, &single);
+
+    // The grouped view of the checkpoint reassembled from TCP frames
+    // equals the one an in-process sweep records (same groups, same
+    // counts, byte-identical exemplars). The in-process checkpoint is
+    // unscoped — scope is a distributed-resume concern — so the
+    // comparison is on the grouped tables, which scope does not affect.
+    let mut reference = b3_harness::SweepCheckpoint::new(&job.bounds, shards);
+    let sweep_config = RunConfig {
+        threads: 2,
+        ..RunConfig::default()
+    };
+    let _ = Sweep::new(&spec, sweep_config)
+        .shards(shards)
+        .run_resumable(&job.bounds, &mut reference);
+    let ours = outcome.checkpoint.grouped();
+    let theirs = reference.grouped();
+    assert_eq!(ours.groups(), theirs.groups());
+}
+
+/// A listener serving fewer workers than slots must still finish promptly:
+/// slots waiting in accept for workers that never come are cancelled the
+/// moment the sweep has no work left, instead of stalling the completed
+/// run until the accept timeout expires.
+#[test]
+fn listener_sweep_finishes_without_waiting_for_missing_workers() {
+    let bounds = small_seq2_bounds();
+    let single = single_process_summary(&bounds);
+    let job = SweepJob::new(bounds, NUM_SHARDS);
+    let config = DistribConfig {
+        workers: 3,
+        ..DistribConfig::default()
+    };
+    // An accept timeout far beyond what the test tolerates: if completion
+    // depended on it, the elapsed assertion below would fail.
+    let transport = TcpTransport::bind("127.0.0.1:0")
+        .expect("loopback listener binds")
+        .with_accept_timeout(Duration::from_secs(600));
+    let addr = transport.local_addr().to_string();
+
+    // Only ONE worker ever dials in; the other two slots wait in accept.
+    let mut worker = std::process::Command::new(env!("CARGO_BIN_EXE_b3-sweep-worker"))
+        .arg("--connect")
+        .arg(&addr)
+        .spawn()
+        .expect("external worker starts");
+
+    let started = std::time::Instant::now();
+    let outcome =
+        run_with_transport(&job, &config, &transport, None).expect("one-worker sweep runs");
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.failed_workers, 0);
+    assert_summaries_equivalent(&outcome.summary, &single);
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "idle slots must cancel once the sweep is done, not wait out the accept timeout"
+    );
+    let _ = worker.wait();
 }

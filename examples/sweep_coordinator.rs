@@ -1,42 +1,59 @@
 //! Distributed sweep coordinator: run (or resume) a full preset sweep
-//! across worker *processes* — the single-machine analogue of the paper's
-//! 780-VM cluster (§6.1), built on `b3_harness::distrib`.
+//! across worker processes on one machine *or across machines* — the
+//! analogue of the paper's 780-VM cluster (§6.1), built on
+//! `b3_harness::distrib`.
 //!
-//! The coordinator owns the shard queue and the checkpoint file; each
-//! worker is a child process (this same binary, re-executed with
-//! `--worker`) that claims shards over stdio, runs them through
-//! CrashMonkey, and ships back per-shard results — deduplicated at the
-//! source into per-bug-group exemplars + counts, so a bug-dense sweep
-//! ships (and checkpoints) tens of groups instead of hundreds of thousands
-//! of raw reports. Every result is merged into the checkpoint and durably
-//! appended to the checkpoint file as one small delta record (the file is
-//! an append-only segment log, compacted at run start and whenever the
-//! deltas outgrow the snapshot), so killing the coordinator or any worker
+//! The coordinator owns the shard queue and the checkpoint file; workers
+//! claim shards over the framed protocol (`docs/PROTOCOL.md`) carried by
+//! one of three transports:
+//!
+//! * `--transport stdio` (default): workers are child processes (this same
+//!   binary, re-executed with `--worker`) speaking over stdio.
+//! * `--transport tcp`: the coordinator binds a loopback listener and
+//!   spawns children that dial it with `--connect` — the self-contained
+//!   demo of the network path (CI smokes this).
+//! * `--listen ADDR`: bind ADDR and wait for externally started workers
+//!   (`b3-sweep-worker --connect HOST:PORT` from any machine that can
+//!   reach it).
+//! * `--ssh HOST` (repeatable): re-exec the worker on remote hosts over
+//!   ssh pipes; `--remote-worker CMD` names the worker binary on the
+//!   remote side (default `b3-sweep-worker`).
+//!
+//! Each worker result is deduplicated at the source into per-bug-group
+//! exemplars + counts, merged into the checkpoint, and durably appended to
+//! the checkpoint file as one small delta record (an append-only segment
+//! log, `docs/FORMATS.md`), so killing the coordinator or any worker
 //! mid-sweep loses at most the in-flight shards: re-running the same
-//! command resumes from the file.
+//! command resumes from the file. With `--respawn N`, dead workers are
+//! replaced on the spot instead of shrinking the fleet.
 //!
 //! ```text
 //! # a bounded smoke of the full 3.9M-candidate seq-3-metadata space:
 //! cargo run --release --example sweep_coordinator -- \
 //!     --workers 4 --preset seq-3-metadata --checkpoint /tmp/seq3.ck --stop-after 20000
-//! # run it again to continue where the previous invocation stopped:
+//! # the same slice over TCP loopback with calibrated batch sizing:
 //! cargo run --release --example sweep_coordinator -- \
-//!     --workers 4 --preset seq-3-metadata --checkpoint /tmp/seq3.ck --stop-after 20000
+//!     --workers 4 --transport tcp --calibrate --batch-target-ms 2000 \
+//!     --preset seq-3-metadata --checkpoint /tmp/seq3.ck --stop-after 20000
 //! ```
 //!
 //! Flags: `--workers N` (default 4), `--preset NAME` (`tiny`, `seq-1`,
 //! `seq-2`, `seq-3-data`, `seq-3-metadata` (default), `seq-3-nested`),
 //! `--shards S` (default 64 × workers), `--fs NAME` (btrfs/ext4/F2FS/FSCQ,
 //! default btrfs), `--checkpoint FILE`, `--stop-after M` workloads per
-//! invocation.
+//! invocation, `--respawn N` replacement links per dead worker slot,
+//! `--calibrate` (workers measure a burst and report throughput),
+//! `--batch-target-ms T` (size each worker's batches to ~T ms of its
+//! calibrated rate).
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use b3::prelude::*;
 use b3_harness::distrib::{
-    load_checkpoint, run_distributed, segment_stats, worker_main, DistribConfig, SweepJob,
-    WorkerCommand, WorkerOptions,
+    load_checkpoint, run_with_transport, segment_stats, worker_connect, worker_main,
+    ChildTransport, DistribConfig, SshTransport, SweepJob, TcpTransport, Transport, WorkerCommand,
+    WorkerOptions, DEFAULT_CALIBRATION_WORKLOADS,
 };
 use b3_harness::{bug_group_table, FsKind, Progress};
 
@@ -47,6 +64,13 @@ struct Args {
     fs: FsKind,
     checkpoint: Option<PathBuf>,
     stop_after: Option<usize>,
+    transport: String,
+    listen: Option<String>,
+    ssh_hosts: Vec<String>,
+    remote_worker: String,
+    respawn: usize,
+    calibrate: bool,
+    batch_target_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +81,13 @@ fn parse_args() -> Result<Args, String> {
         fs: FsKind::Cow,
         checkpoint: None,
         stop_after: None,
+        transport: "stdio".into(),
+        listen: None,
+        ssh_hosts: Vec::new(),
+        remote_worker: "b3-sweep-worker".into(),
+        respawn: 0,
+        calibrate: false,
+        batch_target_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,6 +118,30 @@ fn parse_args() -> Result<Args, String> {
                 parsed.stop_after =
                     Some(value()?.parse().map_err(|e| format!("--stop-after: {e}"))?)
             }
+            "--transport" => {
+                let name = value()?;
+                if name != "stdio" && name != "tcp" {
+                    return Err(format!(
+                        "unknown transport {name:?} (expected stdio or tcp; \
+                         use --listen/--ssh for remote workers)"
+                    ));
+                }
+                parsed.transport = name;
+            }
+            "--listen" => parsed.listen = Some(value()?),
+            "--ssh" => parsed.ssh_hosts.push(value()?),
+            "--remote-worker" => parsed.remote_worker = value()?,
+            "--respawn" => {
+                parsed.respawn = value()?.parse().map_err(|e| format!("--respawn: {e}"))?
+            }
+            "--calibrate" => parsed.calibrate = true,
+            "--batch-target-ms" => {
+                parsed.batch_target_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--batch-target-ms: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -106,11 +161,62 @@ fn preset_bounds(name: &str) -> Result<Bounds, String> {
         ))
 }
 
+/// Builds the transport the flags ask for. Boxed because the choice is
+/// runtime; the coordinator only sees `&dyn Transport`.
+fn build_transport(args: &Args) -> Result<Box<dyn Transport>, String> {
+    let self_exe = std::env::current_exe().expect("coordinator knows its own executable");
+    let mut worker_cmd = WorkerCommand::new(&self_exe).arg("--worker");
+    if args.calibrate {
+        worker_cmd = worker_cmd.arg("--calibrate");
+    }
+    if !args.ssh_hosts.is_empty() {
+        let mut remote = vec![args.remote_worker.clone()];
+        if args.calibrate {
+            remote.push("--calibrate".into());
+        }
+        return Ok(Box::new(SshTransport::new(args.ssh_hosts.clone(), remote)));
+    }
+    if let Some(addr) = &args.listen {
+        let transport = TcpTransport::bind(addr)
+            .map_err(|e| e.to_string())?
+            .with_accept_timeout(Duration::from_secs(300));
+        println!(
+            "listening on {}; start workers with: b3-sweep-worker --connect {}",
+            transport.local_addr(),
+            transport.local_addr()
+        );
+        return Ok(Box::new(transport));
+    }
+    if args.transport == "tcp" {
+        let transport = TcpTransport::bind("127.0.0.1:0")
+            .map_err(|e| e.to_string())?
+            .with_launcher(worker_cmd);
+        println!("tcp loopback listener on {}", transport.local_addr());
+        return Ok(Box::new(transport));
+    }
+    Ok(Box::new(ChildTransport::new(worker_cmd)))
+}
+
 fn main() {
     // Child processes re-exec this binary with `--worker`; everything after
-    // that flag is the worker protocol over stdio.
-    if std::env::args().any(|arg| arg == "--worker") {
-        std::process::exit(worker_main(WorkerOptions::default()));
+    // that flag configures the worker side of the protocol.
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.iter().any(|arg| arg == "--worker") {
+        let mut options = WorkerOptions::default();
+        let mut connect = None;
+        let mut iter = argv.iter().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--connect" => connect = iter.next().cloned(),
+                "--calibrate" => options.calibration_workloads = DEFAULT_CALIBRATION_WORKLOADS,
+                _ => {}
+            }
+        }
+        let code = match connect {
+            Some(addr) => worker_connect(&addr, options),
+            None => worker_main(options),
+        };
+        std::process::exit(code);
     }
     let args = match parse_args() {
         Ok(args) => args,
@@ -154,9 +260,19 @@ fn main() {
         .or(existing_shards)
         .unwrap_or(args.workers.max(1) * 64);
     let total = WorkloadGenerator::estimate_candidates(&bounds);
+
+    let transport = match build_transport(&args) {
+        Ok(transport) => transport,
+        Err(message) => {
+            eprintln!("sweep_coordinator: {message}");
+            std::process::exit(1);
+        }
+    };
     println!(
-        "sweeping {} ({total} candidates) over {num_shards} shards with {} worker processes",
-        args.preset, args.workers
+        "sweeping {} ({total} candidates) over {num_shards} shards with {} workers via {}",
+        args.preset,
+        args.workers,
+        transport.describe()
     );
 
     let mut job = SweepJob::new(bounds, num_shards);
@@ -165,15 +281,14 @@ fn main() {
         workers: args.workers,
         checkpoint_path: args.checkpoint.clone(),
         stop_after_workloads: args.stop_after,
+        respawn_budget: args.respawn,
+        batch_target: args.batch_target_ms.map(Duration::from_millis),
         progress_interval: Duration::from_secs(2),
         ..DistribConfig::default()
     };
-    let worker =
-        WorkerCommand::new(std::env::current_exe().expect("coordinator knows its own executable"))
-            .arg("--worker");
 
     let progress = |p: &Progress| println!("  [progress] {}", p.describe());
-    let outcome = match run_distributed(&job, &config, &worker, Some(&progress)) {
+    let outcome = match run_with_transport(&job, &config, transport.as_ref(), Some(&progress)) {
         Ok(outcome) => outcome,
         Err(error) => {
             eprintln!("sweep_coordinator: {error}");
@@ -203,6 +318,12 @@ fn main() {
                 stats.deltas,
             );
         }
+    }
+    if outcome.respawns > 0 {
+        println!(
+            "{} worker respawn(s) re-established dead links",
+            outcome.respawns
+        );
     }
     if outcome.failed_workers > 0 {
         println!(

@@ -1,0 +1,277 @@
+//! Documentation consistency checks, run as part of tier-1 `cargo test`
+//! and as CI's dedicated docs job.
+//!
+//! * **Intra-repo links**: every relative link in `README.md` and
+//!   `docs/*.md` must point at an existing file, and every `#anchor` must
+//!   match a heading in its target document.
+//! * **Wire-spec consistency**: the frame-tag table in `docs/PROTOCOL.md`
+//!   must match the `wire` constants in
+//!   `b3_harness::distrib::protocol`, and the documented protocol version
+//!   must equal `PROTOCOL_VERSION`.
+//! * **On-disk-format consistency**: the worked hexdump in
+//!   `docs/FORMATS.md` must be byte-identical to a freshly generated
+//!   checkpoint file, and the documented magics/record tags must match
+//!   the `segment` constants.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use b3::harness::distrib::protocol::{wire, PROTOCOL_VERSION};
+use b3::harness::distrib::save_checkpoint;
+use b3::harness::distrib::segment::{REC_DELTA, REC_SNAPSHOT, SEGMENT_MAGIC};
+use b3::harness::SweepCheckpoint;
+use b3::prelude::Bounds;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The documentation files under link- and consistency-check.
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&docs)
+        .expect("docs/ directory exists")
+        .map(|entry| entry.expect("docs/ entry reads").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "docs/ must contain the markdown specs this test guards"
+    );
+    files.extend(entries);
+    files
+}
+
+/// Extracts `[text](target)` link targets from markdown, skipping fenced
+/// code blocks (a hexdump's ASCII gutter could otherwise look like a
+/// link).
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let after = &rest[open + 2..];
+            let Some(close) = after.find(')') else { break };
+            targets.push(after[..close].to_string());
+            rest = &after[close + 1..];
+        }
+    }
+    targets
+}
+
+/// GitHub-style anchor slug of a heading: lowercase, punctuation dropped,
+/// spaces hyphenated.
+fn heading_slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' || c == '-' || c == '_' {
+                Some(if c == ' ' { '-' } else { c })
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All heading anchors a markdown document defines.
+fn anchors(markdown: &str) -> Vec<String> {
+    let mut in_fence = false;
+    markdown
+        .lines()
+        .filter(|line| {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                return false;
+            }
+            !in_fence && line.starts_with('#')
+        })
+        .map(|line| heading_slug(line.trim_start_matches('#')))
+        .collect()
+}
+
+#[test]
+fn intra_repo_links_resolve() {
+    let mut broken = Vec::new();
+    for file in doc_files() {
+        let markdown = std::fs::read_to_string(&file).expect("doc file reads");
+        let dir = file.parent().expect("doc file has a parent");
+        for target in link_targets(&markdown) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((path, anchor)) => (path, Some(anchor.to_string())),
+                None => (target.as_str(), None),
+            };
+            let resolved: PathBuf = if path_part.is_empty() {
+                file.clone()
+            } else {
+                dir.join(path_part)
+            };
+            if !resolved.exists() {
+                broken.push(format!("{}: broken link to {target}", file.display()));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                // Anchors are only checkable in markdown targets.
+                if resolved.extension().is_some_and(|ext| ext == "md") {
+                    let target_markdown = if resolved == file {
+                        markdown.clone()
+                    } else {
+                        std::fs::read_to_string(&resolved).expect("link target reads")
+                    };
+                    if !anchors(&target_markdown).contains(&anchor) {
+                        broken.push(format!(
+                            "{}: link to {target} names a missing anchor #{anchor}",
+                            file.display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken intra-repo links:\n{broken:#?}");
+}
+
+/// Parses the PROTOCOL.md frame-tag table into `name -> tag` pairs. Rows
+/// look like `| `0x01` | `Job` | coord → worker | … |`.
+fn documented_tags(protocol_md: &str) -> BTreeMap<String, u8> {
+    let mut tags = BTreeMap::new();
+    for line in protocol_md.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let tag_cell = cells[1].trim_matches('`');
+        let Some(hex) = tag_cell.strip_prefix("0x") else {
+            continue;
+        };
+        let Ok(tag) = u8::from_str_radix(hex, 16) else {
+            continue;
+        };
+        let name = cells[2].trim_matches('`').to_string();
+        tags.insert(name, tag);
+    }
+    tags
+}
+
+#[test]
+fn protocol_spec_matches_the_wire_constants() {
+    let path = repo_root().join("docs/PROTOCOL.md");
+    let spec = std::fs::read_to_string(&path).expect("docs/PROTOCOL.md exists");
+
+    let documented = documented_tags(&spec);
+    let expected: BTreeMap<String, u8> = [
+        ("Job".to_string(), wire::JOB),
+        ("Assign".to_string(), wire::ASSIGN),
+        ("Shutdown".to_string(), wire::SHUTDOWN),
+        ("Hello".to_string(), wire::HELLO),
+        ("Claim".to_string(), wire::CLAIM),
+        ("ShardDone".to_string(), wire::SHARD_DONE),
+        ("Reject".to_string(), wire::REJECT),
+    ]
+    .into();
+    assert_eq!(
+        documented, expected,
+        "the PROTOCOL.md tag table must list exactly the wire constants"
+    );
+
+    assert!(
+        spec.contains(&format!("Protocol version: {PROTOCOL_VERSION}")),
+        "PROTOCOL.md must state the current protocol version ({PROTOCOL_VERSION})"
+    );
+}
+
+/// Renders bytes in the `xxd`-style layout FORMATS.md uses for its worked
+/// example.
+fn hexdump(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for (row, chunk) in bytes.chunks(16).enumerate() {
+        let mut hex = String::new();
+        for (i, byte) in chunk.iter().enumerate() {
+            if i == 8 {
+                hex.push(' ');
+            }
+            hex.push_str(&format!("{byte:02x} "));
+        }
+        let ascii: String = chunk
+            .iter()
+            .map(|&b| {
+                if (0x20..0x7f).contains(&b) {
+                    b as char
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        out.push_str(&format!("{:08x}  {hex:<49} |{ascii}|\n", row * 16));
+    }
+    out
+}
+
+/// The exact tiny checkpoint FORMATS.md walks through: an empty (unscoped)
+/// two-shard checkpoint over `Bounds::tiny()`, persisted with
+/// `save_checkpoint`. Fully deterministic, so the documented hexdump can
+/// be compared byte-for-byte.
+fn documented_checkpoint_bytes() -> Vec<u8> {
+    let checkpoint = SweepCheckpoint::new(&Bounds::tiny(), 2);
+    let path = std::env::temp_dir().join(format!("b3-docs-hexdump-{}.ck", std::process::id()));
+    save_checkpoint(&path, &checkpoint).expect("documented checkpoint saves");
+    let bytes = std::fs::read(&path).expect("documented checkpoint reads");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+#[test]
+fn formats_spec_matches_the_on_disk_bytes() {
+    let path = repo_root().join("docs/FORMATS.md");
+    let spec = std::fs::read_to_string(&path).expect("docs/FORMATS.md exists");
+
+    // The magics and record tags named in the spec are the code's.
+    assert_eq!(SEGMENT_MAGIC, *b"B3SG");
+    assert!(
+        spec.contains("B3SG"),
+        "FORMATS.md must name the segment magic"
+    );
+    assert!(
+        spec.contains("B3S3"),
+        "FORMATS.md must name the checkpoint payload magic"
+    );
+    assert!(
+        spec.contains(&format!("`{REC_SNAPSHOT:#04x}`")),
+        "FORMATS.md must document the snapshot record tag {REC_SNAPSHOT:#04x}"
+    );
+    assert!(
+        spec.contains(&format!("`{REC_DELTA:#04x}`")),
+        "FORMATS.md must document the delta record tag {REC_DELTA:#04x}"
+    );
+
+    // The worked hexdump is regenerated from scratch and must match the
+    // document byte-for-byte — the example can never drift from the code.
+    let dump = hexdump(&documented_checkpoint_bytes());
+    for line in dump.lines() {
+        assert!(
+            spec.contains(line),
+            "FORMATS.md hexdump is stale; expected line:\n{line}\n\
+             full regenerated dump:\n{dump}"
+        );
+    }
+}
