@@ -3,7 +3,8 @@
 //! Table 3 of the paper lists the concrete values ACE uses for each B3
 //! bound; [`Bounds`] carries the same knobs plus the presets for each of the
 //! workload sets of Table 4 (`seq-1`, `seq-2`, `seq-3-data`,
-//! `seq-3-metadata`, `seq-3-nested`).
+//! `seq-3-metadata`, `seq-3-nested`) and the beyond-paper `seq-4-metadata`
+//! set that representative pruning ([`crate::canon`]) makes tractable.
 
 use b3_vfs::codec::{Decoder, Encoder};
 use b3_vfs::error::{FsError, FsResult};
@@ -60,16 +61,20 @@ pub enum SequencePreset {
     Seq3Metadata,
     /// Three-operation metadata workloads with a directory at depth three.
     Seq3Nested,
+    /// Four-operation metadata workloads — beyond the paper's Table 4,
+    /// reachable only with representative pruning (`b3_ace::canon`).
+    Seq4Metadata,
 }
 
 impl SequencePreset {
     /// All presets, in the order Table 4 lists them.
-    pub const ALL: [SequencePreset; 5] = [
+    pub const ALL: [SequencePreset; 6] = [
         SequencePreset::Seq1,
         SequencePreset::Seq2,
         SequencePreset::Seq3Data,
         SequencePreset::Seq3Metadata,
         SequencePreset::Seq3Nested,
+        SequencePreset::Seq4Metadata,
     ];
 
     /// The name Table 4 uses for this preset.
@@ -80,6 +85,7 @@ impl SequencePreset {
             SequencePreset::Seq3Data => "seq-3-data",
             SequencePreset::Seq3Metadata => "seq-3-metadata",
             SequencePreset::Seq3Nested => "seq-3-nested",
+            SequencePreset::Seq4Metadata => "seq-4-metadata",
         }
     }
 
@@ -91,6 +97,7 @@ impl SequencePreset {
             SequencePreset::Seq3Data => Bounds::paper_seq3_data(),
             SequencePreset::Seq3Metadata => Bounds::paper_seq3_metadata(),
             SequencePreset::Seq3Nested => Bounds::paper_seq3_nested(),
+            SequencePreset::Seq4Metadata => Bounds::paper_seq4_metadata(),
         }
     }
 }
@@ -231,6 +238,19 @@ impl Bounds {
             ],
             write_patterns: vec![WritePattern::Append],
             ..Bounds::paper_seq1()
+        }
+    }
+
+    /// seq-4-metadata: the seq-3-metadata operation set stretched to four
+    /// core operations — a space the paper never enumerated (~688M
+    /// candidates). Only tractable under representative pruning
+    /// (`b3_ace::canon` + the harness's Representative/Audit sweep modes),
+    /// which is exactly why it exists.
+    pub fn paper_seq4_metadata() -> Bounds {
+        Bounds {
+            name_prefix: "seq-4-metadata".into(),
+            seq_len: 4,
+            ..Bounds::paper_seq3_metadata()
         }
     }
 
@@ -383,7 +403,10 @@ mod tests {
 
     #[test]
     fn presets_cover_table4() {
-        assert_eq!(SequencePreset::ALL.len(), 5);
+        // Table 4's five sets plus the beyond-paper seq-4-metadata set.
+        assert_eq!(SequencePreset::ALL.len(), 6);
+        assert_eq!(SequencePreset::Seq4Metadata.bounds().seq_len, 4);
+        assert_eq!(SequencePreset::Seq4Metadata.name(), "seq-4-metadata");
         assert_eq!(SequencePreset::Seq3Nested.bounds().files.max_depth(), 3);
         assert_eq!(SequencePreset::Seq3Metadata.bounds().ops.len(), 4);
         assert_eq!(SequencePreset::Seq2.name(), "seq-2");

@@ -396,7 +396,7 @@ impl WorkloadGenerator {
 /// sharding arithmetic and [`WorkloadGenerator::estimate_candidates`] both
 /// rely on the two staying in lock-step, which
 /// `tests::persistence_counts_match_options` pins down.
-fn persistence_option_count(kind: OpKind, is_last: bool, bounds: &Bounds) -> u64 {
+pub(crate) fn persistence_option_count(kind: OpKind, is_last: bool, bounds: &Bounds) -> u64 {
     let choices = &bounds.persistence;
     let mut count = 0u64;
     if choices.fsync {

@@ -21,12 +21,14 @@
 
 pub mod adapter;
 pub mod bounds;
+pub mod canon;
 pub mod generator;
 pub mod phases;
 pub mod sim;
 
 pub use adapter::to_crashmonkey_test;
 pub use bounds::{Bounds, PersistenceChoices, SequencePreset};
+pub use canon::{apply_path_map, forest_automorphisms, Class, Classifier, CANON_VERSION};
 pub use generator::{GenerationStats, WorkloadGenerator};
 pub use phases::{phase1_skeletons, phase2_parameters, phase3_persistence, phase4_dependencies};
 

@@ -1,0 +1,238 @@
+//! Property tests of the equivalence-class canonicalizer (`b3_ace::canon`)
+//! against the streaming generator, over arbitrary bounds within the
+//! paper's knobs:
+//!
+//! * **Key invariance**: a workload and its image under any file-set
+//!   automorphism canonicalize to the same key — the defining property of
+//!   an orbit invariant.
+//! * **Entry-point determinism**: classification is a pure function of the
+//!   op sequence, so a workload reached via `skip_to` (how a resumed or
+//!   sharded sweep enters the space) classifies exactly as it does in a
+//!   front-to-back enumeration, and the analytic candidate index agrees
+//!   with the generator's workload names.
+//! * **Shard stability**: the set of representatives chosen over any
+//!   sharding of the space equals the unsharded set — no class gains or
+//!   loses its representative because a shard boundary fell inside it.
+//!   This is what lets distributed workers prune independently.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use b3_ace::{apply_path_map, forest_automorphisms, Bounds, Class, Classifier, WorkloadGenerator};
+use b3_vfs::workload::{FileSet, OpKind};
+
+const OP_POOL: [OpKind; 5] = [
+    OpKind::Creat,
+    OpKind::Link,
+    OpKind::Unlink,
+    OpKind::Rename,
+    OpKind::WriteBuffered,
+];
+
+/// A non-empty subset of the operation pool, selected by bitmask.
+fn ops_strategy() -> impl Strategy<Value = Vec<OpKind>> {
+    (1u32..32).prop_map(|mask| {
+        OP_POOL
+            .iter()
+            .enumerate()
+            .filter(|(bit, _)| mask & (1 << bit) != 0)
+            .map(|(_, kind)| *kind)
+            .collect()
+    })
+}
+
+/// File sets spanning the symmetry spectrum: the paper's 16-automorphism
+/// forest, a symmetry-free set, interchangeable root files, and
+/// interchangeable sibling directories.
+fn file_set_strategy() -> impl Strategy<Value = FileSet> {
+    prop_oneof![
+        Just(FileSet::paper_default()),
+        Just(FileSet::minimal()),
+        Just(FileSet::new(
+            Vec::new(),
+            vec!["foo".into(), "bar".into(), "baz".into()],
+        )),
+        Just(FileSet::new(
+            vec!["A".into(), "B".into()],
+            vec![
+                "foo".into(),
+                "A/foo".into(),
+                "A/bar".into(),
+                "B/foo".into(),
+                "B/bar".into(),
+            ],
+        )),
+    ]
+}
+
+fn bounds_strategy() -> impl Strategy<Value = Bounds> {
+    (ops_strategy(), file_set_strategy(), 1usize..3).prop_map(|(ops, files, seq_len)| {
+        let mut bounds = Bounds::tiny().with_ops(ops);
+        bounds.files = files;
+        bounds.seq_len = seq_len;
+        bounds
+    })
+}
+
+/// Caps the candidate space so a single proptest case stays fast; the
+/// interesting structure (symmetry, shard edges) is size-independent.
+fn small_space(bounds: &Bounds) -> bool {
+    let total = WorkloadGenerator::estimate_candidates(bounds);
+    total > 0 && total <= 4_000
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn keys_are_invariant_under_symmetry_rewrites(bounds in bounds_strategy()) {
+        if !small_space(&bounds) {
+            return Ok(());
+        }
+        let classifier = Classifier::new(&bounds);
+        let maps = forest_automorphisms(&bounds.files);
+        for workload in WorkloadGenerator::new(bounds.clone()).take(400) {
+            let key = classifier.key(&workload.ops);
+            for map in &maps {
+                let image = apply_path_map(&workload.ops, map);
+                prop_assert_eq!(
+                    classifier.key(&image),
+                    key.clone(),
+                    "workload {} image under {:?}",
+                    workload.name,
+                    map
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_deterministic_across_entry_points(
+        bounds in bounds_strategy(),
+        numerator in 0u64..4,
+    ) {
+        if !small_space(&bounds) {
+            return Ok(());
+        }
+        let classifier = Classifier::new(&bounds);
+        // Classify the whole space front to back...
+        let mut by_name = std::collections::HashMap::new();
+        for workload in WorkloadGenerator::new(bounds.clone()) {
+            by_name.insert(workload.name.clone(), classifier.classify(&workload.ops));
+        }
+        // ...then re-enter it mid-space the way a resumed sweep would and
+        // demand identical classifications for every workload of the tail.
+        let total = WorkloadGenerator::estimate_candidates(&bounds);
+        let start = total * numerator / 4;
+        let mut generator = WorkloadGenerator::new(bounds.clone());
+        generator.skip_to(start);
+        for workload in generator {
+            prop_assert_eq!(
+                &classifier.classify(&workload.ops),
+                by_name.get(&workload.name).expect("tail ⊆ full enumeration"),
+                "workload {} entered at candidate {}",
+                workload.name,
+                start
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_index_matches_generator_names(bounds in bounds_strategy()) {
+        if !small_space(&bounds) {
+            return Ok(());
+        }
+        let classifier = Classifier::new(&bounds);
+        for workload in WorkloadGenerator::new(bounds.clone()) {
+            let index = classifier
+                .candidate_index(&workload.ops)
+                .expect("generated workloads decompose");
+            prop_assert_eq!(
+                classifier.workload_name(index),
+                workload.name.clone(),
+                "analytic index {} must reconstruct the generator's name",
+                index
+            );
+        }
+    }
+
+    #[test]
+    fn representatives_are_stable_under_sharding(
+        bounds in bounds_strategy(),
+        num_shards in 1usize..8,
+    ) {
+        if !small_space(&bounds) {
+            return Ok(());
+        }
+        let classifier = Classifier::new(&bounds);
+        let representative_names = |workloads: Vec<b3_vfs::workload::Workload>| -> HashSet<String> {
+            workloads
+                .into_iter()
+                .filter(|w| {
+                    matches!(
+                        classifier.classify(&w.ops),
+                        None | Some(Class::Representative { .. })
+                    )
+                })
+                .map(|w| w.name)
+                .collect()
+        };
+        let unsharded =
+            representative_names(WorkloadGenerator::new(bounds.clone()).collect());
+        let mut sharded = HashSet::new();
+        for shard in bounds.shards(num_shards) {
+            let shard_reps = representative_names(
+                WorkloadGenerator::for_shard(bounds.clone(), &shard).collect(),
+            );
+            for name in shard_reps {
+                prop_assert!(
+                    sharded.insert(name.clone()),
+                    "representative {} claimed by two shards",
+                    name
+                );
+            }
+        }
+        prop_assert_eq!(sharded, unsharded);
+    }
+
+    /// Every member's recorded representative is itself in the space,
+    /// classifies as a representative, shares the member's key, and lives
+    /// at the recorded candidate index — the contract Audit mode relies on
+    /// when it re-materializes representatives from `(rep_ops, rep_index)`.
+    #[test]
+    fn members_point_at_canonical_representatives(bounds in bounds_strategy()) {
+        if !small_space(&bounds) {
+            return Ok(());
+        }
+        let classifier = Classifier::new(&bounds);
+        for workload in WorkloadGenerator::new(bounds.clone()).take(400) {
+            let Some(Class::Member { key, rep_ops, rep_index }) =
+                classifier.classify(&workload.ops)
+            else {
+                continue;
+            };
+            match classifier.classify(&rep_ops) {
+                Some(Class::Representative { key: rep_key }) => {
+                    prop_assert_eq!(&rep_key, &key)
+                }
+                other => prop_assert!(false, "rep of {} classifies as {:?}", workload.name, other),
+            }
+            prop_assert_eq!(
+                classifier.candidate_index(&rep_ops),
+                Some(rep_index),
+                "recorded rep_index must be the representative's own index"
+            );
+            let member_index = classifier
+                .candidate_index(&workload.ops)
+                .expect("members decompose");
+            prop_assert!(
+                rep_index < member_index,
+                "the representative is the enumeration-first member \
+                 ({} vs {})",
+                rep_index,
+                member_index
+            );
+        }
+    }
+}

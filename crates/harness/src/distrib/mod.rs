@@ -65,7 +65,7 @@ use b3_vfs::KernelEra;
 
 use crate::corpus::FsKind;
 use crate::runner::RunSummary;
-use crate::sweep::{Progress, SweepCheckpoint, WorkerThroughput};
+use crate::sweep::{Progress, PruneMode, SweepCheckpoint, WorkerThroughput};
 
 pub mod protocol;
 pub mod segment;
@@ -99,6 +99,12 @@ pub struct SweepJob {
     pub num_shards: usize,
     /// CrashMonkey configuration every worker uses.
     pub crashmonkey: CrashMonkeyConfig,
+    /// How equivalent candidates are pruned (see
+    /// [`crate::sweep::PruneMode`]). Participates in [`SweepJob::scope`] —
+    /// and therefore the fingerprint echo — so a coordinator and worker
+    /// that disagree on the canonicalization version reject each other
+    /// instead of pruning different candidates.
+    pub prune: PruneMode,
 }
 
 impl SweepJob {
@@ -111,17 +117,19 @@ impl SweepJob {
             bounds,
             num_shards,
             crashmonkey: CrashMonkeyConfig::small(),
+            prune: PruneMode::Off,
         }
     }
 
     /// The execution context this job's checkpoints are scoped to: the file
-    /// system, kernel era, and CrashMonkey configuration. Two jobs over
+    /// system, kernel era, CrashMonkey configuration, and (when pruning is
+    /// on) the prune mode + canonicalization version. Two jobs over
     /// identical bounds but different contexts produce different shard
     /// results, so their checkpoints must never resume or merge into each
     /// other.
     pub fn scope(&self) -> String {
         let cm = &self.crashmonkey;
-        format!(
+        let mut scope = format!(
             "{}@{}/blk{}/cp{}{}{}",
             self.fs.paper_name(),
             self.era.as_str(),
@@ -129,7 +137,13 @@ impl SweepJob {
             u8::from(matches!(cm.crash_points, CrashPointPolicy::All)),
             u8::from(cm.direct_write_is_persistence_point),
             u8::from(cm.model_kernel_delays),
-        )
+        );
+        let canon = self.prune.scope_component();
+        if !canon.is_empty() {
+            scope.push('/');
+            scope.push_str(&canon);
+        }
+        scope
     }
 
     /// An empty checkpoint for this job's (bounds, shard count, context)
@@ -150,6 +164,7 @@ impl SweepJob {
         ));
         enc.put_bool(self.crashmonkey.direct_write_is_persistence_point);
         enc.put_bool(self.crashmonkey.model_kernel_delays);
+        self.prune.encode(enc);
     }
 
     pub(crate) fn decode(dec: &mut Decoder<'_>) -> FsResult<SweepJob> {
@@ -171,12 +186,14 @@ impl SweepJob {
             direct_write_is_persistence_point: dec.get_bool()?,
             model_kernel_delays: dec.get_bool()?,
         };
+        let prune = PruneMode::decode(dec)?;
         Ok(SweepJob {
             fs,
             era,
             bounds,
             num_shards,
             crashmonkey,
+            prune,
         })
     }
 }
@@ -311,6 +328,7 @@ struct CoordState {
     /// progress monitor does not re-aggregate every tick).
     tested: usize,
     skipped: usize,
+    pruned: usize,
     buggy: usize,
     merged_this_run: usize,
     processed_this_run: usize,
@@ -365,6 +383,7 @@ impl CoordState {
         Progress {
             tested: self.tested,
             skipped: self.skipped,
+            pruned: self.pruned,
             bugs: self.buggy,
             completed_shards: completed,
             total_shards,
@@ -478,6 +497,7 @@ pub fn run_with_transport(
             in_flight: 0,
             tested: seeded.tested,
             skipped: seeded.skipped,
+            pruned: seeded.pruned,
             buggy: checkpoint.total_buggy() as usize,
             checkpoint,
             merged_this_run: 0,
@@ -868,8 +888,10 @@ fn serve_link(
                     state.in_flight -= 1;
                     state.tested += result.tested as usize;
                     state.skipped += result.skipped as usize;
+                    state.pruned += result.pruned as usize;
                     state.buggy += result.buggy as usize;
-                    state.processed_this_run += (result.tested + result.skipped) as usize;
+                    state.processed_this_run +=
+                        (result.tested + result.skipped + result.pruned) as usize;
                     state.merged_this_run += 1;
                     let telemetry = &mut state.workers[index];
                     telemetry.shards += 1;
@@ -1009,6 +1031,7 @@ mod tests {
                 checkpoint: job.empty_checkpoint(),
                 tested: 0,
                 skipped: 0,
+                pruned: 0,
                 buggy: 0,
                 merged_this_run: 0,
                 processed_this_run: 0,

@@ -33,8 +33,10 @@ use crate::sweep::ShardResult;
 ///
 /// History: v1 was the PR 3 stdio-only protocol (no handshake); v2 added
 /// the `Hello`/`Reject` handshake, the job fingerprint echo, and grouped
-/// report frames.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// report frames; v3 added the prune mode to `SweepJob` and the
+/// pruned/audited counters + audit-failure list to `ShardResult`
+/// (representative sweeps).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Frame tag bytes. Coordinator-to-worker tags occupy the low range,
 /// worker-to-coordinator tags have the high bit set — so a desynced stream

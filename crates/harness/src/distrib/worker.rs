@@ -18,7 +18,7 @@ use b3_vfs::KernelEra;
 use super::protocol::PROTOCOL_VERSION;
 use super::protocol::{read_frame, transport_err, write_frame, FromWorker, Hello, ToWorker};
 use crate::corpus::FsKind;
-use crate::sweep::run_shard;
+use crate::sweep::{run_shard, PruneContext};
 
 /// Exit code a worker uses when its injected crash hook fires (the chaos
 /// tests' stand-in for a worker VM dying mid-shard).
@@ -162,22 +162,35 @@ fn worker_loop(
     let spec = job.fs.spec(job.era);
     let monkey = CrashMonkey::with_config(spec.as_ref(), job.crashmonkey);
     let mut workloads_until_crash = options.die_after_workloads;
+    // The classifier is a pure function of the bounds, and the sampling
+    // seed of the (canon-version-scoped) fingerprint both sides already
+    // agreed on — so every worker prunes and audits the exact same
+    // candidates the coordinator (or any replacement worker) would.
+    let classifier = (!job.prune.is_off()).then(|| b3_ace::Classifier::new(&job.bounds));
+    let prune_ctx = PruneContext::new(job.prune, classifier.as_ref(), &actual_fingerprint);
 
     loop {
         write_frame(writer, &FromWorker::Claim.to_frame())?;
         match ToWorker::from_frame(&read_frame(reader)?)? {
             ToWorker::Assign(shards) => {
                 for shard in shards {
-                    let result = run_shard(&monkey, &job.bounds, shard, job.num_shards, || {
-                        if let Some(remaining) = &mut workloads_until_crash {
-                            if *remaining == 0 {
-                                // The chaos hook: die mid-shard, leaving
-                                // the claimed shard unreported.
-                                std::process::exit(WORKER_CRASH_EXIT);
+                    let result = run_shard(
+                        &monkey,
+                        &job.bounds,
+                        shard,
+                        job.num_shards,
+                        &prune_ctx,
+                        || {
+                            if let Some(remaining) = &mut workloads_until_crash {
+                                if *remaining == 0 {
+                                    // The chaos hook: die mid-shard, leaving
+                                    // the claimed shard unreported.
+                                    std::process::exit(WORKER_CRASH_EXIT);
+                                }
+                                *remaining -= 1;
                             }
-                            *remaining -= 1;
-                        }
-                    });
+                        },
+                    );
                     write_frame(writer, &FromWorker::ShardDone { shard, result }.to_frame())?;
                 }
             }

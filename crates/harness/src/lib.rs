@@ -54,4 +54,4 @@ pub use distrib::{
 pub use postprocess::{group_reports, BugGroup, KnownBugDatabase};
 pub use report::{bug_group_table, Table};
 pub use runner::{run_stream, run_stream_observed, RunConfig, RunSummary};
-pub use sweep::{Progress, Sweep, SweepCheckpoint, WorkerThroughput};
+pub use sweep::{AuditFailure, Progress, PruneMode, Sweep, SweepCheckpoint, WorkerThroughput};

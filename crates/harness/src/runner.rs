@@ -62,6 +62,21 @@ pub struct RunSummary {
     pub tested: usize,
     /// Workloads skipped because they could not execute.
     pub skipped: usize,
+    /// Candidates pruned without testing because a sweep's
+    /// [`PruneMode`](crate::sweep::PruneMode) classified them as
+    /// equivalent to an already-tested class representative. Always zero
+    /// for [`run_stream`] and for sweeps with pruning off. Kept separate
+    /// from `skipped` so `tested + skipped + pruned` reconstructs the full
+    /// candidate coverage and throughput stays honest.
+    pub pruned: usize,
+    /// Pruned candidates that Audit mode additionally crash-tested against
+    /// their representative (a subset of `pruned`; never part of `tested`).
+    pub audited: usize,
+    /// Divergences Audit mode found — pruned members whose outcome did not
+    /// match their representative's. Any entry here means the
+    /// canonicalization was too coarse for this space and the
+    /// representative results cannot be trusted.
+    pub audit_failures: Vec<crate::sweep::AuditFailure>,
     /// Total raw bug reports produced, before any deduplication. For
     /// [`run_stream`] summaries this equals `reports.len()`; for sweep
     /// summaries (which deduplicate at the source and keep only group
@@ -101,6 +116,7 @@ impl RunSummary {
 pub(crate) struct LiveCounters {
     pub tested: AtomicUsize,
     pub skipped: AtomicUsize,
+    pub pruned: AtomicUsize,
     pub bugs: AtomicUsize,
     pub completed_shards: AtomicUsize,
 }
@@ -110,6 +126,7 @@ impl LiveCounters {
         LiveCounters {
             tested: AtomicUsize::new(0),
             skipped: AtomicUsize::new(0),
+            pruned: AtomicUsize::new(0),
             bugs: AtomicUsize::new(0),
             completed_shards: AtomicUsize::new(0),
         }
@@ -136,6 +153,7 @@ impl LiveCounters {
         Progress {
             tested,
             skipped,
+            pruned: self.pruned.load(Ordering::Relaxed),
             bugs: self.bugs.load(Ordering::Relaxed),
             completed_shards,
             total_shards,

@@ -15,16 +15,18 @@
 //! therefore converges to exactly the same [`RunSummary`] counts as an
 //! uninterrupted one — partially processed shards are simply re-run.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use b3_ace::{Bounds, WorkloadGenerator};
+use b3_ace::canon::{Class, Classifier};
+use b3_ace::{Bounds, WorkloadGenerator, CANON_VERSION};
 use b3_crashmonkey::{CrashMonkey, WorkloadOutcome};
 use b3_vfs::codec::{Decoder, Encoder};
 use b3_vfs::error::{FsError, FsResult};
 use b3_vfs::fs::FsSpec;
+use b3_vfs::workload::Workload;
 
 use crate::dedup::GroupTable;
 use crate::postprocess::BugGroup;
@@ -55,8 +57,12 @@ pub struct WorkerThroughput {
 pub struct Progress {
     /// Workloads tested so far (including resumed shards).
     pub tested: usize,
-    /// Workloads skipped so far.
+    /// Workloads skipped so far (could not execute at all).
     pub skipped: usize,
+    /// Candidates pruned as equivalent to an earlier representative
+    /// ([`PruneMode`]) — distinct from `skipped`, so throughput numbers
+    /// stay honest about what was actually crash-tested.
+    pub pruned: usize,
     /// Workloads that produced at least one bug report.
     pub bugs: usize,
     /// Shards fully completed (including ones restored from a checkpoint).
@@ -77,10 +83,11 @@ pub struct Progress {
 impl Progress {
     /// One-line human-readable rendering (used by the examples).
     pub fn describe(&self) -> String {
-        let mut line = format!(
-            "tested {} / skipped {} / bugs {}",
-            self.tested, self.skipped, self.bugs
-        );
+        let mut line = format!("tested {} / skipped {}", self.tested, self.skipped);
+        if self.pruned > 0 {
+            line.push_str(&format!(" / pruned {}", self.pruned));
+        }
+        line.push_str(&format!(" / bugs {}", self.bugs));
         if self.total_shards > 0 {
             line.push_str(&format!(
                 " | shards {}/{}",
@@ -116,6 +123,315 @@ impl Progress {
     }
 }
 
+/// How a sweep treats candidates that are crash-behaviorally equivalent to
+/// an earlier candidate (see [`b3_ace::canon`]).
+///
+/// The mode participates in checkpoint fingerprints (via
+/// [`PruneMode::scope_component`], which embeds [`CANON_VERSION`]), so a
+/// representative checkpoint can never silently resume a full sweep (or
+/// vice versa), and a distributed coordinator and worker that disagree on
+/// the canonicalization scheme reject each other at the fingerprint echo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    /// Test every candidate (the pre-canonicalization behavior).
+    #[default]
+    Off,
+    /// Test only each equivalence class's representative (its
+    /// enumeration-first member); count the rest as `pruned`.
+    Representative,
+    /// Like `Representative`, but additionally crash-test up to
+    /// `samples_per_class` deterministically-sampled non-representative
+    /// members per class *per shard* and record an [`AuditFailure`]
+    /// whenever a member's outcome diverges from its representative's —
+    /// the empirical bound on false pruning.
+    Audit {
+        /// Extra members audited per class per shard.
+        samples_per_class: u32,
+    },
+}
+
+impl PruneMode {
+    /// True for [`PruneMode::Off`].
+    pub fn is_off(&self) -> bool {
+        matches!(self, PruneMode::Off)
+    }
+
+    /// The checkpoint-scope component this mode contributes: empty for
+    /// `Off` (so existing full-sweep fingerprints are unchanged), else a
+    /// `canon<version>:<mode>` tag.
+    pub fn scope_component(&self) -> String {
+        match self {
+            PruneMode::Off => String::new(),
+            PruneMode::Representative => format!("canon{CANON_VERSION}:rep"),
+            PruneMode::Audit { samples_per_class } => {
+                format!("canon{CANON_VERSION}:audit{samples_per_class}")
+            }
+        }
+    }
+
+    /// Parses the `--prune` CLI spellings.
+    pub fn parse(text: &str) -> Option<PruneMode> {
+        match text {
+            "off" => Some(PruneMode::Off),
+            "rep" | "representative" => Some(PruneMode::Representative),
+            "audit" => Some(PruneMode::Audit {
+                samples_per_class: 2,
+            }),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn encode(&self, enc: &mut Encoder) {
+        match self {
+            PruneMode::Off => {
+                enc.put_u8(0);
+                enc.put_u32(0);
+            }
+            PruneMode::Representative => {
+                enc.put_u8(1);
+                enc.put_u32(0);
+            }
+            PruneMode::Audit { samples_per_class } => {
+                enc.put_u8(2);
+                enc.put_u32(*samples_per_class);
+            }
+        }
+    }
+
+    pub(crate) fn decode(dec: &mut Decoder<'_>) -> FsResult<PruneMode> {
+        let tag = dec.get_u8()?;
+        let samples = dec.get_u32()?;
+        match tag {
+            0 => Ok(PruneMode::Off),
+            1 => Ok(PruneMode::Representative),
+            2 => Ok(PruneMode::Audit {
+                samples_per_class: samples,
+            }),
+            other => Err(FsError::Corrupted(format!("unknown prune mode {other}"))),
+        }
+    }
+}
+
+/// One divergence found by [`PruneMode::Audit`]: a pruned class member
+/// whose crash-test outcome differs from its representative's, i.e. direct
+/// evidence the canonicalization is too coarse for this space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFailure {
+    /// The canonical key of the offending equivalence class.
+    pub class: String,
+    /// Workload name of the class representative (or a placeholder when
+    /// the representative could not even be materialized).
+    pub representative: String,
+    /// Workload name of the audited member that diverged.
+    pub member: String,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl AuditFailure {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.class);
+        enc.put_str(&self.representative);
+        enc.put_str(&self.member);
+        enc.put_str(&self.detail);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> FsResult<AuditFailure> {
+        Ok(AuditFailure {
+            class: dec.get_str()?,
+            representative: dec.get_str()?,
+            member: dec.get_str()?,
+            detail: dec.get_str()?,
+        })
+    }
+}
+
+/// FNV-1a over bytes; seeds audit sampling from a checkpoint fingerprint
+/// so the sampled members are deterministic per (sweep, canon version) but
+/// differ across unrelated sweeps.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64-style finalizer mixing the sweep seed with a candidate index.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// What to do with one generated candidate under the active [`PruneMode`].
+pub(crate) enum Decision {
+    /// Crash-test it (representative, or pruning is off).
+    Test,
+    /// Count it as pruned; when `audit` is set, also crash-test it against
+    /// its representative and record any divergence.
+    Prune { audit: Option<AuditPlan> },
+}
+
+/// An audit obligation for one sampled non-representative member.
+pub(crate) struct AuditPlan {
+    /// The class's canonical key.
+    key: String,
+    /// The representative's materialized workload; `None` when phase 4
+    /// rejected the representative's op sequence — itself a divergence,
+    /// since the member *was* materialized.
+    rep: Option<Workload>,
+}
+
+/// The per-sweep pruning context shared by the in-process shard loop and
+/// the distributed worker's [`run_shard`]: the classifier (if any), the
+/// audit sampling parameters, and the deterministic sampling seed.
+pub(crate) struct PruneContext<'c> {
+    classifier: Option<&'c Classifier>,
+    samples_per_class: u32,
+    seed: u64,
+}
+
+impl<'c> PruneContext<'c> {
+    /// Builds the context for a mode. `fingerprint` is the sweep's
+    /// checkpoint fingerprint (already canon-version-scoped), which seeds
+    /// audit sampling.
+    pub(crate) fn new(
+        mode: PruneMode,
+        classifier: Option<&'c Classifier>,
+        fingerprint: &str,
+    ) -> PruneContext<'c> {
+        let samples_per_class = match mode {
+            PruneMode::Audit { samples_per_class } => samples_per_class,
+            _ => 0,
+        };
+        PruneContext {
+            classifier: match mode {
+                PruneMode::Off => None,
+                _ => classifier,
+            },
+            samples_per_class,
+            seed: fnv1a64(fingerprint.as_bytes()),
+        }
+    }
+
+    /// Classifies one candidate. `class_counts` is the caller's per-shard
+    /// map of audited members per class (kept per shard so sampling is a
+    /// pure function of (fingerprint, shard) and re-runs of a shard agree).
+    pub(crate) fn decide(
+        &self,
+        workload: &Workload,
+        class_counts: &mut HashMap<String, u32>,
+    ) -> Decision {
+        let Some(classifier) = self.classifier else {
+            return Decision::Test;
+        };
+        match classifier.classify(&workload.ops) {
+            None | Some(Class::Representative { .. }) => Decision::Test,
+            Some(Class::Member {
+                key,
+                rep_ops,
+                rep_index,
+            }) => {
+                let mut audit = None;
+                if self.samples_per_class > 0 {
+                    let count = class_counts.entry(key.clone()).or_insert(0);
+                    if *count < self.samples_per_class && self.selected(&workload.name) {
+                        *count += 1;
+                        audit = Some(AuditPlan {
+                            key,
+                            rep: classifier.representative_workload(&rep_ops, rep_index),
+                        });
+                    }
+                }
+                Decision::Prune { audit }
+            }
+        }
+    }
+
+    /// Deterministic coin flip per candidate: the trailing digits of the
+    /// workload name are its global enumeration index, mixed with the
+    /// sweep seed.
+    fn selected(&self, name: &str) -> bool {
+        let index = name
+            .rsplit('-')
+            .next()
+            .and_then(|digits| digits.parse::<u64>().ok())
+            .unwrap_or(0);
+        mix(self.seed, index) & 1 == 0
+    }
+}
+
+/// The audit-relevant signature of one crash-test outcome: skipped/error
+/// status, or the sorted deduplicated set of `(crash point, consequence)`
+/// pairs. Deliberately excludes workload names, paths, and free-text
+/// reasons, which legitimately differ between a member and its
+/// representative.
+fn outcome_signature(outcome: &FsResult<WorkloadOutcome>) -> String {
+    match outcome {
+        Err(_) => "error".into(),
+        Ok(outcome) => {
+            if outcome.skipped.is_some() {
+                return "skipped".into();
+            }
+            let mut pairs: Vec<(u32, u8)> = outcome
+                .bugs
+                .iter()
+                .map(|bug| (bug.crash_point, bug.consequence.code()))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            format!("{pairs:?}")
+        }
+    }
+}
+
+/// Runs one audit obligation: crash-tests the pruned member and its
+/// representative and records a divergence, folding both timings into the
+/// shard's workload time (audit work is real work).
+pub(crate) fn audit_member(
+    monkey: &CrashMonkey<'_>,
+    member: &Workload,
+    plan: AuditPlan,
+    result: &mut ShardResult,
+) {
+    result.audited += 1;
+    let member_outcome = monkey.test_workload(member);
+    if let Ok(outcome) = &member_outcome {
+        result.workload_time_nanos += outcome.timing.total.as_nanos() as u64;
+    }
+    let Some(rep) = plan.rep else {
+        result.audit_failures.push(AuditFailure {
+            class: plan.key,
+            representative: "<unmaterializable>".into(),
+            member: member.name.clone(),
+            detail: "phase 4 rejected the representative's op sequence \
+                     but emitted the member's"
+                .into(),
+        });
+        return;
+    };
+    let rep_outcome = monkey.test_workload(&rep);
+    if let Ok(outcome) = &rep_outcome {
+        result.workload_time_nanos += outcome.timing.total.as_nanos() as u64;
+    }
+    let member_signature = outcome_signature(&member_outcome);
+    let rep_signature = outcome_signature(&rep_outcome);
+    if member_signature != rep_signature {
+        result.audit_failures.push(AuditFailure {
+            class: plan.key,
+            representative: rep.name.clone(),
+            member: member.name.clone(),
+            detail: format!(
+                "member outcome {member_signature} diverges from \
+                 representative outcome {rep_signature}"
+            ),
+        });
+    }
+}
+
 /// The recorded outcome of one completed shard. Also the unit of work the
 /// distributed protocol ([`crate::distrib`]) ships from worker processes
 /// back to the coordinator.
@@ -134,11 +450,21 @@ impl Progress {
 pub struct ShardResult {
     pub(crate) tested: u64,
     pub(crate) skipped: u64,
+    /// Candidates not tested because they are equivalent to an earlier
+    /// class representative ([`PruneMode`]). Disjoint from `skipped`,
+    /// which counts candidates that could not execute at all.
+    pub(crate) pruned: u64,
+    /// Pruned candidates that were *also* crash-tested by Audit mode
+    /// (a subset of `pruned`; their outcomes are compared against the
+    /// representative but never folded into `tested` or `groups`).
+    pub(crate) audited: u64,
     /// Workloads that produced at least one bug report.
     pub(crate) buggy: u64,
     pub(crate) workload_time_nanos: u64,
     /// Per-bug-group exemplars + counts for every report of the shard.
     pub(crate) groups: GroupTable,
+    /// Divergences Audit mode found in this shard.
+    pub(crate) audit_failures: Vec<AuditFailure>,
 }
 
 /// What [`ShardResult::absorb`] recorded, so callers can mirror the outcome
@@ -158,8 +484,11 @@ impl ShardResult {
     pub(crate) fn same_outcome(&self, other: &ShardResult) -> bool {
         self.tested == other.tested
             && self.skipped == other.skipped
+            && self.pruned == other.pruned
+            && self.audited == other.audited
             && self.buggy == other.buggy
             && self.groups == other.groups
+            && self.audit_failures == other.audit_failures
     }
 
     /// Folds one CrashMonkey outcome into this shard's counters.
@@ -194,16 +523,27 @@ impl ShardResult {
     pub(crate) fn add_counts(&self, summary: &mut RunSummary) {
         summary.tested += self.tested as usize;
         summary.skipped += self.skipped as usize;
+        summary.pruned += self.pruned as usize;
+        summary.audited += self.audited as usize;
         summary.raw_reports += self.groups.total_reports() as usize;
         summary.total_workload_time += Duration::from_nanos(self.workload_time_nanos);
+        summary
+            .audit_failures
+            .extend(self.audit_failures.iter().cloned());
     }
 
     pub(crate) fn encode(&self, enc: &mut Encoder) {
         enc.put_u64(self.tested);
         enc.put_u64(self.skipped);
+        enc.put_u64(self.pruned);
+        enc.put_u64(self.audited);
         enc.put_u64(self.buggy);
         enc.put_u64(self.workload_time_nanos);
         self.groups.encode(enc);
+        enc.put_u64(self.audit_failures.len() as u64);
+        for failure in &self.audit_failures {
+            failure.encode(enc);
+        }
     }
 
     /// Decodes one shard result. All length fields are validated against
@@ -212,44 +552,77 @@ impl ShardResult {
     pub(crate) fn decode(dec: &mut Decoder<'_>) -> FsResult<ShardResult> {
         let tested = dec.get_u64()?;
         let skipped = dec.get_u64()?;
+        let pruned = dec.get_u64()?;
+        let audited = dec.get_u64()?;
         let buggy = dec.get_u64()?;
         let workload_time_nanos = dec.get_u64()?;
         let groups = GroupTable::decode(dec)?;
+        let failure_count = dec.get_u64()? as usize;
+        // Each failure is at least four string length prefixes (32 bytes).
+        if failure_count > dec.remaining() / 32 {
+            return Err(FsError::Corrupted(format!(
+                "shard result declares {failure_count} audit failures but only {} bytes remain",
+                dec.remaining()
+            )));
+        }
+        let mut audit_failures = Vec::with_capacity(failure_count);
+        for _ in 0..failure_count {
+            audit_failures.push(AuditFailure::decode(dec)?);
+        }
         Ok(ShardResult {
             tested,
             skipped,
+            pruned,
+            audited,
             buggy,
             workload_time_nanos,
             groups,
+            audit_failures,
         })
     }
 }
 
 /// Runs one generator shard to completion on the given CrashMonkey
-/// instance. `tick` runs before every workload — the distributed worker
-/// uses it to implement its crash-injection test hook.
+/// instance. `tick` runs before every *executed* workload (tested or
+/// audited; pruned candidates cost no tick) — the distributed worker uses
+/// it to implement its crash-injection test hook.
 pub(crate) fn run_shard(
     monkey: &CrashMonkey<'_>,
     bounds: &Bounds,
     shard_index: u32,
     num_shards: usize,
+    prune: &PruneContext<'_>,
     mut tick: impl FnMut(),
 ) -> ShardResult {
     let shard = bounds.shard(shard_index as usize, num_shards);
     let generator = WorkloadGenerator::for_shard(bounds.clone(), &shard);
     let mut result = ShardResult::default();
+    let mut class_counts: HashMap<String, u32> = HashMap::new();
     for workload in generator {
-        tick();
-        result.absorb(monkey.test_workload(&workload));
+        match prune.decide(&workload, &mut class_counts) {
+            Decision::Test => {
+                tick();
+                result.absorb(monkey.test_workload(&workload));
+            }
+            Decision::Prune { audit: None } => {
+                result.pruned += 1;
+            }
+            Decision::Prune { audit: Some(plan) } => {
+                result.pruned += 1;
+                tick();
+                audit_member(monkey, &workload, plan, &mut result);
+            }
+        }
     }
     result
 }
 
-// "B3S3": bumped from "B3S2" when shard results switched from raw report
-// lists to grouped exemplar + count tables, so checkpoints persisted by the
-// raw-report format fail cleanly at decode ("bad sweep checkpoint magic")
-// instead of as garbage group tables.
-const CHECKPOINT_MAGIC: u32 = 0x4233_5333;
+// "B3S4": bumped from "B3S3" when shard results grew the pruned/audited
+// counters and the audit-failure list (representative sweeps). "B3S3"
+// itself was the bump from raw report lists to grouped exemplar + count
+// tables ("B3S2"). Either older format fails cleanly at decode ("bad sweep
+// checkpoint magic") instead of as garbage fields.
+const CHECKPOINT_MAGIC: u32 = 0x4233_5334;
 
 /// Persistent record of a sweep's completed shards.
 ///
@@ -483,10 +856,11 @@ impl SweepCheckpoint {
         let fingerprint = dec.get_str()?;
         let num_shards = dec.get_u32()?;
         let count = dec.get_u64()? as usize;
-        // Each recorded shard needs at least its index, four counters, and
-        // an (empty) group table — 44 bytes; a declared count beyond what
-        // the buffer can hold is corruption, not an allocation request.
-        if count > dec.remaining() / 44 {
+        // Each recorded shard needs at least its index, six counters, an
+        // (empty) group table, and an (empty) audit-failure list — 68
+        // bytes; a declared count beyond what the buffer can hold is
+        // corruption, not an allocation request.
+        if count > dec.remaining() / 68 {
             return Err(FsError::Corrupted(format!(
                 "checkpoint declares {count} shard results but only {} bytes remain",
                 dec.remaining()
@@ -510,6 +884,10 @@ pub struct Sweep<'a> {
     spec: &'a (dyn FsSpec + Sync),
     config: RunConfig,
     num_shards: usize,
+    prune: PruneMode,
+    /// Test-only classifier override (see
+    /// [`Sweep::with_classifier_for_tests`]).
+    classifier_override: Option<Classifier>,
     progress: Option<&'a (dyn Fn(&Progress) + Sync)>,
     progress_interval: Duration,
 }
@@ -523,6 +901,8 @@ impl<'a> Sweep<'a> {
             spec,
             num_shards: (config.threads.max(1) * 8).max(1),
             config,
+            prune: PruneMode::Off,
+            classifier_override: None,
             progress: None,
             progress_interval: Duration::from_secs(1),
         }
@@ -531,6 +911,24 @@ impl<'a> Sweep<'a> {
     /// Overrides the number of generator shards.
     pub fn shards(mut self, num_shards: usize) -> Self {
         self.num_shards = num_shards.max(1);
+        self
+    }
+
+    /// Sets how equivalent candidates are pruned (default
+    /// [`PruneMode::Off`]). The mode scopes the sweep's checkpoints, so a
+    /// representative run and a full run never share a checkpoint.
+    pub fn prune(mut self, mode: PruneMode) -> Self {
+        self.prune = mode;
+        self
+    }
+
+    /// Test-only: substitute the classifier the prune modes consult —
+    /// the audit regression tests inject
+    /// [`Classifier::unsound_for_tests`] to prove Audit mode catches an
+    /// over-coarse equivalence. Ignored when pruning is off.
+    #[doc(hidden)]
+    pub fn with_classifier_for_tests(mut self, classifier: Classifier) -> Self {
+        self.classifier_override = Some(classifier);
         self
     }
 
@@ -545,9 +943,15 @@ impl<'a> Sweep<'a> {
         self
     }
 
+    /// An empty checkpoint for this sweep's (bounds, shard count, prune
+    /// mode) triple — the one [`Sweep::run_resumable`] accepts.
+    pub fn empty_checkpoint(&self, bounds: &Bounds) -> SweepCheckpoint {
+        SweepCheckpoint::scoped(bounds, self.num_shards, &self.prune.scope_component())
+    }
+
     /// Runs the whole sweep in one go.
     pub fn run(&self, bounds: &Bounds) -> RunSummary {
-        let mut checkpoint = SweepCheckpoint::new(bounds, self.num_shards);
+        let mut checkpoint = self.empty_checkpoint(bounds);
         self.run_resumable(bounds, &mut checkpoint)
     }
 
@@ -565,11 +969,24 @@ impl<'a> Sweep<'a> {
     /// bounds and shard count of this sweep.
     pub fn run_resumable(&self, bounds: &Bounds, checkpoint: &mut SweepCheckpoint) -> RunSummary {
         assert!(
-            checkpoint.matches(bounds, self.num_shards),
-            "sweep checkpoint belongs to a different bounds/shard configuration"
+            checkpoint.matches_scoped(bounds, self.num_shards, &self.prune.scope_component()),
+            "sweep checkpoint belongs to a different bounds/shard/prune configuration"
         );
         let start = Instant::now();
         let total_workloads = WorkloadGenerator::estimate_candidates(bounds);
+        // Build the classifier once per sweep (it is read-only and shared
+        // by reference across the worker threads).
+        let built_classifier: Option<Classifier> = match (&self.classifier_override, self.prune) {
+            (_, PruneMode::Off) | (Some(_), _) => None,
+            (None, _) => Some(Classifier::new(bounds)),
+        };
+        let prune_ctx = PruneContext::new(
+            self.prune,
+            self.classifier_override
+                .as_ref()
+                .or(built_classifier.as_ref()),
+            checkpoint.fingerprint(),
+        );
         let pending: Vec<u32> = (0..self.num_shards as u32)
             .filter(|shard| !checkpoint.results.contains_key(shard))
             .collect();
@@ -581,6 +998,7 @@ impl<'a> Sweep<'a> {
         let seeded_buggy = checkpoint.total_buggy();
         counters.tested.store(seeded.tested, Ordering::Relaxed);
         counters.skipped.store(seeded.skipped, Ordering::Relaxed);
+        counters.pruned.store(seeded.pruned, Ordering::Relaxed);
         counters
             .bugs
             .store(seeded_buggy as usize, Ordering::Relaxed);
@@ -626,7 +1044,21 @@ impl<'a> Sweep<'a> {
                         let shard = bounds.shard(shard_index as usize, self.num_shards);
                         let generator = WorkloadGenerator::for_shard(bounds.clone(), &shard);
                         let mut result = ShardResult::default();
+                        // Audit sampling state is per shard so the sampled
+                        // members are a pure function of (fingerprint,
+                        // shard) and a re-run shard reproduces its result.
+                        let mut class_counts: HashMap<String, u32> = HashMap::new();
                         for workload in generator {
+                            let decision = prune_ctx.decide(&workload, &mut class_counts);
+                            if let Decision::Prune { audit: None } = decision {
+                                // Pruned candidates cost no crash test, so
+                                // they consume no workload budget either —
+                                // a budgeted representative sweep covers
+                                // proportionally more of the space.
+                                result.pruned += 1;
+                                counters.pruned.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
                             let bug_limit_hit = self.config.stop_after_bugs.is_some_and(|limit| {
                                 counters.bugs.load(Ordering::Relaxed) >= limit
                             });
@@ -641,16 +1073,26 @@ impl<'a> Sweep<'a> {
                                     .push(result);
                                 break 'steal;
                             }
-                            match result.absorb(monkey.test_workload(&workload)) {
-                                Absorbed::Tested { buggy } => {
-                                    counters.tested.fetch_add(1, Ordering::Relaxed);
-                                    if buggy {
-                                        counters.bugs.fetch_add(1, Ordering::Relaxed);
+                            match decision {
+                                Decision::Test => {
+                                    match result.absorb(monkey.test_workload(&workload)) {
+                                        Absorbed::Tested { buggy } => {
+                                            counters.tested.fetch_add(1, Ordering::Relaxed);
+                                            if buggy {
+                                                counters.bugs.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                        }
+                                        Absorbed::Skipped => {
+                                            counters.skipped.fetch_add(1, Ordering::Relaxed);
+                                        }
                                     }
                                 }
-                                Absorbed::Skipped => {
-                                    counters.skipped.fetch_add(1, Ordering::Relaxed);
+                                Decision::Prune { audit: Some(plan) } => {
+                                    result.pruned += 1;
+                                    counters.pruned.fetch_add(1, Ordering::Relaxed);
+                                    audit_member(&monkey, &workload, plan, &mut result);
                                 }
+                                Decision::Prune { audit: None } => unreachable!(),
                             }
                         }
                         counters.completed_shards.fetch_add(1, Ordering::Relaxed);
@@ -819,10 +1261,25 @@ mod tests {
         let mut enc = Encoder::new();
         enc.put_u64(1); // tested
         enc.put_u64(0); // skipped
+        enc.put_u64(0); // pruned
+        enc.put_u64(0); // audited
         enc.put_u64(1); // buggy
         enc.put_u64(42); // workload_time_nanos
         enc.put_u64(u64::MAX); // declared group count, no payload behind it
         let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(ShardResult::decode(&mut dec).is_err());
+
+        // And a declared audit-failure count with no payload behind it.
+        let mut enc = Encoder::new();
+        let healthy = ShardResult {
+            tested: 1,
+            ..ShardResult::default()
+        };
+        healthy.encode(&mut enc);
+        let mut bytes = enc.finish();
+        let failure_count_offset = bytes.len() - 8; // trailing empty list count
+        bytes[failure_count_offset..].copy_from_slice(&u64::MAX.to_le_bytes());
         let mut dec = Decoder::new(&bytes);
         assert!(ShardResult::decode(&mut dec).is_err());
 

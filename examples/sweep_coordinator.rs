@@ -38,13 +38,18 @@
 //! ```
 //!
 //! Flags: `--workers N` (default 4), `--preset NAME` (`tiny`, `seq-1`,
-//! `seq-2`, `seq-3-data`, `seq-3-metadata` (default), `seq-3-nested`),
-//! `--shards S` (default 64 × workers), `--fs NAME` (btrfs/ext4/F2FS/FSCQ,
-//! default btrfs), `--checkpoint FILE`, `--stop-after M` workloads per
-//! invocation, `--respawn N` replacement links per dead worker slot,
-//! `--calibrate` (workers measure a burst and report throughput),
-//! `--batch-target-ms T` (size each worker's batches to ~T ms of its
-//! calibrated rate).
+//! `seq-2`, `seq-3-data`, `seq-3-metadata` (default), `seq-3-nested`,
+//! `seq-4-metadata`), `--shards S` (default 64 × workers), `--fs NAME`
+//! (btrfs/ext4/F2FS/FSCQ, default btrfs), `--checkpoint FILE`,
+//! `--stop-after M` workloads per invocation, `--respawn N` replacement
+//! links per dead worker slot, `--calibrate` (workers measure a burst and
+//! report throughput), `--batch-target-ms T` (size each worker's batches
+//! to ~T ms of its calibrated rate), `--prune MODE` (`off` (default),
+//! `rep`/`representative` to test only each symmetry class's canonical
+//! representative, `audit` to additionally re-test sampled members against
+//! their representative), `--audit-k K` (members sampled per class per
+//! shard in audit mode, default 2). The big `seq-4-metadata` space
+//! (~688M candidates) is only practical with `--prune rep`.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -55,7 +60,7 @@ use b3_harness::distrib::{
     ChildTransport, DistribConfig, SshTransport, SweepJob, TcpTransport, Transport, WorkerCommand,
     WorkerOptions, DEFAULT_CALIBRATION_WORKLOADS,
 };
-use b3_harness::{bug_group_table, FsKind, Progress};
+use b3_harness::{bug_group_table, FsKind, Progress, PruneMode};
 
 struct Args {
     workers: usize,
@@ -71,6 +76,8 @@ struct Args {
     respawn: usize,
     calibrate: bool,
     batch_target_ms: Option<u64>,
+    prune: PruneMode,
+    audit_k: Option<u32>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
         respawn: 0,
         calibrate: false,
         batch_target_ms: None,
+        prune: PruneMode::Off,
+        audit_k: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -135,6 +144,14 @@ fn parse_args() -> Result<Args, String> {
                 parsed.respawn = value()?.parse().map_err(|e| format!("--respawn: {e}"))?
             }
             "--calibrate" => parsed.calibrate = true,
+            "--prune" => {
+                let name = value()?;
+                parsed.prune = PruneMode::parse(&name)
+                    .ok_or(format!("unknown prune mode {name:?} (off/rep/audit)"))?;
+            }
+            "--audit-k" => {
+                parsed.audit_k = Some(value()?.parse().map_err(|e| format!("--audit-k: {e}"))?)
+            }
             "--batch-target-ms" => {
                 parsed.batch_target_ms = Some(
                     value()?
@@ -277,6 +294,15 @@ fn main() {
 
     let mut job = SweepJob::new(bounds, num_shards);
     job.fs = args.fs;
+    job.prune = match (args.prune, args.audit_k) {
+        (PruneMode::Audit { .. }, Some(k)) => PruneMode::Audit {
+            samples_per_class: k,
+        },
+        (mode, _) => mode,
+    };
+    if !job.prune.is_off() {
+        println!("prune mode: {:?}", job.prune);
+    }
     let config = DistribConfig {
         workers: args.workers,
         checkpoint_path: args.checkpoint.clone(),
@@ -299,16 +325,39 @@ fn main() {
     let summary = &outcome.summary;
     let groups = outcome.checkpoint.bug_groups();
     println!(
-        "\n{} of {total} candidates tested ({} skipped) | {:.0} workloads/s this run | \
+        "\n{} of {total} candidates tested ({} skipped, {} pruned as equivalent) | \
+         {:.0} workloads/s this run | \
          {} raw reports deduplicated into {} bug groups | {}/{} shards complete",
         summary.tested,
         summary.skipped,
+        summary.pruned,
         outcome.throughput_this_run(),
         summary.raw_reports,
         groups.len(),
         outcome.checkpoint.completed_shards(),
         outcome.checkpoint.num_shards(),
     );
+    if summary.audited > 0 {
+        println!(
+            "audit: {} sampled class members re-tested against their representatives",
+            summary.audited
+        );
+    }
+    if !summary.audit_failures.is_empty() {
+        eprintln!(
+            "\nAUDIT FAILURE: {} class member(s) diverged from their representative — \
+             the canonicalization (canon v{}) is unsound for this space:",
+            summary.audit_failures.len(),
+            b3_ace::CANON_VERSION,
+        );
+        for failure in &summary.audit_failures {
+            eprintln!(
+                "  class {:?}: member {} vs representative {}: {}",
+                failure.class, failure.member, failure.representative, failure.detail
+            );
+        }
+        std::process::exit(3);
+    }
     if let Some(path) = &args.checkpoint {
         if let (Ok(metadata), Ok(stats)) = (std::fs::metadata(path), segment_stats(path)) {
             println!(

@@ -16,11 +16,12 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
+use b3::ace::{Classifier, CANON_VERSION};
 use b3::harness::distrib::protocol::{wire, PROTOCOL_VERSION};
 use b3::harness::distrib::save_checkpoint;
 use b3::harness::distrib::segment::{REC_DELTA, REC_SNAPSHOT, SEGMENT_MAGIC};
 use b3::harness::SweepCheckpoint;
-use b3::prelude::Bounds;
+use b3::prelude::{Bounds, Op};
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -252,8 +253,12 @@ fn formats_spec_matches_the_on_disk_bytes() {
         "FORMATS.md must name the segment magic"
     );
     assert!(
-        spec.contains("B3S3"),
+        spec.contains("B3S4"),
         "FORMATS.md must name the checkpoint payload magic"
+    );
+    assert!(
+        !spec.contains("(`B3S3`)"),
+        "FORMATS.md must not still title a section with the superseded magic"
     );
     assert!(
         spec.contains(&format!("`{REC_SNAPSHOT:#04x}`")),
@@ -274,4 +279,44 @@ fn formats_spec_matches_the_on_disk_bytes() {
              full regenerated dump:\n{dump}"
         );
     }
+}
+
+/// The canonical-key grammar in FORMATS.md is enforced the same way the
+/// hexdump is: the worked example key is regenerated through
+/// `Classifier::key` on every run and must appear verbatim in the spec,
+/// along with the current canon version and its fingerprint scope
+/// components.
+#[test]
+fn formats_spec_matches_the_canon_key_grammar() {
+    let path = repo_root().join("docs/FORMATS.md");
+    let spec = std::fs::read_to_string(&path).expect("docs/FORMATS.md exists");
+
+    assert!(
+        spec.contains(&format!("canon v{CANON_VERSION}")),
+        "FORMATS.md must name the current canon version (v{CANON_VERSION})"
+    );
+    assert!(
+        spec.contains(&format!("canon{CANON_VERSION}:rep")),
+        "FORMATS.md must document the representative fingerprint scope"
+    );
+
+    // The worked example: B/bar and B/foo relabel to first-use ranks
+    // under the paper file set's bounds.
+    let classifier = Classifier::new(&Bounds::paper_seq2());
+    let key = classifier.key(&[
+        Op::Creat {
+            path: "B/bar".into(),
+        },
+        Op::Link {
+            existing: "B/bar".into(),
+            new: "B/foo".into(),
+        },
+        Op::Fsync {
+            path: "B/bar".into(),
+        },
+    ]);
+    assert!(
+        spec.contains(&format!("`{key}`")),
+        "FORMATS.md worked canon key is stale; regenerated key:\n{key}"
+    );
 }
