@@ -59,6 +59,15 @@ impl DiskImage {
         DiskImage::new(Arc::new(HashMap::new()), num_blocks)
     }
 
+    /// True when both images are clones of one original (and therefore hold
+    /// identical contents). Layers are immutable and every construction
+    /// allocates a fresh layer `Arc`, so pointer identity of the top layer
+    /// is a sound, O(1) content-identity witness — two independently built
+    /// images never share it, however equal their bytes.
+    pub fn ptr_eq(&self, other: &DiskImage) -> bool {
+        Arc::ptr_eq(&self.layer, &other.layer)
+    }
+
     /// Stacks `layer` on top of `parent` without copying the parent's
     /// blocks. Flattens the chain when it grows past [`MAX_CHAIN_DEPTH`].
     pub fn layered(parent: &DiskImage, layer: HashMap<BlockIndex, Bytes>) -> Self {

@@ -38,5 +38,7 @@ pub use error::{BlockError, BlockResult};
 pub use flags::IoFlags;
 pub use ramdisk::RamDisk;
 pub use record::{CheckpointId, IoLog, IoRecord, LogHandle, RecordingDevice};
-pub use replay::{crash_state, replay_log, replay_until_checkpoint, CrashStateStream};
+pub use replay::{
+    crash_state, replay_log, replay_until_checkpoint, CrashStateStep, CrashStateStream, StateDelta,
+};
 pub use stats::DeviceStats;

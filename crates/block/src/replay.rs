@@ -6,9 +6,93 @@
 //! the next checkpoint in the IO stream." (§5.1)
 
 use crate::cow::{CowSnapshotDevice, DiskImage};
-use crate::device::BlockDevice;
+use crate::device::{BlockDevice, BlockIndex, BLOCK_SIZE};
 use crate::error::BlockResult;
 use crate::record::{CheckpointId, IoLog, IoRecord};
+
+/// The set of distinct blocks written between two adjacent crash states of
+/// one recorded run — the structural difference [`CrashStateStream`] applies
+/// when stepping from one checkpoint to the next.
+///
+/// A file system that knows which blocks changed can patch its recovered
+/// view forward instead of remounting from scratch; this type makes that
+/// delta a first-class value instead of an internal detail of the stream.
+/// Blocks are sorted and deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateDelta {
+    blocks: Vec<BlockIndex>,
+}
+
+impl StateDelta {
+    /// Builds a delta from an arbitrary collection of touched blocks.
+    pub fn from_blocks(mut blocks: Vec<BlockIndex>) -> Self {
+        blocks.sort_unstable();
+        blocks.dedup();
+        StateDelta { blocks }
+    }
+
+    /// The touched blocks, sorted ascending and deduplicated.
+    pub fn blocks(&self) -> &[BlockIndex] {
+        &self.blocks
+    }
+
+    /// Number of distinct blocks that changed between the two states.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bytes of device state the delta covers (distinct blocks × block size).
+    pub fn bytes(&self) -> u64 {
+        self.blocks.len() as u64 * BLOCK_SIZE as u64
+    }
+
+    /// True when no block differs between the two states.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// True when the delta touches `block`.
+    pub fn contains(&self, block: BlockIndex) -> bool {
+        self.blocks.binary_search(&block).is_ok()
+    }
+
+    /// True when the delta touches any block in `start..start + len`.
+    pub fn overlaps_range(&self, start: BlockIndex, len: u64) -> bool {
+        let from = self.blocks.partition_point(|&b| b < start);
+        self.blocks
+            .get(from)
+            .is_some_and(|&b| b < start.saturating_add(len))
+    }
+}
+
+impl<'a> IntoIterator for &'a StateDelta {
+    type Item = BlockIndex;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, BlockIndex>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.blocks.iter().copied()
+    }
+}
+
+/// One step of a [`CrashStateStream`]: the crash state at the requested
+/// checkpoint plus, when the stream advanced in order, the [`StateDelta`]
+/// between the previously returned state and this one.
+///
+/// On the first step of a stream `delta` is relative to the *base image*
+/// the stream replays onto — the base acts as crash state zero, which is
+/// what lets a recovery session primed on the (shared) base treat even the
+/// first crash state incrementally. `delta` is `None` for out-of-order
+/// requests that fell back to a from-scratch replay, and for every step
+/// after one (the step cursor no longer corresponds to the returned
+/// states).
+#[derive(Debug)]
+pub struct CrashStateStep {
+    /// The crash state at the requested checkpoint.
+    pub state: CowSnapshotDevice,
+    /// Distinct blocks written since the previous in-order step (or since
+    /// the base image on the first step), if known.
+    pub delta: Option<StateDelta>,
+}
 
 /// Replays every record of `log` onto `target`.
 pub fn replay_log(log: &IoLog, target: &mut dyn BlockDevice) -> BlockResult<usize> {
@@ -90,7 +174,15 @@ pub struct CrashStateStream<'a> {
     /// memory the crash state occupies on top of the base image — §6.5's
     /// accounting, which used to be the snapshot device's own overlay before
     /// crash states became layered).
-    written: std::collections::HashSet<crate::device::BlockIndex>,
+    written: std::collections::HashSet<BlockIndex>,
+    /// Blocks written since the previous in-order [`CrashStateStream::step_to`]
+    /// call — or since the base image, before the first one (not
+    /// deduplicated; `StateDelta::from_blocks` dedups on handoff).
+    step_blocks: Vec<BlockIndex>,
+    /// Set once an out-of-order request falls back to a from-scratch
+    /// replay: the step cursor no longer corresponds to the states handed
+    /// out, so no later step may claim a delta.
+    diverged: bool,
 }
 
 impl<'a> CrashStateStream<'a> {
@@ -103,6 +195,8 @@ impl<'a> CrashStateStream<'a> {
             position: 0,
             reached: 0,
             written: std::collections::HashSet::new(),
+            step_blocks: Vec::new(),
+            diverged: false,
         }
     }
 
@@ -115,10 +209,26 @@ impl<'a> CrashStateStream<'a> {
     /// Returns the crash state at `checkpoint`, replaying only the records
     /// between the previously requested checkpoint and this one.
     pub fn state_at(&mut self, checkpoint: CheckpointId) -> BlockResult<CowSnapshotDevice> {
+        Ok(self.step_to(checkpoint)?.state)
+    }
+
+    /// Like [`state_at`](Self::state_at), but also reports the
+    /// [`StateDelta`] — the distinct blocks written between the previously
+    /// returned state and this one (the base image, on the first step). The
+    /// delta is `None` on out-of-order requests, which fall back to a
+    /// from-scratch replay, and on every step after one.
+    pub fn step_to(&mut self, checkpoint: CheckpointId) -> BlockResult<CrashStateStep> {
         if checkpoint <= self.reached && self.reached != 0 {
             // Out-of-order request: the incremental prefix is already past
-            // this point, so construct the state the slow way.
-            return crash_state(self.base, self.log, checkpoint);
+            // this point, so construct the state the slow way. The stream's
+            // step cursor no longer corresponds to the returned state, so
+            // subsequent in-order steps must not claim a delta either.
+            self.diverged = true;
+            self.step_blocks.clear();
+            return Ok(CrashStateStep {
+                state: crash_state(self.base, self.log, checkpoint)?,
+                delta: None,
+            });
         }
         let records = self.log.records();
         while self.position < records.len() {
@@ -130,6 +240,7 @@ impl<'a> CrashStateStream<'a> {
                 } => {
                     self.device.write_block(*index, data, *flags)?;
                     self.written.insert(*index);
+                    self.step_blocks.push(*index);
                 }
                 IoRecord::Flush { .. } => self.device.flush()?,
                 IoRecord::Checkpoint { id, .. } => {
@@ -140,8 +251,19 @@ impl<'a> CrashStateStream<'a> {
                 }
             }
         }
+        let delta = if self.diverged {
+            self.step_blocks.clear();
+            None
+        } else {
+            Some(StateDelta::from_blocks(std::mem::take(
+                &mut self.step_blocks,
+            )))
+        };
         let image = self.device.commit();
-        Ok(CowSnapshotDevice::new(image))
+        Ok(CrashStateStep {
+            state: CowSnapshotDevice::new(image),
+            delta,
+        })
     }
 }
 
@@ -267,6 +389,83 @@ mod tests {
         s1.write_block(9, b"mutate", IoFlags::DATA).unwrap();
         assert!(s2.read_block(9).unwrap().iter().all(|&b| b == 0));
         assert_eq!(&s2.read_block(1).unwrap()[..5], b"first");
+    }
+
+    /// Brute-force diff of two crash states: every block whose contents
+    /// differ between them.
+    fn brute_force_delta(a: &CowSnapshotDevice, b: &CowSnapshotDevice) -> Vec<BlockIndex> {
+        (0..a.num_blocks())
+            .filter(|&i| a.read_block(i).unwrap() != b.read_block(i).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn step_delta_covers_every_block_that_differs_between_adjacent_states() {
+        let (image, log) = recorded_run();
+        let mut stream = CrashStateStream::new(&image, &log);
+        // The first step diffs against the base image itself: the base acts
+        // as crash state zero.
+        let mut previous = CowSnapshotDevice::new(image.clone());
+        for checkpoint in 1..=log.num_checkpoints() {
+            let step = stream.step_to(checkpoint).unwrap();
+            let delta = step
+                .delta
+                .as_ref()
+                .unwrap_or_else(|| panic!("in-order step {checkpoint} must report a delta"));
+            // The delta may over-approximate (a block rewritten with
+            // identical contents still counts) but must never miss a
+            // block that actually differs.
+            for block in brute_force_delta(&previous, &step.state) {
+                assert!(
+                    delta.contains(block),
+                    "checkpoint {checkpoint}: block {block} differs but is \
+                     missing from the delta {:?}",
+                    delta.blocks()
+                );
+            }
+            // Sorted + deduplicated.
+            assert!(delta.blocks().windows(2).all(|w| w[0] < w[1]));
+            previous = step.state;
+        }
+    }
+
+    #[test]
+    fn step_delta_matches_recorded_writes_between_checkpoints() {
+        let (image, log) = recorded_run();
+        let mut stream = CrashStateStream::new(&image, &log);
+        let first = stream.step_to(1).unwrap();
+        // The first step's delta is relative to the base image.
+        let base_delta = first
+            .delta
+            .expect("first step reports a base-relative delta");
+        assert!(!base_delta.is_empty());
+        let second = stream.step_to(2).unwrap();
+        // Between cp 1 and cp 2 the run wrote blocks 2 and 0.
+        let delta = second.delta.expect("in-order step reports a delta");
+        assert_eq!(delta.blocks(), &[0, 2]);
+        assert_eq!(delta.num_blocks(), 2);
+        assert_eq!(delta.bytes(), 2 * crate::device::BLOCK_SIZE as u64);
+        assert!(delta.contains(0) && delta.contains(2) && !delta.contains(1));
+        assert!(delta.overlaps_range(1, 2));
+        assert!(!delta.overlaps_range(3, 4));
+        assert!(!delta.overlaps_range(1, 0));
+        assert_eq!((&delta).into_iter().collect::<Vec<_>>(), vec![0, 2]);
+        let third = stream.step_to(3).unwrap();
+        assert_eq!(third.delta.unwrap().blocks(), &[3]);
+    }
+
+    #[test]
+    fn step_after_out_of_order_fallback_reports_no_delta() {
+        let (image, log) = recorded_run();
+        let mut stream = CrashStateStream::new(&image, &log);
+        let _ = stream.step_to(2).unwrap();
+        let fallback = stream.step_to(1).unwrap();
+        assert!(fallback.delta.is_none(), "fallback step has no delta");
+        // The stream's cursor no longer matches the state the caller holds,
+        // so the next in-order step must not claim one either.
+        let next = stream.step_to(3).unwrap();
+        assert!(next.delta.is_none());
+        assert_eq!(&next.state.read_block(3).unwrap()[..5], b"third");
     }
 
     #[test]

@@ -118,20 +118,37 @@ impl<'a> AutoChecker<'a> {
     }
 
     /// Checks one crash state against the expectations captured at the
-    /// corresponding checkpoint.
+    /// corresponding checkpoint, mounting the state from scratch.
     pub fn check(
+        &self,
+        workload: &Workload,
+        profile: &ProfileResult,
+        info: &CheckpointInfo,
+        state: CowSnapshotDevice,
+    ) -> CheckVerdict {
+        let mounted = self.spec.mount(Box::new(state.clone()));
+        self.check_recovered(workload, profile, info, state, mounted)
+    }
+
+    /// Checks one crash state whose recovery has already been attempted
+    /// (e.g. by a [`RecoverySession`](crate::RecoverySession) patching the
+    /// view forward). `state` is the raw crash-state device, used only for
+    /// fsck when `recovered` is an error.
+    pub fn check_recovered(
         &self,
         workload: &Workload,
         _profile: &ProfileResult,
         info: &CheckpointInfo,
         state: CowSnapshotDevice,
+        recovered: b3_vfs::error::FsResult<Box<dyn b3_vfs::fs::FileSystem>>,
     ) -> CheckVerdict {
         let mut verdict = CheckVerdict::default();
 
-        // Mount the crash state; the file system runs its recovery. If it
-        // cannot be mounted, run the offline checker (fsck) for the report.
-        let mut fsck_device = state.clone();
-        let mut fs = match self.spec.mount(Box::new(state)) {
+        // The file system ran its recovery when the crash state was
+        // mounted. If that failed, run the offline checker (fsck) for the
+        // report.
+        let mut fsck_device = state;
+        let mut fs = match recovered {
             Ok(fs) => fs,
             Err(error) => {
                 let fsck = self

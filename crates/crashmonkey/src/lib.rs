@@ -27,18 +27,22 @@
 pub mod checker;
 pub mod config;
 pub mod profiler;
+pub mod recovery;
 pub mod report;
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use b3_block::{crash_state, CrashStateStream, DiskImage};
+use b3_block::{crash_state, DiskImage};
 use b3_vfs::error::FsResult;
 use b3_vfs::fs::FsSpec;
+use b3_vfs::snapshot::EntryInterner;
 use b3_vfs::workload::Workload;
 
 pub use checker::{AutoChecker, CheckVerdict};
-pub use config::{CrashMonkeyConfig, CrashPointPolicy};
+pub use config::{CrashMonkeyConfig, CrashPointPolicy, RecoveryMode};
 pub use profiler::{CheckpointInfo, Expectation, ProfileResult, Profiler};
+pub use recovery::{session_for, RecoverySession};
 pub use report::{BugReport, Consequence, PhaseTiming, ResourceStats, WorkloadOutcome};
 
 /// The CrashMonkey test harness for one target file system.
@@ -48,6 +52,14 @@ pub struct CrashMonkey<'a> {
     /// The frozen post-mkfs image every profiled workload mounts a snapshot
     /// of; formatted once per harness instead of once per workload.
     formatted: std::sync::OnceLock<DiskImage>,
+    /// Optional cross-workload oracle/expectation interner (see
+    /// [`EntryInterner`]); shared between harnesses to pool their oracles.
+    interner: Option<Arc<EntryInterner>>,
+    /// The persistent [`RecoverDelta`](b3_vfs::recover::RecoverDelta)
+    /// session, created on first use and re-primed at every workload
+    /// boundary so its caches (most profitably the pinned decode of the
+    /// shared post-mkfs base image) carry across workloads.
+    recovery_session: std::sync::Mutex<Option<Box<dyn b3_vfs::recover::RecoverDelta + Send>>>,
 }
 
 impl<'a> CrashMonkey<'a> {
@@ -62,6 +74,21 @@ impl<'a> CrashMonkey<'a> {
             spec,
             config,
             formatted: std::sync::OnceLock::new(),
+            interner: None,
+            recovery_session: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Creates a harness whose oracle/expectation entries are interned in
+    /// `interner`, deduplicating content-equal entries across workloads.
+    pub fn with_interner(
+        spec: &'a dyn FsSpec,
+        config: CrashMonkeyConfig,
+        interner: Arc<EntryInterner>,
+    ) -> Self {
+        CrashMonkey {
+            interner: Some(interner),
+            ..Self::with_config(spec, config)
         }
     }
 
@@ -87,7 +114,10 @@ impl<'a> CrashMonkey<'a> {
         // Phase 1: profile (mounting a snapshot of the cached mkfs image).
         let profile_start = Instant::now();
         let base_image = self.formatted_image()?;
-        let profiler = Profiler::new(self.spec, &self.config);
+        let profiler = match &self.interner {
+            Some(interner) => Profiler::with_interner(self.spec, &self.config, interner.clone()),
+            None => Profiler::new(self.spec, &self.config),
+        };
         let profile = profiler.profile_on(base_image, workload)?;
         let profile_time = profile_start.elapsed();
 
@@ -107,23 +137,35 @@ impl<'a> CrashMonkey<'a> {
             return Ok(outcome);
         }
 
-        // Phases 2 and 3: construct crash states and check them. The stream
-        // replays each recorded IO exactly once across all checkpoints;
-        // adjacent crash states share the replayed prefix as image layers.
+        // Phases 2 and 3: construct crash states, recover them, and check
+        // them. The recovery session replays each recorded IO exactly once
+        // across all checkpoints and — when the file system supports it —
+        // patches its recovered view forward with the block delta between
+        // adjacent crash states instead of remounting from scratch.
         let checkpoints = self.config.crash_points.select(&profile.checkpoints);
-        let mut stream = CrashStateStream::new(&profile.base_image, &profile.log);
+        let mut persistent = self
+            .recovery_session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let persistent =
+            persistent.get_or_insert_with(|| session_for(self.spec, self.config.recovery));
+        let mut session = RecoverySession::new(
+            self.spec,
+            &profile.base_image,
+            &profile.log,
+            persistent.as_mut(),
+        );
         let mut construct_time = std::time::Duration::ZERO;
         let mut check_time = std::time::Duration::ZERO;
 
         for info in checkpoints {
             let construct_start = Instant::now();
-            let state = stream.state_at(info.id)?;
-            outcome.resource.crash_state_overlay_bytes += stream.replayed_bytes();
+            let (state, recovered) = session.recover_at(info.id)?;
             construct_time += construct_start.elapsed();
 
             let check_start = Instant::now();
             let checker = AutoChecker::new(self.spec, &self.config);
-            let verdict = checker.check(workload, &profile, info, state);
+            let verdict = checker.check_recovered(workload, &profile, info, state, recovered);
             check_time += check_start.elapsed();
 
             outcome.checkpoints_tested += 1;
@@ -131,10 +173,15 @@ impl<'a> CrashMonkey<'a> {
                 outcome.bugs.push(report);
             }
         }
+        // `replayed_bytes` is cumulative over the stream's lifetime, so it
+        // is read once after the loop: each recorded write contributes its
+        // size exactly once however many checkpoints were visited.
+        outcome.resource.crash_state_overlay_bytes = session.replayed_bytes();
 
         outcome.timing = PhaseTiming {
             profile: profile_time,
             crash_state_construction: construct_time,
+            recovery: session.recovery_time(),
             checking: check_time,
             total: total_start.elapsed(),
             modeled_kernel_delay_seconds: self.config.modeled_kernel_delay_seconds(),
@@ -144,7 +191,11 @@ impl<'a> CrashMonkey<'a> {
 
     /// Convenience: profile a workload without checking (used by benches).
     pub fn profile_only(&self, workload: &Workload) -> FsResult<ProfileResult> {
-        Profiler::new(self.spec, &self.config).profile(workload)
+        let profiler = match &self.interner {
+            Some(interner) => Profiler::with_interner(self.spec, &self.config, interner.clone()),
+            None => Profiler::new(self.spec, &self.config),
+        };
+        profiler.profile(workload)
     }
 
     /// Convenience: build the crash state for one checkpoint of a profile.
@@ -353,5 +404,154 @@ mod tests {
         let outcome = monkey.test_workload(&workload).unwrap();
         assert_eq!(outcome.checkpoints_tested, 0);
         assert!(outcome.bugs.is_empty());
+    }
+
+    /// A workload with several persistence points, so `CrashPointPolicy::All`
+    /// visits multiple crash states.
+    fn multi_checkpoint_workload() -> Workload {
+        w(
+            "multi-checkpoint",
+            vec![Op::Mkdir { path: "A".into() }],
+            vec![
+                Op::Creat {
+                    path: "A/foo".into(),
+                },
+                Op::Fsync {
+                    path: "A/foo".into(),
+                },
+                Op::Write {
+                    path: "A/foo".into(),
+                    mode: WriteMode::Buffered,
+                    spec: WriteSpec::range(0, 8192),
+                },
+                Op::Fsync {
+                    path: "A/foo".into(),
+                },
+                Op::Rename {
+                    from: "A/foo".into(),
+                    to: "A/bar".into(),
+                },
+                Op::Fsync {
+                    path: "A/bar".into(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn overlay_bytes_are_not_double_counted_across_crash_points() {
+        // Regression test: `replayed_bytes` is cumulative over the stream,
+        // and the per-checkpoint `+=` it used to feed made the reported
+        // overlay bytes grow quadratically under `CrashPointPolicy::All`.
+        // The recorded IO replays exactly once regardless of how many crash
+        // points are visited, so the final figure must match `LastOnly`.
+        let spec = CowFsSpec::patched();
+        let workload = multi_checkpoint_workload();
+
+        let all = CrashMonkey::with_config(&spec, CrashMonkeyConfig::exhaustive_crash_points())
+            .test_workload(&workload)
+            .unwrap();
+        let last = CrashMonkey::with_config(&spec, CrashMonkeyConfig::small())
+            .test_workload(&workload)
+            .unwrap();
+
+        assert!(all.checkpoints_tested > 1, "need multiple crash points");
+        assert!(all.resource.crash_state_overlay_bytes > 0);
+        assert_eq!(
+            all.resource.crash_state_overlay_bytes, last.resource.crash_state_overlay_bytes,
+            "overlay bytes must not scale with the number of crash points"
+        );
+    }
+
+    #[test]
+    fn patch_forward_recovery_matches_remount_outcomes() {
+        // The two recovery modes must be outcome-identical (the debug
+        // equivalence assertion inside RecoverySession additionally
+        // cross-checks every individual crash state in this build).
+        let specs: Vec<Box<dyn FsSpec>> = vec![
+            Box::new(CowFsSpec::new(KernelEra::V3_13)),
+            Box::new(CowFsSpec::patched()),
+            Box::new(VeriFsSpec::new(KernelEra::V4_16)),
+        ];
+        let workloads = vec![
+            multi_checkpoint_workload(),
+            w(
+                "known-16-style",
+                vec![Op::Creat { path: "foo".into() }],
+                vec![
+                    Op::Sync,
+                    Op::Write {
+                        path: "foo".into(),
+                        mode: WriteMode::Buffered,
+                        spec: WriteSpec::range(0, 16 * 1024),
+                    },
+                    Op::Link {
+                        existing: "foo".into(),
+                        new: "bar".into(),
+                    },
+                    Op::Fsync { path: "foo".into() },
+                ],
+            ),
+        ];
+        for spec in &specs {
+            for workload in &workloads {
+                let patch = CrashMonkey::with_config(
+                    spec.as_ref(),
+                    CrashMonkeyConfig::exhaustive_crash_points(),
+                )
+                .test_workload(workload)
+                .unwrap();
+                let remount = CrashMonkey::with_config(
+                    spec.as_ref(),
+                    CrashMonkeyConfig {
+                        recovery: RecoveryMode::Remount,
+                        ..CrashMonkeyConfig::exhaustive_crash_points()
+                    },
+                )
+                .test_workload(workload)
+                .unwrap();
+                assert_eq!(patch.checkpoints_tested, remount.checkpoints_tested);
+                assert_eq!(
+                    patch.bugs,
+                    remount.bugs,
+                    "recovery modes diverged on {} / {}",
+                    spec.name(),
+                    workload.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_interner_pools_oracles_across_workloads() {
+        let spec = CowFsSpec::patched();
+        let interner = Arc::new(EntryInterner::new());
+        let monkey = CrashMonkey::with_interner(
+            &spec,
+            CrashMonkeyConfig::exhaustive_crash_points(),
+            interner.clone(),
+        );
+        for workload in [
+            multi_checkpoint_workload(),
+            w(
+                "second",
+                vec![Op::Mkdir { path: "A".into() }],
+                vec![
+                    Op::Creat {
+                        path: "A/foo".into(),
+                    },
+                    Op::Fsync {
+                        path: "A/foo".into(),
+                    },
+                ],
+            ),
+        ] {
+            let outcome = monkey.test_workload(&workload).unwrap();
+            assert!(outcome.skipped.is_none());
+        }
+        assert!(
+            !interner.is_empty(),
+            "profiling must populate the shared interner"
+        );
     }
 }

@@ -28,7 +28,7 @@ use b3_vfs::exec::Executor;
 use b3_vfs::fs::{FileSystem, FsSpec, WriteMode};
 use b3_vfs::metadata::{FileType, Metadata};
 use b3_vfs::path::{is_ancestor, normalize, parent};
-use b3_vfs::snapshot::{EntrySnapshot, LogicalSnapshot};
+use b3_vfs::snapshot::{EntryInterner, EntrySnapshot, LogicalSnapshot};
 use b3_vfs::workload::{Op, Workload, WriteSpec};
 
 use crate::config::CrashMonkeyConfig;
@@ -106,10 +106,15 @@ struct OracleTracker {
     saw_link: bool,
     /// False until the first full capture.
     initialized: bool,
+    /// Cross-workload content-addressed pool for oracle entries: freshly
+    /// captured entries are exchanged for the canonical `Arc` of any
+    /// content-equal entry seen before (adjacent generated workloads have
+    /// nearly identical oracles). `None` disables the exchange.
+    interner: Option<Arc<EntryInterner>>,
 }
 
 impl OracleTracker {
-    fn new() -> Self {
+    fn new(interner: Option<Arc<EntryInterner>>) -> Self {
         OracleTracker {
             snapshot: LogicalSnapshot::default(),
             inos: BTreeMap::new(),
@@ -117,6 +122,7 @@ impl OracleTracker {
             dirty_subtrees: BTreeSet::new(),
             saw_link: false,
             initialized: false,
+            interner,
         }
     }
 
@@ -176,8 +182,12 @@ impl OracleTracker {
                 self.rebuild_inos(fs);
             }
             self.initialized = true;
+            if let Some(interner) = &self.interner {
+                self.snapshot.intern_all(interner);
+            }
         } else if !self.dirty_entries.is_empty() || !self.dirty_subtrees.is_empty() {
             self.refresh(fs)?;
+            self.intern_refreshed();
         }
         self.dirty_entries.clear();
         self.dirty_subtrees.clear();
@@ -272,6 +282,36 @@ impl OracleTracker {
         }
         Ok(())
     }
+
+    /// Exchanges every entry [`refresh`](Self::refresh) just re-captured for
+    /// its canonical interned `Arc`. Only refreshed paths are touched — the
+    /// rest of the snapshot still holds interned `Arc`s from earlier
+    /// checkpoints (or the initial full capture).
+    fn intern_refreshed(&mut self) {
+        let Some(interner) = &self.interner else {
+            return;
+        };
+        // `refresh` adds hard-link aliases to `dirty_entries` as it runs, so
+        // after it returns the set covers every individually refreshed path.
+        for path in &self.dirty_entries {
+            self.snapshot.intern_entry(path, interner);
+        }
+        if !self.dirty_subtrees.is_empty() {
+            let subtree_paths: Vec<String> = self
+                .snapshot
+                .iter()
+                .map(|(p, _)| p.clone())
+                .filter(|p| {
+                    self.dirty_subtrees
+                        .iter()
+                        .any(|root| p == root || is_ancestor(root, p))
+                })
+                .collect();
+            for path in subtree_paths {
+                self.snapshot.intern_entry(&path, interner);
+            }
+        }
+    }
 }
 
 /// Formats a fresh file system of `spec` once and freezes the device into
@@ -292,12 +332,33 @@ pub fn formatted_base_image(spec: &dyn FsSpec, config: &CrashMonkeyConfig) -> Fs
 pub struct Profiler<'a> {
     spec: &'a dyn FsSpec,
     config: &'a CrashMonkeyConfig,
+    interner: Option<Arc<EntryInterner>>,
 }
 
 impl<'a> Profiler<'a> {
     /// Creates a profiler for one file system and configuration.
     pub fn new(spec: &'a dyn FsSpec, config: &'a CrashMonkeyConfig) -> Self {
-        Profiler { spec, config }
+        Profiler {
+            spec,
+            config,
+            interner: None,
+        }
+    }
+
+    /// Creates a profiler whose oracle/expectation entries are interned in
+    /// `interner`, deduplicating content-equal entries across workloads
+    /// (share one interner between many profilers — e.g. across a sweep's
+    /// worker threads — to pool their oracles).
+    pub fn with_interner(
+        spec: &'a dyn FsSpec,
+        config: &'a CrashMonkeyConfig,
+        interner: Arc<EntryInterner>,
+    ) -> Self {
+        Profiler {
+            spec,
+            config,
+            interner: Some(interner),
+        }
     }
 
     /// Profiles a workload on a freshly formatted file system: formats,
@@ -324,7 +385,7 @@ impl<'a> Profiler<'a> {
 
         let mut fs = self.spec.mount(Box::new(recording))?;
         let mut executor = Executor::new();
-        let mut oracle_tracker = OracleTracker::new();
+        let mut oracle_tracker = OracleTracker::new(self.interner.clone());
         let mut persisted: BTreeMap<String, Expectation> = BTreeMap::new();
         let mut persisted_renames: Vec<(String, String)> = Vec::new();
         // All renames executed so far: (old path, new path, moved inode).

@@ -263,8 +263,14 @@ impl fmt::Display for BugReport {
 pub struct PhaseTiming {
     /// Profiling the workload.
     pub profile: Duration,
-    /// Constructing crash states.
+    /// Constructing crash states (replaying recorded IO up to each
+    /// checkpoint; includes [`PhaseTiming::recovery`]).
     pub crash_state_construction: Duration,
+    /// Recovering each constructed crash state — the part of construction
+    /// spent in the file system's mount/recovery path rather than in IO
+    /// replay, and the phase the [`RecoveryMode`](crate::RecoveryMode)s
+    /// differ in.
+    pub recovery: Duration,
     /// Consistency checking.
     pub checking: Duration,
     /// End-to-end time.

@@ -1,18 +1,22 @@
 //! The CowFs `FileSystem` implementation and its `FsSpec` factory.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use b3_block::{BlockDevice, IoFlags};
+use b3_block::{BlockDevice, IoFlags, StateDelta};
 use b3_vfs::diskfmt::{read_blob, write_blob, SuperBlock};
 use b3_vfs::error::{FsError, FsResult};
 use b3_vfs::fs::{FileSystem, FsSpec, GuaranteeProfile, WriteMode};
 use b3_vfs::metadata::Metadata;
+use b3_vfs::recover::{CommittedTreeCache, RecoverDelta};
 use b3_vfs::tree::{InodeId, MemTree};
 use b3_vfs::workload::FallocMode;
 use b3_vfs::KernelEra;
 
 use crate::bugs::CowBugs;
-use crate::log::{replay, LogTree, Recorder, RecorderState, SyncKind};
+use crate::log::{
+    replay, replay_from, LogItem, LogTree, Recorder, RecorderState, SyncKind, LOG_HEADER_LEN,
+};
 
 /// CowFs on-disk magic number.
 pub const COWFS_MAGIC: u32 = 0x434f_5746; // "COWF"
@@ -23,8 +27,16 @@ pub struct CowFs {
     dev: Box<dyn BlockDevice>,
     sb: SuperBlock,
     bugs: CowBugs,
-    working: MemTree,
-    committed: MemTree,
+    /// Shared with the recovery session's caches: a freshly recovered view
+    /// aliases the cached tree until the first mutation copies it
+    /// ([`working_mut`](Self::working_mut)), so recover-and-snapshot — the
+    /// hot path of a crash-state sweep — never deep-copies the tree.
+    working: Arc<MemTree>,
+    /// The last committed tree, or `None` when it is identical to `working`
+    /// — the state right after every commit, and the terminal state of
+    /// freshly recovered file systems, where materializing it would clone
+    /// the whole tree only for it to be dropped unread.
+    committed: Option<Arc<MemTree>>,
     log: LogTree,
     recorder_state: RecorderState,
 }
@@ -58,26 +70,33 @@ impl CowFs {
         let committed = MemTree::decode(&tree_bytes)
             .map_err(|e| FsError::Unmountable(format!("corrupt committed tree: {e}")))?;
 
+        let needs_recovery = sb.log.is_present() || sb.dirty;
         let working = if sb.log.is_present() {
             let log_bytes = read_blob(dev.as_ref(), sb.log)?;
             let log = LogTree::decode(&log_bytes)?;
             replay(&committed, &log, &bugs)?
         } else {
-            committed.clone()
+            committed
         };
 
         let mut fs = CowFs {
             dev,
             sb,
             bugs,
-            working,
-            committed,
+            working: Arc::new(working),
+            committed: None,
             log: LogTree::new(),
             recorder_state: RecorderState::default(),
         };
-        // Recovery completes by committing the replayed state, exactly like
-        // btrfs committing the transaction created during log replay.
-        fs.commit()?;
+        if needs_recovery {
+            // Recovery completes by committing the replayed state, exactly
+            // like btrfs committing the transaction created during log
+            // replay. A clean image needs no such write-back — mounting it
+            // is read-only, so its committed tree blob stays byte-identical
+            // to the formatted image's (which is what lets delta-based
+            // recovery treat the shared base image as crash state zero).
+            fs.commit()?;
+        }
         Ok(fs)
     }
 
@@ -101,6 +120,17 @@ impl CowFs {
         self.sb.generation
     }
 
+    /// The working tree, for mutation. Materializes `committed` first: once
+    /// `working` diverges, "identical to `working`" stops being true. The
+    /// `make_mut` is what copies a tree shared with a recovery session's
+    /// caches before the first write lands on it.
+    fn working_mut(&mut self) -> &mut MemTree {
+        if self.committed.is_none() {
+            self.committed = Some(self.working.clone());
+        }
+        Arc::make_mut(&mut self.working)
+    }
+
     fn commit(&mut self) -> FsResult<()> {
         let bytes = self.working.encode();
         let blob = write_blob(self.dev.as_mut(), &mut self.sb, &bytes, IoFlags::META)?;
@@ -109,7 +139,8 @@ impl CowFs {
         self.sb.generation += 1;
         self.sb.dirty = true;
         self.sb.write_to(self.dev.as_mut())?;
-        self.committed = self.working.clone();
+        // Post-commit, the committed tree IS the working tree.
+        self.committed = None;
         self.log.clear();
         self.recorder_state.clear();
         Ok(())
@@ -117,9 +148,10 @@ impl CowFs {
 
     fn persist(&mut self, path: &str, kind: SyncKind) -> FsResult<()> {
         let items = {
+            let committed = self.committed.as_deref().unwrap_or(&self.working);
             let mut recorder = Recorder {
                 working: &self.working,
-                committed: &self.committed,
+                committed,
                 bugs: &self.bugs,
                 existing_log: &self.log,
                 state: &mut self.recorder_state,
@@ -165,60 +197,60 @@ impl FileSystem for CowFs {
     }
 
     fn create(&mut self, path: &str) -> FsResult<()> {
-        self.working.create_file(path).map(|_| ())
+        self.working_mut().create_file(path).map(|_| ())
     }
 
     fn mkdir(&mut self, path: &str) -> FsResult<()> {
-        self.working.mkdir(path).map(|_| ())
+        self.working_mut().mkdir(path).map(|_| ())
     }
 
     fn mkfifo(&mut self, path: &str) -> FsResult<()> {
-        self.working.mkfifo(path).map(|_| ())
+        self.working_mut().mkfifo(path).map(|_| ())
     }
 
     fn symlink(&mut self, target: &str, linkpath: &str) -> FsResult<()> {
-        self.working.symlink(target, linkpath).map(|_| ())
+        self.working_mut().symlink(target, linkpath).map(|_| ())
     }
 
     fn link(&mut self, existing: &str, new: &str) -> FsResult<()> {
-        self.working.link(existing, new).map(|_| ())
+        self.working_mut().link(existing, new).map(|_| ())
     }
 
     fn unlink(&mut self, path: &str) -> FsResult<()> {
-        self.working.unlink(path)
+        self.working_mut().unlink(path)
     }
 
     fn rmdir(&mut self, path: &str) -> FsResult<()> {
-        self.working.rmdir(path)
+        self.working_mut().rmdir(path)
     }
 
     fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
-        self.working.rename(from, to)
+        self.working_mut().rename(from, to)
     }
 
     fn write(&mut self, path: &str, offset: u64, data: &[u8], mode: WriteMode) -> FsResult<()> {
         if mode == WriteMode::Mmap {
             self.mark_mmap_dirty(path);
         }
-        self.working.write(path, offset, data)
+        self.working_mut().write(path, offset, data)
     }
 
     fn truncate(&mut self, path: &str, size: u64) -> FsResult<()> {
-        self.working.truncate(path, size)
+        self.working_mut().truncate(path, size)
     }
 
     fn fallocate(&mut self, path: &str, mode: FallocMode, offset: u64, len: u64) -> FsResult<()> {
-        self.working.fallocate(path, mode, offset, len)?;
+        self.working_mut().fallocate(path, mode, offset, len)?;
         self.track_punch(path, mode, offset, len);
         Ok(())
     }
 
     fn setxattr(&mut self, path: &str, name: &str, value: &[u8]) -> FsResult<()> {
-        self.working.setxattr(path, name, value)
+        self.working_mut().setxattr(path, name, value)
     }
 
     fn removexattr(&mut self, path: &str, name: &str) -> FsResult<()> {
-        self.working.removexattr(path, name)
+        self.working_mut().removexattr(path, name)
     }
 
     fn getxattr(&self, path: &str, name: &str) -> FsResult<Vec<u8>> {
@@ -269,6 +301,284 @@ impl FileSystem for CowFs {
     }
 }
 
+/// Incremental recovery session for CowFs (see
+/// [`b3_vfs::recover::RecoverDelta`]).
+///
+/// A CowFs mount is: decode the committed tree blob, replay the log tree
+/// onto it, then commit the replayed state. The decode dominates, and the
+/// committed tree rarely changes between adjacent crash states (it only
+/// moves on a full commit), so the session memoizes it in a
+/// [`CommittedTreeCache`] and re-decodes only when the state delta touches
+/// the blob. Log replay still runs per state — the log is what actually
+/// differs between crash states.
+///
+/// The session skips the physical commit write-back a real mount performs:
+/// the write-back only re-serializes the already-recovered state, so the
+/// *logical* view (what the AutoChecker compares) is identical, which debug
+/// builds of CrashMonkey assert against a from-scratch mount.
+/// The working tree a previous `recover` call produced, so the next crash
+/// state only replays the log items recorded *since* it (adjacent crash
+/// states of one workload share a committed tree and a log prefix).
+struct ReplayedLogCache {
+    /// Content stamp ([`CommittedTreeCache::last_stamp`]) of the committed
+    /// tree this replay started from. The fold is only extendable when the
+    /// current state resolves to the *same* stamp — i.e. a byte-identical
+    /// committed tree — since replay is a fold over that base.
+    tree_stamp: u64,
+    /// The raw encoded log already folded into `working`. The next state's
+    /// log extends it iff its items region starts with this one's, byte for
+    /// byte (the encoding is append-only and deterministic — see
+    /// [`LOG_HEADER_LEN`](crate::log::LOG_HEADER_LEN)), so a cheap byte
+    /// compare replaces re-decoding and comparing the shared item prefix.
+    log_bytes: Vec<u8>,
+    /// Number of items in `log_bytes`.
+    item_count: usize,
+    /// True when any folded item was a dentry removal. The
+    /// `replay_keeps_old_dentry_after_rename` quirk consults the *whole*
+    /// log (including items after the one being replayed) when deciding
+    /// whether a removal sticks, so a later log extension can retroactively
+    /// flip a removal already folded in here — the recover path refuses the
+    /// cached fold when that hazard is live (see `recover`).
+    prefix_has_remove: bool,
+    /// The recovered working tree after replaying those items, shared with
+    /// the recovered `CowFs` views handed out for byte-identical logs.
+    working: Arc<MemTree>,
+}
+
+fn has_dentry_remove(items: &[LogItem]) -> bool {
+    items
+        .iter()
+        .any(|item| matches!(item, LogItem::DentryRemove { .. }))
+}
+
+/// Upper bound on retained [anchor](CowRecoverySession::anchors) folds; a
+/// workload rarely commits more than a couple of distinct trees, so a
+/// handful covers every stamp the neighbouring workloads will resolve to.
+const MAX_ANCHORS: usize = 4;
+
+struct CowRecoverySession {
+    bugs: CowBugs,
+    cache: CommittedTreeCache,
+    /// The most recent fold — the chain tip. Crash states later in the same
+    /// workload extend it with their new log suffix.
+    replayed_last: Option<std::sync::Arc<ReplayedLogCache>>,
+    /// The *shortest* fold seen per committed-tree stamp. Bounded workload
+    /// generation varies the tail of the op sequence fastest, so the first
+    /// log states of a long run of neighbouring workloads are byte-identical
+    /// — each one hits the anchor its predecessor planted instead of
+    /// replaying from scratch. Entries are shared with `replayed_last` via
+    /// `Arc`, so keeping both costs no extra tree copies.
+    anchors: Vec<std::sync::Arc<ReplayedLogCache>>,
+    /// The base image whose committed tree is pinned in `cache`, kept alive
+    /// so its layer pointer stays a valid identity witness.
+    primed: Option<b3_block::DiskImage>,
+}
+
+impl RecoverDelta for CowRecoverySession {
+    fn prime(&mut self, _spec: &dyn FsSpec, base: &b3_block::DiskImage) {
+        // Delta chains from the previous run prove nothing about this one.
+        // The replayed-log cache survives the boundary, though: its
+        // validity is purely content-based (committed-tree stamp plus log
+        // byte prefix), and adjacent workloads of a sweep share op
+        // prefixes, so their early crash states often have byte-identical
+        // logs over the same committed tree.
+        self.cache.start_run();
+        if self.primed.as_ref().is_some_and(|p| p.ptr_eq(base)) {
+            return;
+        }
+        // New base: decode its committed tree once and pin it, so the first
+        // crash state of every run replayed onto this base (whose delta is
+        // relative to the base) can hit the cache too. All errors are
+        // swallowed — priming is an optimization, and `recover` reports
+        // mount failures of a broken base exactly as `mount` would.
+        self.primed = None;
+        let dev = b3_block::CowSnapshotDevice::new(base.clone());
+        let Ok(sb) = SuperBlock::read_from(&dev, COWFS_MAGIC) else {
+            return;
+        };
+        let Ok(tree_bytes) = read_blob(&dev, sb.tree) else {
+            return;
+        };
+        if tree_bytes.is_empty() {
+            return;
+        }
+        let Ok(tree) = MemTree::decode(&tree_bytes) else {
+            return;
+        };
+        self.cache.pin(&sb, tree);
+        self.primed = Some(base.clone());
+    }
+
+    fn recover(
+        &mut self,
+        _spec: &dyn FsSpec,
+        dev: Box<dyn BlockDevice>,
+        delta: Option<&StateDelta>,
+    ) -> FsResult<Box<dyn FileSystem>> {
+        let sb = SuperBlock::read_from(dev.as_ref(), COWFS_MAGIC)?;
+        // Resolve the committed tree: delta-proven cache hit, byte-verified
+        // revival of the cached entry, or a fresh decode (stored for next
+        // time). All three leave the tree borrowable from the cache.
+        if self.cache.lookup(&sb, delta).is_none() {
+            // Identical decode (and error) path to `mount_with_bugs`.
+            let tree_bytes = read_blob(dev.as_ref(), sb.tree)?;
+            if tree_bytes.is_empty() {
+                return Err(FsError::Unmountable("missing committed tree".into()));
+            }
+            if self.cache.verify(&sb, &tree_bytes).is_none() {
+                let tree = MemTree::decode(&tree_bytes)
+                    .map_err(|e| FsError::Unmountable(format!("corrupt committed tree: {e}")))?;
+                self.cache.store(&sb, tree_bytes, tree);
+            }
+        }
+        let tree_stamp = self.cache.last_stamp();
+        let committed = self
+            .cache
+            .resolved_shared()
+            .expect("a tree was just resolved");
+        let working: Arc<MemTree> = if sb.log.is_present() {
+            let log_bytes = read_blob(dev.as_ref(), sb.log)?;
+            // Fold only the new log suffix onto a cached working tree when
+            // this state's log extends an already-replayed one over the
+            // same committed tree: the stamp pins the base, and the byte
+            // compare below proves the item prefix is shared (replay is a
+            // pure fold; see `replay_from`). Prefer the longest folded
+            // prefix: the chain tip extends within a workload, the anchors
+            // serve the first log states of neighbouring workloads.
+            let extends = |cached: &ReplayedLogCache| {
+                cached.tree_stamp == tree_stamp
+                    && log_bytes.len() >= cached.log_bytes.len()
+                    && log_bytes[LOG_HEADER_LEN..cached.log_bytes.len()]
+                        == cached.log_bytes[LOG_HEADER_LEN..]
+            };
+            let cached = self
+                .replayed_last
+                .iter()
+                .chain(self.anchors.iter())
+                .filter(|cached| extends(cached))
+                .max_by_key(|cached| cached.log_bytes.len())
+                .cloned();
+            // Two buggy replay paths read the *whole* log; with either
+            // active a cache hit must still decode the full log (so suffix
+            // items see every item) instead of decoding just the suffix.
+            let needs_full_log = self.bugs.replay_keeps_old_dentry_after_rename
+                || self.bugs.replay_resets_inode_allocator;
+            let entry: Arc<ReplayedLogCache> = match cached {
+                Some(cached) if !needs_full_log => {
+                    let suffix = LogTree::decode_suffix(
+                        &log_bytes,
+                        cached.log_bytes.len(),
+                        cached.item_count,
+                    )?;
+                    if suffix.items.is_empty() {
+                        // Byte-identical log: the cached fold IS this
+                        // state's recovery — no tree copy at all.
+                        cached
+                    } else {
+                        let mut working = MemTree::clone(&cached.working);
+                        replay_from(&mut working, committed, &suffix, 0, &self.bugs)?;
+                        Arc::new(ReplayedLogCache {
+                            tree_stamp,
+                            item_count: cached.item_count + suffix.items.len(),
+                            prefix_has_remove: cached.prefix_has_remove
+                                || has_dentry_remove(&suffix.items),
+                            log_bytes,
+                            working: Arc::new(working),
+                        })
+                    }
+                }
+                Some(cached) => {
+                    let log = LogTree::decode(&log_bytes)?;
+                    if log.items.len() == cached.item_count {
+                        // Byte-prefix plus equal item count: identical log.
+                        cached
+                    } else {
+                        let start = cached.item_count;
+                        // The rename quirk makes a removal's outcome depend
+                        // on *later* log items (`has_add_for_child` scans
+                        // the whole log), so a suffix add can retroactively
+                        // flip a removal already folded into the cached
+                        // tree. Refuse the cached fold when both sides of
+                        // that hazard are present.
+                        let removal_may_flip = self.bugs.replay_keeps_old_dentry_after_rename
+                            && cached.prefix_has_remove
+                            && log.items[start..]
+                                .iter()
+                                .any(|item| matches!(item, LogItem::DentryAdd { .. }));
+                        let (mut working, start, prefix_has_remove) = if removal_may_flip {
+                            (MemTree::clone(committed), 0, false)
+                        } else {
+                            (
+                                MemTree::clone(&cached.working),
+                                start,
+                                cached.prefix_has_remove,
+                            )
+                        };
+                        replay_from(&mut working, committed, &log, start, &self.bugs)?;
+                        Arc::new(ReplayedLogCache {
+                            tree_stamp,
+                            item_count: log.items.len(),
+                            prefix_has_remove: prefix_has_remove
+                                || has_dentry_remove(&log.items[start..]),
+                            log_bytes,
+                            working: Arc::new(working),
+                        })
+                    }
+                }
+                None => {
+                    let log = LogTree::decode(&log_bytes)?;
+                    let mut working = MemTree::clone(committed);
+                    replay_from(&mut working, committed, &log, 0, &self.bugs)?;
+                    Arc::new(ReplayedLogCache {
+                        tree_stamp,
+                        item_count: log.items.len(),
+                        prefix_has_remove: has_dentry_remove(&log.items),
+                        log_bytes,
+                        working: Arc::new(working),
+                    })
+                }
+            };
+            let working = entry.working.clone();
+            self.replayed_last = Some(entry.clone());
+            match self
+                .anchors
+                .iter_mut()
+                .find(|anchor| anchor.tree_stamp == entry.tree_stamp)
+            {
+                // Keep the shortest fold per stamp: that is the one the
+                // neighbouring workloads' first log states will extend.
+                Some(anchor) => {
+                    if entry.item_count <= anchor.item_count {
+                        *anchor = entry;
+                    }
+                }
+                None => {
+                    if self.anchors.len() >= MAX_ANCHORS {
+                        self.anchors.remove(0);
+                    }
+                    self.anchors.push(entry);
+                }
+            }
+            working
+        } else {
+            committed.clone()
+        };
+        Ok(Box::new(CowFs {
+            dev,
+            sb,
+            bugs: self.bugs,
+            committed: None,
+            working,
+            log: LogTree::new(),
+            recorder_state: RecorderState::default(),
+        }))
+    }
+
+    fn is_incremental(&self) -> bool {
+        true
+    }
+}
+
 /// Factory for CowFs instances, parameterized by kernel era (or an explicit
 /// bug set for targeted testing).
 #[derive(Debug, Clone, Copy)]
@@ -314,6 +624,16 @@ impl FsSpec for CowFsSpec {
 
     fn mount(&self, device: Box<dyn BlockDevice>) -> FsResult<Box<dyn FileSystem>> {
         Ok(Box::new(CowFs::mount_with_bugs(device, self.bugs)?))
+    }
+
+    fn recovery_session(&self) -> Box<dyn RecoverDelta + Send> {
+        Box::new(CowRecoverySession {
+            bugs: self.bugs,
+            cache: CommittedTreeCache::new(),
+            replayed_last: None,
+            anchors: Vec::new(),
+            primed: None,
+        })
     }
 
     fn fsck(&self, device: &mut dyn BlockDevice) -> FsResult<String> {
@@ -364,6 +684,35 @@ mod tests {
 
     fn fresh_fs(era: KernelEra) -> CowFs {
         CowFs::mkfs(Box::new(RamDisk::new(4096)), era).unwrap()
+    }
+
+    #[test]
+    fn recovery_session_matches_remount_and_caches_the_committed_tree() {
+        fn crashed_device() -> Box<dyn BlockDevice> {
+            let mut fs = fresh_fs(KernelEra::Patched);
+            fs.mkdir("A").unwrap();
+            fs.create("A/foo").unwrap();
+            fs.write("A/foo", 0, b"payload", WriteMode::Buffered)
+                .unwrap();
+            fs.fsync("A/foo").unwrap();
+            fs.create("A/volatile").unwrap();
+            fs.dev // crash: no clean unmount, log replay pending
+        }
+        let spec = CowFsSpec::patched();
+        let baseline = spec.mount(crashed_device()).unwrap();
+        let expected = LogicalSnapshot::capture(baseline.as_ref()).unwrap();
+
+        let mut session = spec.recovery_session();
+        assert!(session.is_incremental());
+        let first = session.recover(&spec, crashed_device(), None).unwrap();
+        assert_eq!(LogicalSnapshot::capture(first.as_ref()).unwrap(), expected);
+        // An empty delta proves no block changed, so the cached committed
+        // tree is reused — the logical view must still match.
+        let empty = StateDelta::from_blocks(Vec::new());
+        let second = session
+            .recover(&spec, crashed_device(), Some(&empty))
+            .unwrap();
+        assert_eq!(LogicalSnapshot::capture(second.as_ref()).unwrap(), expected);
     }
 
     #[test]

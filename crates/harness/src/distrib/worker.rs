@@ -160,7 +160,10 @@ fn worker_loop(
     }
 
     let spec = job.fs.spec(job.era);
-    let monkey = CrashMonkey::with_config(spec.as_ref(), job.crashmonkey);
+    // One bounded oracle interner for the life of the worker process, so
+    // content-equal oracle entries dedup across every shard it runs.
+    let interner = std::sync::Arc::new(b3_vfs::snapshot::EntryInterner::new());
+    let monkey = CrashMonkey::with_interner(spec.as_ref(), job.crashmonkey, interner);
     let mut workloads_until_crash = options.die_after_workloads;
     // The classifier is a pure function of the bounds, and the sampling
     // seed of the (canon-version-scoped) fingerprint both sides already

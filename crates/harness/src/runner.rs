@@ -250,6 +250,9 @@ where
     });
     let summary = Mutex::new(RunSummary::default());
     let counters = LiveCounters::new();
+    // Shared oracle interner: content-equal oracle/expectation entries
+    // produced by different workloads collapse to one allocation.
+    let interner = std::sync::Arc::new(b3_vfs::snapshot::EntryInterner::new());
     let done = AtomicBool::new(false);
     let threads = config.threads.max(1);
     let active_workers = AtomicUsize::new(threads);
@@ -265,7 +268,7 @@ where
         for _ in 0..threads {
             scope.spawn(|| {
                 let _guard = WorkerGuard::new(&active_workers, &done);
-                let monkey = CrashMonkey::with_config(spec, config.crashmonkey);
+                let monkey = CrashMonkey::with_interner(spec, config.crashmonkey, interner.clone());
                 let mut chunk: Vec<Workload> = Vec::with_capacity(chunk_size);
                 'work: loop {
                     if let Some(limit) = config.stop_after_bugs {

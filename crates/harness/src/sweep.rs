@@ -17,15 +17,16 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use b3_ace::canon::{Class, Classifier};
 use b3_ace::{Bounds, WorkloadGenerator, CANON_VERSION};
-use b3_crashmonkey::{CrashMonkey, WorkloadOutcome};
+use b3_crashmonkey::{CrashMonkey, CrashPointPolicy, WorkloadOutcome};
 use b3_vfs::codec::{Decoder, Encoder};
 use b3_vfs::error::{FsError, FsResult};
 use b3_vfs::fs::FsSpec;
+use b3_vfs::snapshot::EntryInterner;
 use b3_vfs::workload::Workload;
 
 use crate::dedup::GroupTable;
@@ -943,10 +944,33 @@ impl<'a> Sweep<'a> {
         self
     }
 
-    /// An empty checkpoint for this sweep's (bounds, shard count, prune
-    /// mode) triple — the one [`Sweep::run_resumable`] accepts.
+    /// The checkpoint-scope component of this sweep's execution context:
+    /// the crash-point policy (empty for the default `LastOnly`, so
+    /// pre-existing checkpoints keep their fingerprints) combined with the
+    /// prune mode's component. A checkpoint written by an
+    /// [`CrashPointPolicy::All`] sweep can therefore never resume under a
+    /// `LastOnly` configuration, or vice versa — their per-shard results
+    /// are not comparable.
+    fn scope_component(&self) -> String {
+        let mut scope = String::new();
+        if matches!(self.config.crashmonkey.crash_points, CrashPointPolicy::All) {
+            scope.push_str("cp:all");
+        }
+        let canon = self.prune.scope_component();
+        if !canon.is_empty() {
+            if !scope.is_empty() {
+                scope.push('/');
+            }
+            scope.push_str(&canon);
+        }
+        scope
+    }
+
+    /// An empty checkpoint for this sweep's (bounds, shard count, crash
+    /// points, prune mode) tuple — the one [`Sweep::run_resumable`]
+    /// accepts.
     pub fn empty_checkpoint(&self, bounds: &Bounds) -> SweepCheckpoint {
-        SweepCheckpoint::scoped(bounds, self.num_shards, &self.prune.scope_component())
+        SweepCheckpoint::scoped(bounds, self.num_shards, &self.scope_component())
     }
 
     /// Runs the whole sweep in one go.
@@ -969,8 +993,8 @@ impl<'a> Sweep<'a> {
     /// bounds and shard count of this sweep.
     pub fn run_resumable(&self, bounds: &Bounds, checkpoint: &mut SweepCheckpoint) -> RunSummary {
         assert!(
-            checkpoint.matches_scoped(bounds, self.num_shards, &self.prune.scope_component()),
-            "sweep checkpoint belongs to a different bounds/shard/prune configuration"
+            checkpoint.matches_scoped(bounds, self.num_shards, &self.scope_component()),
+            "sweep checkpoint belongs to a different bounds/shard/crash-point/prune configuration"
         );
         let start = Instant::now();
         let total_workloads = WorkloadGenerator::estimate_candidates(bounds);
@@ -1007,6 +1031,10 @@ impl<'a> Sweep<'a> {
             .completed_shards
             .store(checkpoint_completed, Ordering::Relaxed);
 
+        // One bounded oracle interner shared by every worker thread:
+        // content-equal oracle/expectation entries produced by different
+        // workloads (and different shards) collapse to one allocation.
+        let interner = Arc::new(EntryInterner::new());
         let next_pending = AtomicUsize::new(0);
         let budget = AtomicUsize::new(self.config.stop_after_workloads.unwrap_or(usize::MAX));
         let done = AtomicBool::new(false);
@@ -1035,7 +1063,11 @@ impl<'a> Sweep<'a> {
             for _ in 0..threads {
                 scope.spawn(|| {
                     let _guard = crate::runner::WorkerGuard::new(&active_workers, &done);
-                    let monkey = CrashMonkey::with_config(self.spec, self.config.crashmonkey);
+                    let monkey = CrashMonkey::with_interner(
+                        self.spec,
+                        self.config.crashmonkey,
+                        interner.clone(),
+                    );
                     'steal: loop {
                         let slot = next_pending.fetch_add(1, Ordering::Relaxed);
                         let Some(&shard_index) = pending.get(slot) else {
@@ -1236,6 +1268,47 @@ mod tests {
             s.reports.iter().map(|r| r.workload_name.clone()).collect()
         };
         assert_eq!(names(&resumed), names(&uninterrupted));
+    }
+
+    #[test]
+    fn crash_point_policy_scopes_the_checkpoint() {
+        let bounds = Bounds::tiny();
+        let spec = CowFsSpec::new(KernelEra::V4_16);
+        let last_only = Sweep::new(&spec, tiny_config()).shards(3);
+        let all_points = RunConfig {
+            crashmonkey: b3_crashmonkey::CrashMonkeyConfig::exhaustive_crash_points(),
+            ..tiny_config()
+        };
+        let all = Sweep::new(&spec, all_points).shards(3);
+
+        // Same bounds and shard count, different crash-point policies:
+        // the checkpoints must not be interchangeable.
+        let from_last = last_only.empty_checkpoint(&bounds);
+        let from_all = all.empty_checkpoint(&bounds);
+        assert_ne!(from_last.fingerprint(), from_all.fingerprint());
+        // The default policy contributes an empty scope component, so
+        // pre-existing unscoped checkpoints still resume.
+        assert_eq!(
+            from_last.fingerprint(),
+            SweepCheckpoint::new(&bounds, 3).fingerprint()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds/shard/crash-point/prune")]
+    fn resuming_an_all_points_checkpoint_with_last_only_is_rejected() {
+        let bounds = Bounds::tiny();
+        let spec = CowFsSpec::new(KernelEra::V4_16);
+        let all_points = RunConfig {
+            crashmonkey: b3_crashmonkey::CrashMonkeyConfig::exhaustive_crash_points(),
+            ..tiny_config()
+        };
+        let mut checkpoint = Sweep::new(&spec, all_points)
+            .shards(3)
+            .empty_checkpoint(&bounds);
+        let _ = Sweep::new(&spec, tiny_config())
+            .shards(3)
+            .run_resumable(&bounds, &mut checkpoint);
     }
 
     #[test]

@@ -241,6 +241,17 @@ pub trait FsSpec: Send + Sync {
             self.name()
         )))
     }
+
+    /// Starts a [recovery session](crate::recover::RecoverDelta) for
+    /// mounting sequences of adjacent crash states. The default session
+    /// ignores deltas and remounts from scratch via [`FsSpec::mount`], so
+    /// this seam is always correct; file systems override it to patch their
+    /// recovered view forward incrementally. One session may serve many
+    /// workloads: callers re-[`prime`](crate::recover::RecoverDelta::prime)
+    /// it at each workload boundary.
+    fn recovery_session(&self) -> Box<dyn crate::recover::RecoverDelta + Send> {
+        Box::new(crate::recover::RemountSession)
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ pub mod exec;
 pub mod fs;
 pub mod metadata;
 pub mod path;
+pub mod recover;
 pub mod snapshot;
 pub mod tree;
 pub mod workload;
@@ -34,7 +35,8 @@ pub use error::{FsError, FsResult};
 pub use exec::{apply_op, apply_workload, ExecPolicy, Executor};
 pub use fs::{FileSystem, FsSpec, GuaranteeProfile, WriteMode};
 pub use metadata::{FileType, Metadata};
-pub use snapshot::{EntrySnapshot, LogicalSnapshot, SnapshotDiff};
+pub use recover::{CommittedTreeCache, RecoverDelta, RemountSession};
+pub use snapshot::{EntryInterner, EntrySnapshot, LogicalSnapshot, SnapshotDiff};
 pub use tree::{Inode, InodeId, MemTree, ROOT_INO};
 pub use workload::{
     FallocMode, FileSet, Op, OpKind, PersistTarget, Workload, WritePattern, WriteSpec,

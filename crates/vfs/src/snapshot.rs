@@ -18,7 +18,7 @@ use crate::metadata::FileType;
 use crate::path::join;
 
 /// The captured state of a single file, directory, symlink, or fifo.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EntrySnapshot {
     /// Entry type.
     pub file_type: FileType,
@@ -231,6 +231,22 @@ impl LogicalSnapshot {
         self.entries.keys().cloned().collect()
     }
 
+    /// Replaces the entry at `path` (if any) with the interner's canonical
+    /// `Arc` for its content, deduplicating storage across snapshots.
+    pub fn intern_entry(&mut self, path: &str, interner: &EntryInterner) {
+        if let Some(entry) = self.entries.get_mut(&crate::path::normalize(path)) {
+            *entry = interner.intern(entry.clone());
+        }
+    }
+
+    /// Interns every entry of the snapshot. Content equality is preserved —
+    /// only the `Arc` identities change.
+    pub fn intern_all(&mut self, interner: &EntryInterner) {
+        for entry in self.entries.values_mut() {
+            *entry = interner.intern(entry.clone());
+        }
+    }
+
     /// Compares a single path between `self` (the oracle) and `other` (the
     /// recovered crash state), returning every observed difference.
     pub fn diff_path(&self, other: &LogicalSnapshot, path: &str) -> Vec<SnapshotDiff> {
@@ -260,6 +276,117 @@ impl LogicalSnapshot {
             .flat_map(|p| self.diff_path(other, p))
             .collect()
     }
+}
+
+/// A bounded, thread-safe content-addressed pool of [`EntrySnapshot`]s.
+///
+/// The profiler's incremental oracles already share unchanged entries
+/// *within* one workload via `Arc`; across workloads each profile re-captures
+/// near-identical entries (adjacent generated workloads touch the same small
+/// file set). The interner extends the sharing across workloads: callers
+/// exchange a freshly captured `Arc<EntrySnapshot>` for the canonical `Arc`
+/// of any content-equal entry seen before, so a sweep's resident oracle data
+/// collapses to one copy per distinct entry content.
+///
+/// Entries are keyed by content hash with full-equality verification on
+/// collision, so interning never changes observable values — only `Arc`
+/// identities. The pool's approximate retained size is bounded; exceeding
+/// the bound clears the pool (already-handed-out `Arc`s stay alive with
+/// their owners) rather than evicting piecemeal.
+#[derive(Debug)]
+pub struct EntryInterner {
+    max_bytes: usize,
+    inner: std::sync::Mutex<InternerPool>,
+}
+
+#[derive(Debug, Default)]
+struct InternerPool {
+    entries: std::collections::HashMap<u64, Vec<Arc<EntrySnapshot>>>,
+    approx_bytes: usize,
+}
+
+impl EntryInterner {
+    /// Default retained-size bound: 32 MiB of approximate entry content.
+    pub const DEFAULT_MAX_BYTES: usize = 32 << 20;
+
+    /// An interner with the [default](Self::DEFAULT_MAX_BYTES) size bound.
+    pub fn new() -> Self {
+        Self::with_max_bytes(Self::DEFAULT_MAX_BYTES)
+    }
+
+    /// An interner that clears itself when its approximate retained size
+    /// exceeds `max_bytes`.
+    pub fn with_max_bytes(max_bytes: usize) -> Self {
+        EntryInterner {
+            max_bytes,
+            inner: std::sync::Mutex::new(InternerPool::default()),
+        }
+    }
+
+    /// Returns the canonical `Arc` for `entry`'s content: the previously
+    /// interned content-equal entry if one exists, otherwise `entry` itself
+    /// (which becomes canonical).
+    pub fn intern(&self, entry: Arc<EntrySnapshot>) -> Arc<EntrySnapshot> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        entry.hash(&mut hasher);
+        let key = hasher.finish();
+
+        let mut pool = self.inner.lock().unwrap();
+        let candidates = pool.entries.entry(key).or_default();
+        for candidate in candidates.iter() {
+            if **candidate == *entry {
+                return Arc::clone(candidate);
+            }
+        }
+        candidates.push(Arc::clone(&entry));
+        pool.approx_bytes += approx_entry_bytes(&entry);
+        if pool.approx_bytes > self.max_bytes {
+            pool.entries.clear();
+            pool.approx_bytes = 0;
+        }
+        entry
+    }
+
+    /// Number of distinct entry contents currently pooled.
+    pub fn len(&self) -> usize {
+        let pool = self.inner.lock().unwrap();
+        pool.entries.values().map(Vec::len).sum()
+    }
+
+    /// True when the pool holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes of entry content currently retained.
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.lock().unwrap().approx_bytes
+    }
+}
+
+impl Default for EntryInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Approximate heap footprint of one entry's content (used only for the
+/// interner's size bound, so constants need not be exact).
+fn approx_entry_bytes(entry: &EntrySnapshot) -> usize {
+    let mut bytes = std::mem::size_of::<EntrySnapshot>();
+    bytes += entry.data.as_ref().map_or(0, Vec::len);
+    bytes += entry.symlink_target.as_ref().map_or(0, String::len);
+    bytes += entry
+        .children
+        .as_ref()
+        .map_or(0, |c| c.iter().map(|n| n.len() + 24).sum());
+    bytes += entry
+        .xattrs
+        .iter()
+        .map(|(k, v)| k.len() + v.len() + 48)
+        .sum::<usize>();
+    bytes
 }
 
 fn diff_entry(
@@ -710,6 +837,64 @@ mod tests {
             snapshot.entries.insert(path.to_string(), Arc::new(e));
         }
         snapshot
+    }
+
+    #[test]
+    fn interner_deduplicates_content_equal_entries() {
+        let interner = EntryInterner::new();
+        let a = Arc::new(entry(FileType::Regular, 64));
+        let b = Arc::new(entry(FileType::Regular, 64));
+        assert!(!Arc::ptr_eq(&a, &b));
+        let ia = interner.intern(a.clone());
+        let ib = interner.intern(b);
+        assert!(Arc::ptr_eq(&ia, &ib), "content-equal entries share one Arc");
+        assert!(Arc::ptr_eq(&ia, &a), "first occurrence becomes canonical");
+        assert_eq!(interner.len(), 1);
+
+        let other = interner.intern(Arc::new(entry(FileType::Regular, 65)));
+        assert!(!Arc::ptr_eq(&ia, &other));
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn interner_clears_when_over_budget() {
+        let interner = EntryInterner::with_max_bytes(1024);
+        for size in 0..64 {
+            interner.intern(Arc::new(entry(FileType::Regular, size)));
+        }
+        // The bound is approximate, but the pool must stay near it instead
+        // of growing without limit.
+        assert!(interner.approx_bytes() <= 1024 + 4096);
+        // Interning still works after a clear: this first call may itself
+        // trip the bound, but the next two land in a near-empty pool and
+        // must share one Arc.
+        interner.intern(Arc::new(entry(FileType::Regular, 3)));
+        let canonical = interner.intern(Arc::new(entry(FileType::Regular, 3)));
+        assert!(Arc::ptr_eq(
+            &canonical,
+            &interner.intern(Arc::new(entry(FileType::Regular, 3)))
+        ));
+    }
+
+    #[test]
+    fn snapshot_intern_all_preserves_equality() {
+        let interner = EntryInterner::new();
+        let mut a = snapshot_with(vec![
+            ("foo", entry(FileType::Regular, 10)),
+            ("bar", entry(FileType::Regular, 10)),
+        ]);
+        let before = a.clone();
+        a.intern_all(&interner);
+        assert_eq!(a, before);
+        // "foo" and "bar" have identical content, so they now share one Arc.
+        let foo = a.get_shared("foo").unwrap();
+        let bar = a.get_shared("bar").unwrap();
+        assert!(Arc::ptr_eq(&foo, &bar));
+
+        let mut b = snapshot_with(vec![("baz", entry(FileType::Regular, 10))]);
+        b.intern_entry("baz", &interner);
+        b.intern_entry("missing", &interner);
+        assert!(Arc::ptr_eq(&foo, &b.get_shared("baz").unwrap()));
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Before/after benchmark of the incremental crash-state recovery engine,
+//! emitting the `BENCH_7.json` trajectory record at the repo root.
+//!
+//! The comparison: a `CrashPointPolicy::All` run over a seq-2 slice, once
+//! with `RecoveryMode::Remount` (every crash state mounted from scratch —
+//! the pre-incremental-recovery behaviour) and once with
+//! `RecoveryMode::PatchForward` (the first state mounted, every subsequent
+//! state recovered by patching the previous view forward with the
+//! adjacent-state block delta). Each mode runs in its own child process
+//! (this same binary re-executed with `--mode`), so peak RSS is
+//! attributable per mode and neither run warms the other's allocator.
+//!
+//! Reported per mode: workloads/s and crash-states/s end to end, crash
+//! states recovered per second of recovery-engine time (the phase the two
+//! modes actually differ in), and peak RSS (`VmHWM`). Run from the repo
+//! root:
+//!
+//! ```text
+//! cargo run --release --example bench_recovery [-- --stop-after N] [--out FILE]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use b3::prelude::*;
+
+/// Workload budget: enough seq-2 workloads that per-process startup noise
+/// vanishes, small enough to finish in seconds per mode.
+const DEFAULT_BUDGET: usize = 10_000;
+
+struct ModeStats {
+    mode: &'static str,
+    workloads: u64,
+    crash_states: u64,
+    bugs: u64,
+    elapsed: Duration,
+    recovery_time: Duration,
+    peak_rss_bytes: u64,
+}
+
+impl ModeStats {
+    fn workloads_per_s(&self) -> f64 {
+        self.workloads as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn crash_states_per_s(&self) -> f64 {
+        self.crash_states as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn recovery_states_per_s(&self) -> f64 {
+        self.crash_states as f64 / self.recovery_time.as_secs_f64()
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\": \"{}\", \"workloads\": {}, \"crash_states\": {}, \
+             \"bugs\": {}, \"elapsed_s\": {:.3}, \"recovery_s\": {:.3}, \
+             \"workloads_per_s\": {:.1}, \"crash_states_per_s\": {:.1}, \
+             \"recovery_crash_states_per_s\": {:.1}, \"peak_rss_bytes\": {}}}",
+            self.mode,
+            self.workloads,
+            self.crash_states,
+            self.bugs,
+            self.elapsed.as_secs_f64(),
+            self.recovery_time.as_secs_f64(),
+            self.workloads_per_s(),
+            self.crash_states_per_s(),
+            self.recovery_states_per_s(),
+            self.peak_rss_bytes,
+        )
+    }
+}
+
+/// Peak resident set size of this process, from `/proc/self/status`
+/// (`VmHWM` is in kB). Zero where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Child entry: run the budgeted seq-2 `All`-policy slice in one mode and
+/// print the stats as a `RESULT {json}` line for the parent to collect.
+fn child(mode: &str, budget: usize) {
+    let recovery = match mode {
+        "remount" => RecoveryMode::Remount,
+        "delta" => RecoveryMode::PatchForward,
+        other => panic!("unknown mode {other:?} (remount/delta)"),
+    };
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let config = CrashMonkeyConfig {
+        crash_points: CrashPointPolicy::All,
+        recovery,
+        ..CrashMonkeyConfig::small()
+    };
+    let monkey = CrashMonkey::with_config(&spec, config);
+
+    let mut stats = ModeStats {
+        mode: if recovery == RecoveryMode::Remount {
+            "remount"
+        } else {
+            "delta"
+        },
+        workloads: 0,
+        crash_states: 0,
+        bugs: 0,
+        elapsed: Duration::ZERO,
+        recovery_time: Duration::ZERO,
+        peak_rss_bytes: 0,
+    };
+    let start = Instant::now();
+    for workload in WorkloadGenerator::new(b3::ace::Bounds::paper_seq2()).take(budget) {
+        let outcome = monkey.test_workload(&workload).expect("workload runs");
+        stats.workloads += 1;
+        stats.crash_states += outcome.checkpoints_tested as u64;
+        stats.bugs += outcome.bugs.len() as u64;
+        stats.recovery_time += outcome.timing.recovery;
+    }
+    stats.elapsed = start.elapsed();
+    stats.peak_rss_bytes = peak_rss_bytes();
+    println!("RESULT {}", stats.to_json());
+}
+
+/// Spawns one child per mode and parses its `RESULT` line.
+fn run_mode(mode: &str, budget: usize) -> String {
+    let exe = std::env::current_exe().expect("own executable");
+    let output = std::process::Command::new(exe)
+        .args(["--mode", mode, "--stop-after", &budget.to_string()])
+        .output()
+        .expect("child runs");
+    assert!(
+        output.status.success(),
+        "child --mode {mode} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    stdout
+        .lines()
+        .find_map(|line| line.strip_prefix("RESULT "))
+        .unwrap_or_else(|| panic!("child --mode {mode} printed no RESULT line: {stdout}"))
+        .to_string()
+}
+
+fn main() {
+    let mut mode = None;
+    let mut budget = DEFAULT_BUDGET;
+    let mut out = "BENCH_7.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mode" => mode = Some(args.next().expect("--mode needs remount/delta")),
+            "--stop-after" => {
+                budget = args
+                    .next()
+                    .expect("--stop-after needs a number")
+                    .parse()
+                    .expect("--stop-after needs a number")
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    if let Some(mode) = mode {
+        child(&mode, budget);
+        return;
+    }
+
+    println!("benchmarking {budget} seq-2 workloads per mode under CrashPointPolicy::All...");
+    let before = run_mode("remount", budget);
+    println!("  remount baseline: {before}");
+    let after = run_mode("delta", budget);
+    println!("  delta recovery:   {after}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"incremental crash-state recovery (PR 7)\",\n  \
+         \"space\": \"seq-2, CrashPointPolicy::All, CowFs@4.16, first {budget} candidates\",\n  \
+         \"metrics\": \"workloads/s and crash-states/s end to end; \
+         recovery_crash_states_per_s over the recovery phase alone; peak RSS in bytes\",\n  \
+         \"before\": {before},\n  \"after\": {after}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write trajectory record");
+    println!("wrote {out}");
+}

@@ -1,5 +1,29 @@
 //! Command-line helpers shared by the examples (included via `#[path]`).
 
+use b3::prelude::CrashPointPolicy;
+
+/// Parses `--crash-points {last,all}` / `--crash-points=...`: which
+/// persistence points each workload is crash-tested at. Defaults to
+/// `last`, the paper's strategy for exhaustively generated spaces.
+pub fn parse_crash_points() -> CrashPointPolicy {
+    let mut args = std::env::args().skip(1);
+    let parse = |value: &str| match value {
+        "last" => CrashPointPolicy::LastOnly,
+        "all" => CrashPointPolicy::All,
+        other => panic!("unknown crash-point policy {other:?} (last/all)"),
+    };
+    while let Some(arg) = args.next() {
+        if arg == "--crash-points" {
+            let value = args.next().expect("--crash-points needs last/all");
+            return parse(&value);
+        }
+        if let Some(value) = arg.strip_prefix("--crash-points=") {
+            return parse(value);
+        }
+    }
+    CrashPointPolicy::LastOnly
+}
+
 /// Parses `--stop-after N` / `--stop-after=N` from the command line: a
 /// workload budget for the example's sweeps. Returns `None` when absent.
 pub fn parse_stop_after() -> Option<usize> {

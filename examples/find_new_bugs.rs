@@ -7,8 +7,10 @@
 //! one machine in seconds (with periodic progress lines), and additionally
 //! verifies that every Table 5 workload (encoded in the corpus) is detected.
 //!
-//! Run with: `cargo run --release --example find_new_bugs [-- --stop-after N]`
-//! (`--stop-after` caps the number of workloads per sweep).
+//! Run with: `cargo run --release --example find_new_bugs [-- --stop-after N]
+//! [--crash-points {last,all}]` (`--stop-after` caps the number of
+//! workloads per sweep; `--crash-points all` crash-tests every
+//! persistence point instead of only the final one).
 
 use std::time::Duration;
 
@@ -25,10 +27,15 @@ fn sweep(
     bounds: Bounds,
     label: &str,
     stop_after: Option<usize>,
+    crash_points: CrashPointPolicy,
 ) -> Vec<BugReport> {
     let total = WorkloadGenerator::estimate_candidates(&bounds);
     let config = RunConfig {
         stop_after_workloads: stop_after,
+        crashmonkey: CrashMonkeyConfig {
+            crash_points,
+            ..CrashMonkeyConfig::small()
+        },
         ..RunConfig::default()
     };
     let progress = |p: &Progress| println!("  [progress] {}", p.describe());
@@ -52,16 +59,24 @@ fn sweep(
 
 fn main() {
     let stop_after = args::parse_stop_after();
+    let crash_points = args::parse_crash_points();
     let cow = CowFsSpec::new(KernelEra::V4_16);
 
     // Exhaustive seq-1 (the paper's 300-workload set) and a focused seq-2
     // subspace around links and renames.
-    let mut reports = sweep(&cow, Bounds::paper_seq1(), "seq-1 (cowfs/4.16)", stop_after);
+    let mut reports = sweep(
+        &cow,
+        Bounds::paper_seq1(),
+        "seq-1 (cowfs/4.16)",
+        stop_after,
+        crash_points,
+    );
     reports.extend(sweep(
         &cow,
         Bounds::paper_seq2().with_ops(vec![OpKind::Link, OpKind::Rename, OpKind::Creat]),
         "seq-2 link/rename/creat (cowfs/4.16)",
         stop_after,
+        crash_points,
     ));
 
     let groups = group_reports(&reports);

@@ -19,7 +19,8 @@
 //! a long-running sweep would persist to disk), and a kill-and-resume round
 //! trip is demonstrated on a link/rename subspace.
 //!
-//! Run with: `cargo run --release --example quickstart [-- --stop-after N]`
+//! Run with: `cargo run --release --example quickstart
+//! [-- --stop-after N] [--crash-points {last,all}]`
 
 use std::time::Duration;
 
@@ -32,9 +33,10 @@ mod args;
 
 fn main() {
     let stop_after = args::parse_stop_after();
+    let crash_points = args::parse_crash_points();
     figure_1_bug();
     seq1_pipeline();
-    seq2_sweep(stop_after);
+    seq2_sweep(stop_after, crash_points);
     resume_demo();
 }
 
@@ -134,7 +136,7 @@ fn seq1_pipeline() {
     println!("{}", b3_harness::bug_group_table(&groups).render());
 }
 
-fn seq2_sweep(stop_after: Option<usize>) {
+fn seq2_sweep(stop_after: Option<usize>, crash_points: CrashPointPolicy) {
     println!("\n=== seq-2 sweep: sharded work-stealing over the full space ===\n");
 
     let bounds = b3::ace::Bounds::paper_seq2();
@@ -143,8 +145,15 @@ fn seq2_sweep(stop_after: Option<usize>) {
     let config = RunConfig {
         threads: RunConfig::default().threads.max(4),
         stop_after_workloads: stop_after,
+        crashmonkey: CrashMonkeyConfig {
+            crash_points,
+            ..CrashMonkeyConfig::small()
+        },
         ..RunConfig::default()
     };
+    if crash_points == CrashPointPolicy::All {
+        println!("crash points: all persistence points (incremental recovery engaged)");
+    }
     match stop_after {
         Some(budget) => println!(
             "sweeping {candidates} seq-2 candidates on {} (budget: {budget} workloads)...",

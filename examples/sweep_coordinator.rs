@@ -48,8 +48,12 @@
 //! `rep`/`representative` to test only each symmetry class's canonical
 //! representative, `audit` to additionally re-test sampled members against
 //! their representative), `--audit-k K` (members sampled per class per
-//! shard in audit mode, default 2). The big `seq-4-metadata` space
-//! (~688M candidates) is only practical with `--prune rep`.
+//! shard in audit mode, default 2), `--crash-points P` (`last` (default)
+//! to crash only at each workload's final persistence point, `all` to
+//! crash at every persistence point; the policy scopes the checkpoint, so
+//! an `all` sweep never resumes a `last` checkpoint or vice versa). The
+//! big `seq-4-metadata` space (~688M candidates) is only practical with
+//! `--prune rep`.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -78,6 +82,7 @@ struct Args {
     batch_target_ms: Option<u64>,
     prune: PruneMode,
     audit_k: Option<u32>,
+    crash_points: CrashPointPolicy,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         batch_target_ms: None,
         prune: PruneMode::Off,
         audit_k: None,
+        crash_points: CrashPointPolicy::LastOnly,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -151,6 +157,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--audit-k" => {
                 parsed.audit_k = Some(value()?.parse().map_err(|e| format!("--audit-k: {e}"))?)
+            }
+            "--crash-points" => {
+                parsed.crash_points = match value()?.as_str() {
+                    "last" => CrashPointPolicy::LastOnly,
+                    "all" => CrashPointPolicy::All,
+                    other => {
+                        return Err(format!("unknown crash-point policy {other:?} (last/all)"))
+                    }
+                }
             }
             "--batch-target-ms" => {
                 parsed.batch_target_ms = Some(
@@ -294,6 +309,10 @@ fn main() {
 
     let mut job = SweepJob::new(bounds, num_shards);
     job.fs = args.fs;
+    job.crashmonkey.crash_points = args.crash_points;
+    if args.crash_points == CrashPointPolicy::All {
+        println!("crash points: all persistence points");
+    }
     job.prune = match (args.prune, args.audit_k) {
         (PruneMode::Audit { .. }, Some(k)) => PruneMode::Audit {
             samples_per_class: k,

@@ -41,7 +41,8 @@ pub mod prelude {
     pub use b3_ace::{Bounds, SequencePreset, WorkloadGenerator};
     pub use b3_block::{BlockDevice, RamDisk};
     pub use b3_crashmonkey::{
-        BugReport, Consequence, CrashMonkey, CrashMonkeyConfig, CrashPointPolicy, WorkloadOutcome,
+        BugReport, Consequence, CrashMonkey, CrashMonkeyConfig, CrashPointPolicy, RecoveryMode,
+        WorkloadOutcome,
     };
     pub use b3_fs_cow::{CowBugs, CowFs, CowFsSpec};
     pub use b3_fs_flash::{FlashBugs, FlashFs, FlashFsSpec};
