@@ -13,7 +13,11 @@
 //!   frames over the socket — this is how remote machines join a sweep.
 //!
 //! `--calibrate[=N]` runs a short measured burst before the `Hello` so the
-//! coordinator can size this worker's shard batches by its throughput.
+//! coordinator can size this worker's shard batches by its throughput
+//! (only the seed: the coordinator re-sizes by observed throughput as
+//! shards complete). `--secret S` (or the `B3_SWEEP_SECRET` environment
+//! variable) supplies the shared secret for answering a coordinator's
+//! HMAC challenge — required when dialing a non-loopback listener.
 //! `--die-after-workloads N` is the chaos-test hook: the process exits
 //! abruptly just before its `N+1`-th workload, simulating a worker VM dying
 //! mid-shard.
@@ -46,6 +50,7 @@ fn main() {
                 );
             }
             "--connect" => connect = Some(value("--connect")),
+            "--secret" => options.secret = Some(value("--secret")),
             "--calibrate" => {
                 options.calibration_workloads = match inline {
                     Some(burst) => burst.parse().expect("--calibrate needs a number"),
@@ -57,6 +62,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if options.secret.is_none() {
+        options.secret = std::env::var("B3_SWEEP_SECRET")
+            .ok()
+            .filter(|s| !s.is_empty());
     }
     let code = match connect {
         Some(addr) => worker_connect(&addr, options),

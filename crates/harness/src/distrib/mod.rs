@@ -16,8 +16,11 @@
 //!  coordinator                               worker (any transport)
 //!  ───────────                               ──────────────────────
 //!  connect ────────────────────────────────▶ start (+ calibration burst)
-//!                    ◀ Hello { version, calibrated rate }
-//!  (version checked; batches sized by rate)
+//!  [auth links: Challenge { nonce } ──────▶  compute HMAC answer]
+//!                    ◀ Hello { version, calibrated rate, auth }
+//!  (version + challenge answer checked;
+//!   batches sized by the observed-throughput
+//!   EWMA, seeded by the calibrated rate)
 //!  Job { job, fingerprint } ───────────────▶ recompute fingerprint; on
 //!                                            mismatch: Reject + exit
 //!                                          ◀ Claim
@@ -67,11 +70,17 @@ use crate::corpus::FsKind;
 use crate::runner::RunSummary;
 use crate::sweep::{Progress, PruneMode, SweepCheckpoint, WorkerThroughput};
 
+pub mod auth;
+pub mod fleet;
 pub mod protocol;
 pub mod segment;
 mod transport;
 mod worker;
 
+pub use fleet::{
+    inspect_queue, ClientRequest, DaemonReply, FleetClient, FleetConfig, FleetCoordinator,
+    FleetEvent, FleetSubscription, JobState, JobStatus,
+};
 pub use protocol::{Hello, PROTOCOL_VERSION};
 pub use segment::{load_checkpoint, save_checkpoint, segment_stats, SegmentStats};
 pub use transport::{
@@ -81,6 +90,8 @@ pub use worker::{
     worker_connect, worker_main, WorkerOptions, DEFAULT_CALIBRATION_WORKLOADS, WORKER_CRASH_EXIT,
 };
 
+use crate::dedup::GroupKey;
+use crate::postprocess::BugGroup;
 use protocol::{validate_hello, FromWorker, ToWorker};
 use segment::Persister;
 
@@ -214,16 +225,24 @@ pub struct DistribConfig {
     /// amortize protocol round-trips when shards are tiny.
     pub assign_batch: usize,
     /// When set, each worker's batches are sized so one batch is roughly
-    /// this much work at the rate the worker's [`Hello`] reported — a fast
-    /// host gets more shards per round-trip instead of being drip-fed —
-    /// clamped to [`assign_batch`, [`max_batch`]]. Workers that did not
-    /// calibrate fall back to [`assign_batch`].
+    /// this much work at the worker's *effective* rate — an EWMA of the
+    /// throughput actually observed across its `ShardDone` frames, seeded
+    /// by the rate its [`Hello`] reported — so a fast host gets more shards
+    /// per round-trip instead of being drip-fed, and a host that slows
+    /// down (or warms up) after calibration converges to batches matching
+    /// what it really delivers. Clamped to [`assign_batch`,
+    /// [`max_batch`]]. Workers with no calibration *and* no observed
+    /// throughput yet fall back to [`assign_batch`].
     ///
     /// [`assign_batch`]: DistribConfig::assign_batch
     /// [`max_batch`]: DistribConfig::max_batch
     pub batch_target: Option<Duration>,
     /// Upper bound on capability-sized batches (bounds the work lost when
-    /// a fast worker dies mid-batch).
+    /// a fast worker dies mid-batch). Must be at least
+    /// [`assign_batch`](DistribConfig::assign_batch); a config with
+    /// `assign_batch > max_batch` is rejected by
+    /// [`DistribConfig::validate`] (which every coordinator entry point
+    /// calls) rather than silently exceeding this bound.
     pub max_batch: usize,
     /// How many replacement links a dead worker slot may establish: the
     /// dead link's in-flight shards are re-queued and the transport is
@@ -263,6 +282,30 @@ impl Default for DistribConfig {
             checkpoint_path: None,
             progress_interval: Duration::from_secs(1),
         }
+    }
+}
+
+impl DistribConfig {
+    /// Rejects configurations the scheduler cannot honor. Today that is
+    /// one rule: `assign_batch` (the batch floor) must not exceed
+    /// `max_batch` (the documented upper bound on work lost to a dying
+    /// worker) — the old behavior silently raised the cap to the floor,
+    /// which let a config that *looked* bounded hand out oversized
+    /// batches. Called by every coordinator entry point.
+    pub fn validate(&self) -> FsResult<()> {
+        if self.max_batch == 0 {
+            return Err(FsError::InvalidArgument(
+                "max_batch must be at least 1 (it caps every assignment batch)".into(),
+            ));
+        }
+        if self.assign_batch > self.max_batch {
+            return Err(FsError::InvalidArgument(format!(
+                "assign_batch ({}) exceeds max_batch ({}): the batch floor cannot be \
+                 above the documented per-assignment cap",
+                self.assign_batch, self.max_batch
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -345,18 +388,102 @@ struct CoordState {
     workers: Vec<WorkerTelemetry>,
     failed_workers: usize,
     respawns: usize,
+    /// Bug-group keys already merged (restored from the checkpoint at
+    /// startup, grown per merge): the discovery hook fires exactly when a
+    /// key first enters this set during the run.
+    seen_groups: std::collections::BTreeSet<GroupKey>,
 }
+
+/// Weight of the newest throughput sample in the observed-rate EWMA: high
+/// enough that a host that slows down re-sizes its batches within a few
+/// shards, low enough that one outlier shard does not whipsaw the batch
+/// size.
+const OBSERVED_RATE_ALPHA: f64 = 0.3;
 
 struct WorkerTelemetry {
     /// Transport endpoint of the slot's current link (`child:<pid>`,
     /// `host:port`, `ssh:<host>#<pid>`); empty until the first handshake.
+    /// Kept across link death (progress output still names the machine
+    /// the dead slot last ran on) — only the rates are cleared.
     endpoint: String,
-    /// Calibrated throughput from the worker's `Hello`, if it calibrated.
-    rate: Option<f64>,
+    /// Calibrated throughput from the current link's `Hello`, if it
+    /// calibrated. Only the sizing *seed*: observed throughput supersedes
+    /// it as `ShardDone` frames arrive.
+    reported_rate: Option<f64>,
+    /// EWMA of the throughput actually observed across this link's
+    /// `ShardDone` frames (workloads processed / time since the previous
+    /// frame on this link).
+    observed_rate: Option<f64>,
+    /// When this link's last `ShardDone` (or its `Hello`) landed — the
+    /// denominator baseline for the next observed-rate sample.
+    last_activity: Option<Instant>,
     tested: u64,
     shards: u64,
     respawns: u64,
     alive: bool,
+}
+
+impl WorkerTelemetry {
+    /// A slot that has not completed a handshake yet.
+    fn idle() -> WorkerTelemetry {
+        WorkerTelemetry {
+            endpoint: String::new(),
+            reported_rate: None,
+            observed_rate: None,
+            last_activity: None,
+            tested: 0,
+            shards: 0,
+            respawns: 0,
+            alive: true,
+        }
+    }
+
+    /// The rate batch sizing uses: observed throughput once any exists
+    /// (it reflects *this job's* per-workload cost), else the calibration
+    /// the worker reported.
+    fn effective_rate(&self) -> Option<f64> {
+        self.observed_rate.or(self.reported_rate)
+    }
+
+    /// A fresh link completed its handshake on this slot.
+    fn handshake(&mut self, endpoint: &str, hello: &Hello, now: Instant) {
+        self.endpoint = endpoint.to_string();
+        self.reported_rate = (hello.calibrated_rate > 0.0).then_some(hello.calibrated_rate);
+        self.observed_rate = None;
+        self.last_activity = Some(now);
+        self.alive = true;
+    }
+
+    /// Folds one `ShardDone` into the observed-rate EWMA: `processed`
+    /// workloads landed `now`, so the sample is workloads per second since
+    /// the link's previous activity.
+    fn observe(&mut self, processed: u64, now: Instant) {
+        if let Some(last) = self.last_activity {
+            let dt = now.duration_since(last).as_secs_f64();
+            if dt > 0.0 && processed > 0 {
+                let sample = processed as f64 / dt;
+                self.observed_rate = Some(match self.observed_rate {
+                    Some(previous) => {
+                        OBSERVED_RATE_ALPHA * sample + (1.0 - OBSERVED_RATE_ALPHA) * previous
+                    }
+                    None => sample,
+                });
+            }
+        }
+        self.last_activity = Some(now);
+    }
+
+    /// The slot's link is gone (died, broke protocol, or wound down).
+    /// Clears liveness *and* both rates immediately — a replacement link
+    /// must never inherit the dead link's throughput for its first
+    /// batches, and progress output must never attribute a live rate to a
+    /// dead endpoint. The endpoint string stays for attribution.
+    fn mark_dead(&mut self) {
+        self.alive = false;
+        self.reported_rate = None;
+        self.observed_rate = None;
+        self.last_activity = None;
+    }
 }
 
 impl CoordState {
@@ -405,6 +532,9 @@ impl CoordState {
                     shards: w.shards,
                     throughput: (w.alive && !elapsed.is_zero())
                         .then(|| w.tested as f64 / elapsed.as_secs_f64()),
+                    // `mark_dead` cleared both rates with the link, so a
+                    // dead slot can never report a stale sizing rate here.
+                    rate: w.effective_rate(),
                 })
                 .collect(),
         }
@@ -412,11 +542,14 @@ impl CoordState {
 }
 
 /// Sizes one assignment batch for a worker: `assign_batch` when capability
-/// sizing is off or the worker reported no rate; otherwise enough shards
-/// that the batch is roughly `batch_target` of work at the calibrated
-/// rate, clamped to `[assign_batch, max_batch]`.
+/// sizing is off or the worker has no effective rate yet; otherwise enough
+/// shards that the batch is roughly `batch_target` of work at the given
+/// rate (the observed EWMA once one exists, else the `Hello` calibration),
+/// clamped to `[assign_batch, max_batch]`. [`DistribConfig::validate`]
+/// guarantees the clamp range is well-formed, so `max_batch` is a hard
+/// cap — never silently raised to the floor.
 fn sized_batch(config: &DistribConfig, rate: Option<f64>, avg_shard_workloads: f64) -> usize {
-    let base = config.assign_batch.max(1);
+    let base = config.assign_batch.max(1).min(config.max_batch);
     let (Some(target), Some(rate)) = (config.batch_target, rate) else {
         return base;
     };
@@ -424,7 +557,7 @@ fn sized_batch(config: &DistribConfig, rate: Option<f64>, avg_shard_workloads: f
         return base;
     }
     let sized = (rate * target.as_secs_f64() / avg_shard_workloads) as usize;
-    sized.clamp(base, config.max_batch.max(base))
+    sized.clamp(base, config.max_batch)
 }
 
 /// Runs (or resumes) a distributed sweep over stdio worker child
@@ -437,6 +570,26 @@ pub fn run_distributed(
     progress: Option<&(dyn Fn(&Progress) + Sync)>,
 ) -> FsResult<DistribOutcome> {
     run_with_transport(job, config, &ChildTransport::new(worker.clone()), progress)
+}
+
+/// Observation and control hooks for [`run_with_transport_hooked`] — what
+/// the fleet daemon plugs into a job run. All hooks are optional; the
+/// no-hook default is exactly [`run_with_transport`].
+#[derive(Default)]
+pub struct DistribHooks<'a> {
+    /// Fired every [`DistribConfig::progress_interval`] with a state
+    /// snapshot (and once more when the run ends).
+    pub progress: Option<&'a (dyn Fn(&Progress) + Sync)>,
+    /// Fired once per bug group the first time it is merged into the
+    /// checkpoint *in this run* (groups restored from the checkpoint file
+    /// do not re-fire) — the fleet daemon's live discovery stream.
+    pub on_discovery: Option<&'a (dyn Fn(&BugGroup) + Sync)>,
+    /// Polled at every claim; returning `true` stops handing out work, as
+    /// if a stop budget had been reached — in-flight shards still finish
+    /// and persist, so the run winds down to a cleanly resumable
+    /// checkpoint. The fleet daemon uses this for graceful shutdown with
+    /// a job mid-flight.
+    pub should_stop: Option<&'a (dyn Fn() -> bool + Sync)>,
 }
 
 /// Runs (or resumes) a distributed sweep over any [`Transport`]: serves
@@ -463,6 +616,29 @@ pub fn run_with_transport(
     transport: &dyn Transport,
     progress: Option<&(dyn Fn(&Progress) + Sync)>,
 ) -> FsResult<DistribOutcome> {
+    run_with_transport_hooked(
+        job,
+        config,
+        transport,
+        DistribHooks {
+            progress,
+            ..DistribHooks::default()
+        },
+    )
+}
+
+/// [`run_with_transport`] with the full [`DistribHooks`] surface: live
+/// bug-group discovery streaming and cooperative stop, in addition to the
+/// progress callback. This is the entry point the fleet daemon
+/// ([`fleet::FleetCoordinator`]) schedules queued jobs through.
+pub fn run_with_transport_hooked(
+    job: &SweepJob,
+    config: &DistribConfig,
+    transport: &dyn Transport,
+    hooks: DistribHooks<'_>,
+) -> FsResult<DistribOutcome> {
+    config.validate()?;
+    let progress = hooks.progress;
     let started = Instant::now();
     let checkpoint = match &config.checkpoint_path {
         Some(path) => match load_checkpoint(path)? {
@@ -495,6 +671,13 @@ pub fn run_with_transport(
         None => None,
     };
 
+    // Groups already in the (resumed) checkpoint are not re-discovered:
+    // the discovery hook only fires for groups first merged in this run.
+    let seen_groups: std::collections::BTreeSet<GroupKey> = checkpoint
+        .grouped()
+        .entries()
+        .map(|(key, _)| key.clone())
+        .collect();
     let coord = Coord {
         state: Mutex::new(CoordState {
             queue: checkpoint.missing_shards().into(),
@@ -509,17 +692,11 @@ pub fn run_with_transport(
             assigned_candidates: 0,
             stopping: false,
             workers: (0..config.workers.max(1))
-                .map(|_| WorkerTelemetry {
-                    endpoint: String::new(),
-                    rate: None,
-                    tested: 0,
-                    shards: 0,
-                    respawns: 0,
-                    alive: true,
-                })
+                .map(|_| WorkerTelemetry::idle())
                 .collect(),
             failed_workers: 0,
             respawns: 0,
+            seen_groups,
         }),
         wake: Condvar::new(),
     };
@@ -547,6 +724,8 @@ pub fn run_with_transport(
         persister: persister.as_ref(),
         config,
         transport,
+        on_discovery: hooks.on_discovery,
+        should_stop: hooks.should_stop,
     };
 
     std::thread::scope(|scope| -> FsResult<()> {
@@ -637,6 +816,8 @@ struct SlotContext<'a> {
     persister: Option<&'a Persister>,
     config: &'a DistribConfig,
     transport: &'a dyn Transport,
+    on_discovery: Option<&'a (dyn Fn(&BugGroup) + Sync)>,
+    should_stop: Option<&'a (dyn Fn() -> bool + Sync)>,
 }
 
 /// How one link's session ended, as seen by the slot's respawn loop.
@@ -688,7 +869,7 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
             // never coming.
             let mut state = coord.state.lock().expect("coordinator state poisoned");
             if state.no_work_left(ctx.config) {
-                state.workers[index].alive = false;
+                state.workers[index].mark_dead();
                 return Ok(());
             }
         }
@@ -715,7 +896,7 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
                 // telemetry, or progress reports them as alive at 0/s
                 // forever.
                 let mut state = coord.state.lock().expect("coordinator state poisoned");
-                state.workers[index].alive = false;
+                state.workers[index].mark_dead();
                 if respawns_left == 0 {
                     return Err(error);
                 }
@@ -738,7 +919,7 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
             LinkEnd::Finished => {
                 link.close();
                 let mut state = coord.state.lock().expect("coordinator state poisoned");
-                state.workers[index].alive = false;
+                state.workers[index].mark_dead();
                 return Ok(());
             }
             LinkEnd::Lost(error) => (error, false),
@@ -758,7 +939,11 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
                     .saturating_sub(ctx.shard_sizes[shard as usize]);
             }
         }
-        state.workers[index].alive = false;
+        // Mark the slot dead *immediately* — before any replacement link's
+        // Hello — clearing its rates with it: progress output must never
+        // attribute live throughput (or a stale sizing rate) to the dead
+        // endpoint, and a replacement must re-earn its batch size.
+        state.workers[index].mark_dead();
         // Wake any worker waiting for in-flight shards: either the queue
         // just grew, or this was the last in-flight holder.
         coord.wake.notify_all();
@@ -782,20 +967,41 @@ fn serve_link(
     let coord = ctx.coord;
     let config = ctx.config;
 
-    // Send the Job eagerly, before waiting for the handshake: a v2 worker
-    // sends its Hello without reading first, so the two frames simply
-    // cross on the wire — but a pre-handshake (v1) binary writes nothing
-    // until it has a Job, and awaiting its Hello first would deadlock both
-    // sides forever. Fed a Job, a v1 worker answers Claim instead of
-    // Hello, which the check below turns into the intended clean rejection.
-    if let Err(error) = link.send(ctx.job_frame) {
+    // Links whose transport demands authentication open with a Challenge
+    // *instead of* the eager Job: the worker must answer the challenge in
+    // its Hello before it learns anything about the job. Everyone else
+    // gets the Job eagerly, before the coordinator waits for the
+    // handshake: a v2+ worker's Hello simply crosses it on the wire — but
+    // a pre-handshake (v1) binary writes nothing until it has a Job, and
+    // awaiting its Hello first would deadlock both sides forever. Fed a
+    // Job, a v1 worker answers Claim instead of Hello, which the check
+    // below turns into the intended clean rejection.
+    let challenge = link
+        .required_secret()
+        .map(|secret| (secret.to_string(), auth::make_nonce()));
+    let opening = match &challenge {
+        Some((_, nonce)) => ToWorker::Challenge {
+            nonce: nonce.clone(),
+        }
+        .to_frame(),
+        None => ctx.job_frame.to_vec(),
+    };
+    if let Err(error) = link.send(&opening) {
         return LinkEnd::Lost(error);
     }
 
     // Handshake: the worker leads with Hello; anything else (or a dead
     // pipe) means the binary predates the handshake or crashed on start.
+    // A challenged worker without the secret sends Reject, which the
+    // dispatch below turns into a fatal (never-respawned) refusal.
     let hello = match link.recv().and_then(|f| FromWorker::from_frame(&f)) {
         Ok(FromWorker::Hello(hello)) => hello,
+        Ok(FromWorker::Reject { reason }) => {
+            return LinkEnd::Fatal(FsError::InvalidArgument(format!(
+                "worker {} refused the handshake: {reason}",
+                link.endpoint()
+            )))
+        }
         Ok(_) => {
             return LinkEnd::Fatal(FsError::Corrupted(
                 "worker did not open with a Hello frame (pre-handshake binary?)".into(),
@@ -806,12 +1012,26 @@ fn serve_link(
     if let Err(error) = validate_hello(&hello) {
         return LinkEnd::Fatal(error);
     }
+    if let Some((secret, nonce)) = &challenge {
+        if !auth::verify_auth_tag(secret, nonce, &hello.auth) {
+            // Kill the link without sending the Job: an unauthenticated
+            // peer learns nothing about the sweep. Fatal, not lost — a
+            // respawned copy of the same worker has the same (missing or
+            // wrong) secret.
+            return LinkEnd::Fatal(FsError::InvalidArgument(format!(
+                "worker {} failed the shared-secret challenge (wrong or missing secret)",
+                link.endpoint()
+            )));
+        }
+        // Authenticated: the Job the unauthenticated path sent eagerly
+        // goes out now.
+        if let Err(error) = link.send(ctx.job_frame) {
+            return LinkEnd::Lost(error);
+        }
+    }
     {
         let mut state = coord.state.lock().expect("coordinator state poisoned");
-        let telemetry = &mut state.workers[index];
-        telemetry.endpoint = link.endpoint().to_string();
-        telemetry.rate = (hello.calibrated_rate > 0.0).then_some(hello.calibrated_rate);
-        telemetry.alive = true;
+        state.workers[index].handshake(link.endpoint(), &hello, Instant::now());
     }
 
     loop {
@@ -832,6 +1052,15 @@ fn serve_link(
                 )))
             }
             FromWorker::Claim => {
+                // The fleet daemon's graceful-stop hook: polled here (the
+                // claim is the scheduling decision point) so a stop
+                // request stops handing out work while in-flight shards
+                // still land and persist.
+                if ctx.should_stop.is_some_and(|hook| hook()) {
+                    let mut state = coord.state.lock().expect("coordinator state poisoned");
+                    state.stopping = true;
+                    coord.wake.notify_all();
+                }
                 let batch: Vec<u32> = {
                     let mut state = coord.state.lock().expect("coordinator state poisoned");
                     loop {
@@ -843,7 +1072,7 @@ fn serve_link(
                         if !state.queue.is_empty() {
                             let want = sized_batch(
                                 config,
-                                state.workers[index].rate,
+                                state.workers[index].effective_rate(),
                                 ctx.avg_shard_workloads,
                             );
                             let take = want.min(state.queue.len());
@@ -887,19 +1116,39 @@ fn serve_link(
                     )));
                 };
                 in_flight.swap_remove(position);
-                let to_persist = {
+                let (to_persist, discovered) = {
                     let mut state = coord.state.lock().expect("coordinator state poisoned");
                     state.in_flight -= 1;
                     state.tested += result.tested as usize;
                     state.skipped += result.skipped as usize;
                     state.pruned += result.pruned as usize;
                     state.buggy += result.buggy as usize;
-                    state.processed_this_run +=
-                        (result.tested + result.skipped + result.pruned) as usize;
+                    let processed = result.tested + result.skipped + result.pruned;
+                    state.processed_this_run += processed as usize;
                     state.merged_this_run += 1;
                     let telemetry = &mut state.workers[index];
                     telemetry.shards += 1;
                     telemetry.tested += result.tested;
+                    // Fold this frame into the observed-throughput EWMA:
+                    // batch sizing follows what the worker actually
+                    // delivers, not its one-shot Hello calibration.
+                    telemetry.observe(processed, Instant::now());
+                    // Bug groups this shard introduces to the whole sweep:
+                    // collected under the lock (the seen-set must be
+                    // consistent), streamed to the hook outside it.
+                    let discovered: Vec<BugGroup> = match ctx.on_discovery {
+                        Some(_) => result
+                            .groups
+                            .groups()
+                            .into_iter()
+                            .filter(|group| {
+                                state
+                                    .seen_groups
+                                    .insert((group.skeleton.clone(), group.consequence))
+                            })
+                            .collect(),
+                        None => Vec::new(),
+                    };
                     // Encode the delta record under the lock
                     // (memory-speed), then merge the single-shard
                     // result as a checkpoint union, so the one
@@ -917,8 +1166,13 @@ fn serve_link(
                         return LinkEnd::Fatal(error);
                     }
                     coord.wake.notify_all();
-                    delta
+                    (delta, discovered)
                 };
+                if let Some(hook) = ctx.on_discovery {
+                    for group in &discovered {
+                        hook(group);
+                    }
+                }
                 // The file IO happens outside the coordinator lock so
                 // workers don't stall behind it: one small fsync'd
                 // append per shard, plus the occasional compaction.
@@ -984,6 +1238,134 @@ mod tests {
         assert_eq!(sized_batch(&config, Some(100.0), 0.0), 1);
     }
 
+    /// The documented `max_batch` bound is hard: a config whose floor
+    /// exceeds it is rejected up front by `validate()` (the old behavior
+    /// silently raised the cap to the floor), and capability sizing can
+    /// never exceed the cap.
+    #[test]
+    fn assign_batch_above_max_batch_is_rejected_not_silently_exceeded() {
+        let config = DistribConfig {
+            assign_batch: 32,
+            max_batch: 8,
+            ..DistribConfig::default()
+        };
+        let error = config.validate().unwrap_err();
+        assert!(error.to_string().contains("exceeds max_batch"), "{error}");
+        // Every coordinator entry point validates, so the bad config never
+        // reaches a transport.
+        let job = SweepJob::new(Bounds::tiny(), 2);
+        let transport = ChildTransport::new(WorkerCommand::new("unused"));
+        let error = run_with_transport(&job, &config, &transport, None).unwrap_err();
+        assert!(error.to_string().contains("exceeds max_batch"), "{error}");
+
+        let degenerate = DistribConfig {
+            max_batch: 0,
+            ..DistribConfig::default()
+        };
+        assert!(degenerate.validate().is_err());
+
+        // A valid config's sizing stays within the cap even for an
+        // arbitrarily fast worker.
+        let config = DistribConfig {
+            assign_batch: 4,
+            batch_target: Some(Duration::from_secs(2)),
+            max_batch: 16,
+            ..DistribConfig::default()
+        };
+        config.validate().unwrap();
+        assert_eq!(sized_batch(&config, Some(1.0e12), 100.0), 16);
+    }
+
+    /// Satellite: batch sizing must track *observed* throughput, not the
+    /// one-shot `Hello` calibration. A worker that reported fast but runs
+    /// slow shrinks to small batches; one that reported slow (or not at
+    /// all) but runs fast grows.
+    #[test]
+    fn observed_rate_overrides_stale_hello_calibration() {
+        let config = config_with(Some(Duration::from_secs(2)));
+        let started = Instant::now();
+        let mut telemetry = WorkerTelemetry::idle();
+        telemetry.handshake(
+            "mock:1",
+            &Hello {
+                version: PROTOCOL_VERSION,
+                calibrated_rate: 10_000.0,
+                auth: String::new(),
+            },
+            started,
+        );
+        // Freshly handshaken: only the reported rate exists, so the batch
+        // is cap-sized for the claimed 10k/s.
+        assert_eq!(telemetry.effective_rate(), Some(10_000.0));
+        assert_eq!(sized_batch(&config, telemetry.effective_rate(), 100.0), 16);
+        // The host then *delivers* 100 workloads per second: each
+        // ShardDone lands 100 workloads one second after the previous.
+        for i in 1..=5u64 {
+            telemetry.observe(100, started + Duration::from_secs(i));
+        }
+        let observed = telemetry.effective_rate().expect("observed rate exists");
+        assert!(
+            (observed - 100.0).abs() < 1.0,
+            "EWMA of identical 100/s samples must sit at 100/s, got {observed}"
+        );
+        // Batches now match reality (2 shards of ~100 workloads in the 2s
+        // target), not the stale calibration's 16.
+        assert_eq!(sized_batch(&config, telemetry.effective_rate(), 100.0), 2);
+
+        // The divergence works the other way too: an uncalibrated worker
+        // that turns out to be fast earns big batches.
+        let mut warmup = WorkerTelemetry::idle();
+        warmup.handshake(
+            "mock:2",
+            &Hello {
+                version: PROTOCOL_VERSION,
+                calibrated_rate: 0.0,
+                auth: String::new(),
+            },
+            started,
+        );
+        assert_eq!(sized_batch(&config, warmup.effective_rate(), 100.0), 1);
+        warmup.observe(2_000, started + Duration::from_secs(1));
+        assert_eq!(sized_batch(&config, warmup.effective_rate(), 100.0), 16);
+    }
+
+    /// Satellite: the moment a link dies its slot must stop advertising a
+    /// rate — a replacement link must re-earn its batch size instead of
+    /// inheriting the dead link's, and progress output must never show a
+    /// live rate on a dead endpoint.
+    #[test]
+    fn dead_slots_drop_their_rates_immediately() {
+        let started = Instant::now();
+        let mut telemetry = WorkerTelemetry::idle();
+        telemetry.handshake(
+            "127.0.0.1:9999",
+            &Hello {
+                version: PROTOCOL_VERSION,
+                calibrated_rate: 500.0,
+                auth: String::new(),
+            },
+            started,
+        );
+        telemetry.observe(100, started + Duration::from_secs(1));
+        assert!(telemetry.effective_rate().is_some());
+
+        telemetry.mark_dead();
+        assert!(!telemetry.alive);
+        assert_eq!(
+            telemetry.effective_rate(),
+            None,
+            "a dead slot must not keep a sizing rate"
+        );
+        assert_eq!(
+            telemetry.endpoint, "127.0.0.1:9999",
+            "the endpoint stays for attribution"
+        );
+        // The batch size consequently falls back to the floor until the
+        // replacement's handshake + observations rebuild a rate.
+        let config = config_with(Some(Duration::from_secs(2)));
+        assert_eq!(sized_batch(&config, telemetry.effective_rate(), 100.0), 1);
+    }
+
     /// The error table in `docs/PROTOCOL.md`: desynced streams are fatal
     /// (a respawned identical binary would desync again), dead pipes are
     /// retryable.
@@ -1041,16 +1423,10 @@ mod tests {
                 processed_this_run: 0,
                 assigned_candidates: 0,
                 stopping: false,
-                workers: vec![WorkerTelemetry {
-                    endpoint: String::new(),
-                    rate: None,
-                    tested: 0,
-                    shards: 0,
-                    respawns: 0,
-                    alive: true,
-                }],
+                workers: vec![WorkerTelemetry::idle()],
                 failed_workers: 0,
                 respawns: 0,
+                seen_groups: Default::default(),
             }),
             wake: Condvar::new(),
         };
@@ -1069,6 +1445,8 @@ mod tests {
             persister: None,
             config: &config,
             transport: &transport,
+            on_discovery: None,
+            should_stop: None,
         };
         let mut in_flight = Vec::new();
         match serve_link(0, &mut V1Link, &ctx, &mut in_flight) {

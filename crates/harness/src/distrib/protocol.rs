@@ -11,12 +11,23 @@
 //!
 //! A session is strictly ordered:
 //!
-//! 1. the worker sends [`Hello`] (protocol version + calibrated throughput),
-//! 2. the coordinator validates the version and replies with `Job`
-//!    (the [`SweepJob`] plus the checkpoint fingerprint it expects),
-//! 3. the worker recomputes the fingerprint from the decoded job and either
+//! 1. on a link that requires authentication (a non-loopback TCP worker,
+//!    see [`super::auth`]) the coordinator first sends
+//!    [`ToWorker::Challenge`] with a fresh nonce,
+//! 2. the worker sends [`Hello`] (protocol version + calibrated throughput
+//!    + the HMAC answer to the challenge, empty when unchallenged),
+//! 3. the coordinator validates the version (and the challenge answer) and
+//!    replies with `Job` (the [`SweepJob`] plus the checkpoint fingerprint
+//!    it expects) — on unauthenticated links the `Job` is sent eagerly,
+//!    crossing the `Hello` on the wire,
+//! 4. the worker recomputes the fingerprint from the decoded job and either
 //!    [`FromWorker::Reject`]s a mismatch or starts the `Claim` →
 //!    `Assign`/`Shutdown` → `ShardDone` loop.
+//!
+//! The fleet daemon speaks a second frame family over the same envelope —
+//! the client frames in [`super::fleet`] (`Enqueue`/`Status`/…, tags
+//! `0x10`–`0x14` and `0x90`–`0x94`) — documented alongside the session
+//! frames in `docs/PROTOCOL.md`.
 
 use std::io::{Read, Write};
 
@@ -35,13 +46,18 @@ use crate::sweep::ShardResult;
 /// the `Hello`/`Reject` handshake, the job fingerprint echo, and grouped
 /// report frames; v3 added the prune mode to `SweepJob` and the
 /// pruned/audited counters + audit-failure list to `ShardResult`
-/// (representative sweeps).
-pub const PROTOCOL_VERSION: u32 = 3;
+/// (representative sweeps); v4 added the shared-secret `Challenge` frame
+/// and the `auth` field in `Hello` (authenticated TCP workers), plus the
+/// fleet daemon's client frames (`Enqueue`/`Status`/`Results`/`Cancel`/
+/// `Subscribe` and their replies).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Frame tag bytes. Coordinator-to-worker tags occupy the low range,
 /// worker-to-coordinator tags have the high bit set — so a desynced stream
 /// (a frame read in the wrong direction) fails tag dispatch immediately
-/// instead of mis-parsing a payload.
+/// instead of mis-parsing a payload. The fleet daemon's client protocol
+/// follows the same convention one range up: client-to-daemon tags sit at
+/// `0x10`–`0x14`, daemon-to-client tags at `0x90`–`0x94`.
 pub mod wire {
     /// Coordinator → worker: the sweep job + expected checkpoint fingerprint.
     pub const JOB: u8 = 0x01;
@@ -49,6 +65,8 @@ pub mod wire {
     pub const ASSIGN: u8 = 0x02;
     /// Coordinator → worker: no more work; exit cleanly.
     pub const SHUTDOWN: u8 = 0x03;
+    /// Coordinator → worker: shared-secret challenge nonce (auth links only).
+    pub const CHALLENGE: u8 = 0x04;
     /// Worker → coordinator: version + capability handshake (first frame).
     pub const HELLO: u8 = 0x80;
     /// Worker → coordinator: idle, requesting shards.
@@ -57,6 +75,26 @@ pub mod wire {
     pub const SHARD_DONE: u8 = 0x82;
     /// Worker → coordinator: the job was refused (fingerprint mismatch).
     pub const REJECT: u8 = 0x83;
+    /// Client → daemon: add a sweep job to the fleet queue.
+    pub const ENQUEUE: u8 = 0x10;
+    /// Client → daemon: report every job's state.
+    pub const STATUS: u8 = 0x11;
+    /// Client → daemon: fetch one job's merged bug groups.
+    pub const RESULTS: u8 = 0x12;
+    /// Client → daemon: cancel a still-queued job.
+    pub const CANCEL: u8 = 0x13;
+    /// Client → daemon: stream bug-group discoveries as they are merged.
+    pub const SUBSCRIBE: u8 = 0x14;
+    /// Daemon → client: a job id acknowledging `Enqueue` or `Cancel`.
+    pub const ACK: u8 = 0x90;
+    /// Daemon → client: the queue's job states (`Status` reply).
+    pub const STATUS_REPORT: u8 = 0x91;
+    /// Daemon → client: one job's state + merged bug groups (`Results` reply).
+    pub const RESULTS_REPORT: u8 = 0x92;
+    /// Daemon → client: the request failed (reason attached).
+    pub const CLIENT_ERROR: u8 = 0x93;
+    /// Daemon → client: one newly merged bug group (subscription stream).
+    pub const EVENT: u8 = 0x94;
 }
 
 /// Largest frame either side accepts. Real frames are far smaller (a Job
@@ -104,7 +142,7 @@ pub fn read_frame(reader: &mut impl Read) -> FsResult<Vec<u8>> {
 
 /// The worker's opening handshake frame: which protocol it speaks and how
 /// fast it measured itself to be.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hello {
     /// The worker binary's [`PROTOCOL_VERSION`]. The coordinator refuses
     /// any other value — and never respawns after a refusal, since the
@@ -112,10 +150,14 @@ pub struct Hello {
     pub version: u32,
     /// Workloads per second measured by a short calibration burst on the
     /// worker's host, or `0.0` when calibration was disabled. The
-    /// coordinator uses this to size the worker's shard batches
-    /// (capability negotiation); it is a relative capability signal, not a
-    /// promise of sweep throughput.
+    /// coordinator seeds the worker's shard-batch sizing from this until
+    /// observed throughput takes over (capability negotiation); it is a
+    /// relative capability signal, not a promise of sweep throughput.
     pub calibrated_rate: f64,
+    /// Answer to a [`ToWorker::Challenge`]: lowercase hex of
+    /// `HMAC-SHA-256(secret, nonce)` (see [`super::auth`]). Empty on links
+    /// that were not challenged (spawned stdio/ssh workers, loopback TCP).
+    pub auth: String,
 }
 
 /// Coordinator-to-worker messages.
@@ -133,11 +175,20 @@ pub enum ToWorker {
         /// `job.empty_checkpoint().fingerprint()` as the coordinator sees it.
         fingerprint: String,
     },
-    /// Shard indices to run, in order. Sized by the worker's calibrated
-    /// throughput when capability-based batching is on.
+    /// Shard indices to run, in order. Sized by the worker's effective
+    /// throughput (observed EWMA, seeded by the calibrated `Hello` rate)
+    /// when capability-based batching is on.
     Assign(Vec<u32>),
     /// No more work; the worker exits cleanly.
     Shutdown,
+    /// Shared-secret challenge, sent *before* the `Job` on links that
+    /// require authentication (non-loopback TCP workers). The worker must
+    /// answer in its `Hello.auth` field; a worker without the secret can
+    /// only `Reject`. Unauthenticated links never see this frame.
+    Challenge {
+        /// Fresh per-link nonce the worker's HMAC must cover.
+        nonce: String,
+    },
 }
 
 impl ToWorker {
@@ -158,6 +209,10 @@ impl ToWorker {
                 }
             }
             ToWorker::Shutdown => enc.put_u8(wire::SHUTDOWN),
+            ToWorker::Challenge { nonce } => {
+                enc.put_u8(wire::CHALLENGE);
+                enc.put_str(nonce);
+            }
         }
         enc.finish()
     }
@@ -189,6 +244,9 @@ impl ToWorker {
                 Ok(ToWorker::Assign(shards))
             }
             wire::SHUTDOWN => Ok(ToWorker::Shutdown),
+            wire::CHALLENGE => Ok(ToWorker::Challenge {
+                nonce: dec.get_str()?,
+            }),
             tag => Err(FsError::Corrupted(format!(
                 "unknown coordinator message tag {tag:#x}"
             ))),
@@ -229,6 +287,7 @@ impl FromWorker {
                 enc.put_u8(wire::HELLO);
                 enc.put_u32(hello.version);
                 enc.put_u64(hello.calibrated_rate.to_bits());
+                enc.put_str(&hello.auth);
             }
             FromWorker::Claim => enc.put_u8(wire::CLAIM),
             FromWorker::ShardDone { shard, result } => {
@@ -251,9 +310,11 @@ impl FromWorker {
             wire::HELLO => {
                 let version = dec.get_u32()?;
                 let calibrated_rate = f64::from_bits(dec.get_u64()?);
+                let auth = dec.get_str()?;
                 Ok(FromWorker::Hello(Hello {
                     version,
                     calibrated_rate,
+                    auth,
                 }))
             }
             wire::CLAIM => Ok(FromWorker::Claim),
@@ -290,15 +351,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn hello_round_trips_including_rate() {
+    fn hello_round_trips_including_rate_and_auth() {
         let hello = Hello {
             version: PROTOCOL_VERSION,
             calibrated_rate: 1234.5678,
+            auth: "0123abcd".into(),
         };
-        let frame = FromWorker::Hello(hello).to_frame();
+        let frame = FromWorker::Hello(hello.clone()).to_frame();
         match FromWorker::from_frame(&frame).unwrap() {
             FromWorker::Hello(decoded) => assert_eq!(decoded, hello),
             other => panic!("expected Hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn challenge_round_trips_its_nonce() {
+        let frame = ToWorker::Challenge {
+            nonce: "feedface".into(),
+        }
+        .to_frame();
+        match ToWorker::from_frame(&frame).unwrap() {
+            ToWorker::Challenge { nonce } => assert_eq!(nonce, "feedface"),
+            other => panic!("expected Challenge, got {other:?}"),
         }
     }
 
@@ -307,11 +381,13 @@ mod tests {
         assert!(validate_hello(&Hello {
             version: PROTOCOL_VERSION,
             calibrated_rate: 0.0,
+            auth: String::new(),
         })
         .is_ok());
         let stale = Hello {
             version: PROTOCOL_VERSION + 1,
             calibrated_rate: 0.0,
+            auth: String::new(),
         };
         let error = validate_hello(&stale).unwrap_err();
         assert!(error.to_string().contains("protocol version"));

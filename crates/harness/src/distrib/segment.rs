@@ -176,7 +176,7 @@ pub fn load_checkpoint(path: &Path) -> FsResult<Option<SweepCheckpoint>> {
 /// other's temp), fsynced before the rename, with the parent directory
 /// fsynced after — rename-without-fsync is precisely the bug class this
 /// project tests for. A failed attempt removes its temp file.
-fn write_atomic(path: &Path, bytes: &[u8]) -> FsResult<()> {
+pub(super) fn write_atomic(path: &Path, bytes: &[u8]) -> FsResult<()> {
     static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     fn inner(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         use std::io::Write;

@@ -82,6 +82,15 @@ pub trait WorkerLink: Send {
     /// Forcibly tears the link down (kills a spawned child, shuts the
     /// socket): used when the worker broke protocol or died. Idempotent.
     fn abort(&mut self);
+
+    /// The shared secret this link's worker must prove knowledge of before
+    /// it is handed a job ([`super::auth`]): `Some` makes the coordinator
+    /// open the session with a `Challenge` and verify the `Hello`'s answer.
+    /// The default (`None`, used by the spawned stdio/ssh links and
+    /// loopback TCP) skips the challenge entirely.
+    fn required_secret(&self) -> Option<&str> {
+        None
+    }
 }
 
 /// Establishes links to fresh workers. One transport serves every worker
@@ -239,6 +248,10 @@ struct TcpLink {
     reader: std::io::BufReader<TcpStream>,
     writer: TcpStream,
     endpoint: String,
+    /// `Some` when the transport's auth policy requires this peer to pass
+    /// the shared-secret challenge (non-loopback peers, or any peer when
+    /// loopback auth is forced).
+    required_secret: Option<String>,
 }
 
 impl WorkerLink for TcpLink {
@@ -261,6 +274,10 @@ impl WorkerLink for TcpLink {
     fn abort(&mut self) {
         let _ = self.writer.shutdown(std::net::Shutdown::Both);
     }
+
+    fn required_secret(&self) -> Option<&str> {
+        self.required_secret.as_deref()
+    }
 }
 
 /// The TCP transport: the coordinator binds a listener and every
@@ -278,6 +295,14 @@ pub struct TcpTransport {
     local_addr: SocketAddr,
     accept_timeout: Duration,
     launcher: Option<WorkerCommand>,
+    /// Shared secret for the HMAC challenge ([`super::auth`]). Required to
+    /// accept non-loopback workers; without it any non-loopback connection
+    /// is refused outright.
+    secret: Option<String>,
+    /// Forces the challenge even for loopback peers — normally loopback is
+    /// exempt (the workers are ours), but the auth tests and belt-and-
+    /// braces deployments flip this.
+    loopback_auth: bool,
     /// Every worker process the launcher spawned. Links do not own
     /// children (see [`TcpLink`]); exited children are reaped
     /// opportunistically on each connect, and whatever is left is killed
@@ -304,6 +329,8 @@ impl TcpTransport {
             local_addr,
             accept_timeout: Duration::from_secs(30),
             launcher: None,
+            secret: None,
+            loopback_auth: false,
             launched: Mutex::new(Vec::new()),
         })
     }
@@ -326,6 +353,38 @@ impl TcpTransport {
     pub fn with_accept_timeout(mut self, timeout: Duration) -> TcpTransport {
         self.accept_timeout = timeout;
         self
+    }
+
+    /// Sets the shared secret non-loopback workers must authenticate with
+    /// (HMAC challenge, [`super::auth`]). Without a secret, non-loopback
+    /// connections are refused at accept time.
+    pub fn with_secret(mut self, secret: impl Into<String>) -> TcpTransport {
+        self.secret = Some(secret.into());
+        self
+    }
+
+    /// Requires the challenge even from loopback peers (normally exempt).
+    /// Used by the auth tests — CI has only loopback — and by deployments
+    /// that want every link challenged regardless of source address.
+    pub fn with_loopback_auth(mut self, required: bool) -> TcpTransport {
+        self.loopback_auth = required;
+        self
+    }
+
+    /// The auth policy for one accepted peer: `Ok(Some(secret))` when the
+    /// link must be challenged, `Ok(None)` when it may proceed
+    /// unauthenticated, `Err` when it must be refused (a peer we cannot
+    /// challenge because no secret is configured).
+    fn peer_auth(&self, peer: &SocketAddr) -> FsResult<Option<String>> {
+        let needs_auth = self.loopback_auth || !peer.ip().is_loopback();
+        match (&self.secret, needs_auth) {
+            (_, false) => Ok(None),
+            (Some(secret), true) => Ok(Some(secret.clone())),
+            (None, true) => Err(FsError::InvalidArgument(format!(
+                "worker at {peer} requires the shared-secret challenge but no secret is \
+                 configured on this listener (set one with --secret / TcpTransport::with_secret)"
+            ))),
+        }
     }
 
     fn accept(
@@ -412,6 +471,15 @@ impl Transport for TcpTransport {
         let Some((stream, peer)) = self.accept(cancelled)? else {
             return Ok(None);
         };
+        // A peer we must challenge but cannot (no secret configured) is
+        // refused before it joins the pool.
+        let required_secret = match self.peer_auth(&peer) {
+            Ok(required_secret) => required_secret,
+            Err(refused) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return Err(refused);
+            }
+        };
         // The listener is non-blocking for the deadline loop above, but the
         // accepted stream must block: frames are read with read_exact.
         stream
@@ -425,6 +493,7 @@ impl Transport for TcpTransport {
             reader: std::io::BufReader::new(reader),
             writer: stream,
             endpoint: peer.to_string(),
+            required_secret,
         })))
     }
 }
@@ -535,6 +604,27 @@ mod tests {
             started.elapsed() < Duration::from_secs(60),
             "cancellation must beat the accept timeout"
         );
+    }
+
+    #[test]
+    fn tcp_auth_policy_challenges_non_loopback_and_exempts_loopback() {
+        let loopback: SocketAddr = "127.0.0.1:5000".parse().unwrap();
+        let remote: SocketAddr = "192.0.2.7:5000".parse().unwrap();
+
+        let open = TcpTransport::bind("127.0.0.1:0").unwrap();
+        assert_eq!(open.peer_auth(&loopback).unwrap(), None);
+        let refused = open.peer_auth(&remote).unwrap_err();
+        assert!(refused.to_string().contains("no secret is configured"));
+
+        let secured = TcpTransport::bind("127.0.0.1:0").unwrap().with_secret("s");
+        assert_eq!(secured.peer_auth(&loopback).unwrap(), None);
+        assert_eq!(secured.peer_auth(&remote).unwrap(), Some("s".into()));
+
+        let strict = TcpTransport::bind("127.0.0.1:0")
+            .unwrap()
+            .with_secret("s")
+            .with_loopback_auth(true);
+        assert_eq!(strict.peer_auth(&loopback).unwrap(), Some("s".into()));
     }
 
     #[test]

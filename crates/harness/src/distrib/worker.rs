@@ -4,8 +4,11 @@
 //! process's stdin/stdout (for stdio-child and ssh-pipe transports, where
 //! the spawner owns the pipe), and [`worker_connect`] dials a coordinator's
 //! TCP listener and speaks the same frames over the socket. Both run the
-//! identical loop: calibrate (optionally), send `Hello`, receive the job,
-//! verify its fingerprint, then claim and run shards until `Shutdown`.
+//! identical loop: calibrate (optionally), read the coordinator's opening
+//! frame (a `Challenge` on authenticated links, otherwise the eagerly-sent
+//! `Job`), send `Hello` (carrying the HMAC challenge answer when one was
+//! issued), verify the job fingerprint, then claim and run shards until
+//! `Shutdown`.
 
 use std::io::{Read, Write};
 use std::time::Instant;
@@ -37,8 +40,13 @@ pub struct WorkerOptions {
     /// Workloads to run in the calibration burst before the `Hello` frame.
     /// `0` (the default) skips calibration and reports an unknown rate; the
     /// coordinator then falls back to fixed-size shard batches for this
-    /// worker.
+    /// worker until observed throughput accumulates.
     pub calibration_workloads: u64,
+    /// Shared secret for answering a coordinator's `Challenge` (required
+    /// when dialing a non-loopback listener; see
+    /// [`super::auth`]). `None` on spawned stdio/ssh workers and loopback
+    /// dials, which are never challenged.
+    pub secret: Option<String>,
 }
 
 /// Measures this host's crash-testing throughput with a short burst over a
@@ -110,8 +118,9 @@ fn exit_code(result: FsResult<()>) -> i32 {
     }
 }
 
-/// One full worker session over any framed byte pipe: `Hello` → `Job`
-/// (fingerprint-verified) → `Claim`/`Assign`/`ShardDone` → `Shutdown`.
+/// One full worker session over any framed byte pipe:
+/// (`Challenge` →) `Hello` → `Job` (fingerprint-verified) →
+/// `Claim`/`Assign`/`ShardDone` → `Shutdown`.
 fn worker_loop(
     reader: &mut impl Read,
     writer: &mut impl Write,
@@ -122,16 +131,48 @@ fn worker_loop(
     } else {
         0.0
     };
+
+    // The coordinator always writes its opening frame eagerly — a
+    // `Challenge` on authenticated links, otherwise the `Job` itself — so
+    // reading before sending `Hello` cannot deadlock, and lets the worker
+    // fold the challenge answer into the `Hello` it was going to send
+    // anyway.
+    let mut first = ToWorker::from_frame(&read_frame(reader)?)?;
+    let auth = match &first {
+        ToWorker::Challenge { nonce } => match &options.secret {
+            Some(secret) => super::auth::auth_tag(secret, nonce),
+            None => {
+                let reason = "coordinator requires a shared secret (--secret) \
+                              but this worker has none"
+                    .to_string();
+                write_frame(
+                    writer,
+                    &FromWorker::Reject {
+                        reason: reason.clone(),
+                    }
+                    .to_frame(),
+                )?;
+                return Err(FsError::InvalidArgument(reason));
+            }
+        },
+        _ => String::new(),
+    };
     write_frame(
         writer,
         &FromWorker::Hello(Hello {
             version: PROTOCOL_VERSION,
             calibrated_rate,
+            auth,
         })
         .to_frame(),
     )?;
+    // On a challenged link the `Job` only arrives after the coordinator
+    // verified our `Hello`.
+    if matches!(first, ToWorker::Challenge { .. }) {
+        first = ToWorker::from_frame(&read_frame(reader)?)?;
+    }
 
-    let (job, expected_fingerprint) = match ToWorker::from_frame(&read_frame(reader)?)? {
+    let (job, expected_fingerprint) = match first {
         ToWorker::Job { job, fingerprint } => (job, fingerprint),
         _ => {
             return Err(FsError::Corrupted(
@@ -200,6 +241,11 @@ fn worker_loop(
             ToWorker::Shutdown => return Ok(()),
             ToWorker::Job { .. } => {
                 return Err(FsError::Corrupted("unexpected second Job message".into()))
+            }
+            ToWorker::Challenge { .. } => {
+                return Err(FsError::Corrupted(
+                    "unexpected mid-session Challenge message".into(),
+                ))
             }
         }
     }

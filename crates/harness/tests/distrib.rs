@@ -458,7 +458,12 @@ fn four_tcp_workers_match_single_process_with_endpoint_labels() {
 /// sweep to completion when respawn is enabled: every death re-queues the
 /// in-flight shards and accepts a replacement connection, and the final
 /// counts are byte-identical to the uninterrupted single-process sweep —
-/// nothing lost, nothing double-counted.
+/// nothing lost, nothing double-counted. The workers calibrate, so every
+/// link carries a batch-sizing rate — and because each one dies shortly
+/// after, every progress snapshot doubles as a regression check that a
+/// dead slot's telemetry row is cleared the moment the link is lost,
+/// rather than keeping the dead worker's calibrated rate until the
+/// replacement's Hello.
 #[test]
 fn tcp_workers_killed_mid_shard_are_respawned_until_convergence() {
     let bounds = small_seq2_bounds();
@@ -469,14 +474,32 @@ fn tcp_workers_killed_mid_shard_are_respawned_until_convergence() {
         // Every generation dies after 15 workloads (mid-second-shard), so
         // convergence *requires* respawn to keep re-establishing links.
         respawn_budget: 50,
+        // Snapshot often, to catch slots in the dead-awaiting-respawn gap.
+        progress_interval: Duration::from_millis(20),
         ..DistribConfig::default()
     };
     let transport = TcpTransport::bind("127.0.0.1:0")
         .expect("loopback listener binds")
-        .with_launcher(worker_command().arg("--die-after-workloads").arg("15"));
+        .with_launcher(
+            worker_command()
+                .arg("--calibrate=8")
+                .arg("--die-after-workloads")
+                .arg("15"),
+        );
 
-    let outcome =
-        run_with_transport(&job, &config, &transport, None).expect("respawned sweep converges");
+    // Every snapshot must uphold the telemetry invariant: a slot whose
+    // link is gone (`throughput: None`) must not advertise a sizing rate.
+    let stale_rates = std::sync::Mutex::new(Vec::new());
+    let callback = |p: &b3_harness::Progress| {
+        let mut stale = stale_rates.lock().unwrap();
+        for w in p.per_worker.iter() {
+            if w.throughput.is_none() && w.rate.is_some() {
+                stale.push((w.worker, w.endpoint.clone(), w.rate));
+            }
+        }
+    };
+    let outcome = run_with_transport(&job, &config, &transport, Some(&callback))
+        .expect("respawned sweep converges");
     assert!(outcome.is_complete());
     assert!(
         outcome.respawns > 0,
@@ -487,6 +510,11 @@ fn tcp_workers_killed_mid_shard_are_respawned_until_convergence() {
         "every slot must finish cleanly once the queue drains"
     );
     assert_summaries_equivalent(&outcome.summary, &single);
+    assert_eq!(
+        stale_rates.into_inner().unwrap(),
+        Vec::new(),
+        "dead slots kept a stale batch-sizing rate"
+    );
 }
 
 /// The ssh-pipe transport re-execs the worker over an `ssh` program whose
@@ -569,14 +597,10 @@ fn worker_rejects_job_with_mismatched_fingerprint() {
         .expect("worker spawns")
         .expect("child transports always produce a link");
 
-    // The worker leads with a version-correct Hello.
-    let hello = FromWorker::from_frame(&link.recv().expect("hello arrives")).unwrap();
-    match hello {
-        FromWorker::Hello(Hello { version, .. }) => assert_eq!(version, PROTOCOL_VERSION),
-        other => panic!("worker must open with Hello, sent {other:?}"),
-    }
-
-    // Send the job with a fingerprint no binary would compute.
+    // The worker reads its opening frame before speaking (it could be a
+    // `Challenge` it must answer in the `Hello`), so the coordinator's
+    // eager `Job` goes out first. Send one with a fingerprint no binary
+    // would compute.
     let job = SweepJob::new(small_seq2_bounds(), NUM_SHARDS);
     let frame = ToWorker::Job {
         job,
@@ -585,6 +609,14 @@ fn worker_rejects_job_with_mismatched_fingerprint() {
     .to_frame();
     link.send(&frame).expect("job frame sends");
 
+    // The worker still answers with a version-correct Hello...
+    let hello = FromWorker::from_frame(&link.recv().expect("hello arrives")).unwrap();
+    match hello {
+        FromWorker::Hello(Hello { version, .. }) => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("worker must open with Hello, sent {other:?}"),
+    }
+
+    // ...and then refuses the job.
     match FromWorker::from_frame(&link.recv().expect("reject arrives")).unwrap() {
         FromWorker::Reject { reason } => {
             assert!(reason.contains("fingerprint mismatch"), "{reason}");
@@ -592,6 +624,64 @@ fn worker_rejects_job_with_mismatched_fingerprint() {
         other => panic!("worker must Reject a mismatched fingerprint, sent {other:?}"),
     }
     link.abort();
+}
+
+/// The shared-secret half of the handshake, end to end over real TCP
+/// links: an authenticating listener opens with a `Challenge` instead of
+/// the eager `Job`, and only workers answering with the right HMAC tag are
+/// ever given work. Loopback is normally exempt, so the test opts it in
+/// (`with_loopback_auth`) — the same code path a non-loopback listener
+/// takes unconditionally.
+#[test]
+fn challenged_tcp_workers_without_the_secret_are_rejected_at_the_handshake() {
+    let bounds = small_seq2_bounds();
+    let single = single_process_summary(&bounds);
+    let job = SweepJob::new(bounds, NUM_SHARDS);
+    let config = DistribConfig {
+        workers: 2,
+        ..DistribConfig::default()
+    };
+    let secret = "tcp-fleet-secret";
+
+    // Workers holding the secret authenticate and the sweep is equivalent
+    // to the single-process run — the challenge is invisible to results.
+    let transport = TcpTransport::bind("127.0.0.1:0")
+        .expect("loopback listener binds")
+        .with_loopback_auth(true)
+        .with_secret(secret.to_string())
+        .with_launcher(worker_command().arg("--secret").arg(secret));
+    let outcome =
+        run_with_transport(&job, &config, &transport, None).expect("authenticated sweep runs");
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.failed_workers, 0);
+    assert_summaries_equivalent(&outcome.summary, &single);
+
+    // A worker with no secret at all refuses the challenge (it cannot
+    // answer) and the coordinator reports the refusal; no work is done.
+    let transport = TcpTransport::bind("127.0.0.1:0")
+        .expect("loopback listener binds")
+        .with_loopback_auth(true)
+        .with_secret(secret.to_string())
+        .with_launcher(worker_command());
+    let err = run_with_transport(&job, &config, &transport, None)
+        .expect_err("a secretless worker must not be served");
+    assert!(err.to_string().contains("secret"), "{err}");
+
+    // A worker with the *wrong* secret sends a tag that fails
+    // verification: the coordinator kills the link without ever sending
+    // the job.
+    let transport = TcpTransport::bind("127.0.0.1:0")
+        .expect("loopback listener binds")
+        .with_loopback_auth(true)
+        .with_secret(secret.to_string())
+        .with_launcher(worker_command().arg("--secret").arg("not-the-secret"));
+    let err = run_with_transport(&job, &config, &transport, None)
+        .expect_err("a wrong-secret worker must not be served");
+    assert!(
+        err.to_string()
+            .contains("failed the shared-secret challenge"),
+        "{err}"
+    );
 }
 
 /// The acceptance-scale differential: the **full paper seq-2 space**

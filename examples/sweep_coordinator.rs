@@ -14,7 +14,9 @@
 //!   demo of the network path (CI smokes this).
 //! * `--listen ADDR`: bind ADDR and wait for externally started workers
 //!   (`b3-sweep-worker --connect HOST:PORT` from any machine that can
-//!   reach it).
+//!   reach it). With `--secret S` (or `B3_SWEEP_SECRET`), non-loopback
+//!   workers must answer a shared-secret HMAC challenge before the job
+//!   is revealed (`docs/PROTOCOL.md`); workers supply the same value.
 //! * `--ssh HOST` (repeatable): re-exec the worker on remote hosts over
 //!   ssh pipes; `--remote-worker CMD` names the worker binary on the
 //!   remote side (default `b3-sweep-worker`).
@@ -54,6 +56,11 @@
 //! an `all` sweep never resumes a `last` checkpoint or vice versa). The
 //! big `seq-4-metadata` space (~688M candidates) is only practical with
 //! `--prune rep`.
+//!
+//! For a *long-lived, multi-job* coordinator — a queue of sweeps served
+//! by one resident daemon, with enqueue/status/results/cancel over TCP
+//! and live bug-group streams — see the `b3-sweep-fleet` binary
+//! (`b3_harness::distrib::fleet`).
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -77,6 +84,7 @@ struct Args {
     listen: Option<String>,
     ssh_hosts: Vec<String>,
     remote_worker: String,
+    secret: Option<String>,
     respawn: usize,
     calibrate: bool,
     batch_target_ms: Option<u64>,
@@ -97,6 +105,9 @@ fn parse_args() -> Result<Args, String> {
         listen: None,
         ssh_hosts: Vec::new(),
         remote_worker: "b3-sweep-worker".into(),
+        secret: std::env::var("B3_SWEEP_SECRET")
+            .ok()
+            .filter(|s| !s.is_empty()),
         respawn: 0,
         calibrate: false,
         batch_target_ms: None,
@@ -144,6 +155,7 @@ fn parse_args() -> Result<Args, String> {
                 parsed.transport = name;
             }
             "--listen" => parsed.listen = Some(value()?),
+            "--secret" => parsed.secret = Some(value()?),
             "--ssh" => parsed.ssh_hosts.push(value()?),
             "--remote-worker" => parsed.remote_worker = value()?,
             "--respawn" => {
@@ -209,12 +221,22 @@ fn build_transport(args: &Args) -> Result<Box<dyn Transport>, String> {
         return Ok(Box::new(SshTransport::new(args.ssh_hosts.clone(), remote)));
     }
     if let Some(addr) = &args.listen {
-        let transport = TcpTransport::bind(addr)
+        let mut transport = TcpTransport::bind(addr)
             .map_err(|e| e.to_string())?
             .with_accept_timeout(Duration::from_secs(300));
+        if let Some(secret) = &args.secret {
+            // Non-loopback workers must now answer the HMAC challenge;
+            // they pass the same value via --secret or B3_SWEEP_SECRET.
+            transport = transport.with_secret(secret.clone());
+        }
         println!(
-            "listening on {}; start workers with: b3-sweep-worker --connect {}",
+            "listening on {}{}; start workers with: b3-sweep-worker --connect {}",
             transport.local_addr(),
+            if args.secret.is_some() {
+                " (shared-secret challenge armed)"
+            } else {
+                ""
+            },
             transport.local_addr()
         );
         return Ok(Box::new(transport));

@@ -184,10 +184,21 @@ fn protocol_spec_matches_the_wire_constants() {
         ("Job".to_string(), wire::JOB),
         ("Assign".to_string(), wire::ASSIGN),
         ("Shutdown".to_string(), wire::SHUTDOWN),
+        ("Challenge".to_string(), wire::CHALLENGE),
         ("Hello".to_string(), wire::HELLO),
         ("Claim".to_string(), wire::CLAIM),
         ("ShardDone".to_string(), wire::SHARD_DONE),
         ("Reject".to_string(), wire::REJECT),
+        ("Enqueue".to_string(), wire::ENQUEUE),
+        ("Status".to_string(), wire::STATUS),
+        ("Results".to_string(), wire::RESULTS),
+        ("Cancel".to_string(), wire::CANCEL),
+        ("Subscribe".to_string(), wire::SUBSCRIBE),
+        ("Ack".to_string(), wire::ACK),
+        ("StatusReport".to_string(), wire::STATUS_REPORT),
+        ("ResultsReport".to_string(), wire::RESULTS_REPORT),
+        ("Error".to_string(), wire::CLIENT_ERROR),
+        ("Event".to_string(), wire::EVENT),
     ]
     .into();
     assert_eq!(
