@@ -214,7 +214,7 @@ proptest! {
             };
             match classifier.classify(&rep_ops) {
                 Some(Class::Representative { key: rep_key }) => {
-                    prop_assert_eq!(&rep_key, &key)
+                    prop_assert_eq!(&rep_key, &key);
                 }
                 other => prop_assert!(false, "rep of {} classifies as {:?}", workload.name, other),
             }

@@ -17,10 +17,15 @@ fn oversharding_produces_empty_shards_but_loses_nothing() {
 
     let shards = bounds.shards(num_shards);
     assert!(
-        shards.iter().any(|s| s.is_empty()),
+        shards
+            .iter()
+            .any(b3_ace::generator::WorkloadShard::is_empty),
         "more shards than candidates forces empty shards"
     );
-    let covered: u64 = shards.iter().map(|s| s.candidates()).sum();
+    let covered: u64 = shards
+        .iter()
+        .map(b3_ace::generator::WorkloadShard::candidates)
+        .sum();
     assert_eq!(covered, total);
     for shard in &shards {
         assert!(
@@ -55,7 +60,10 @@ fn final_partial_shard_covers_exactly_the_tail() {
     for pair in shards.windows(2) {
         assert_eq!(pair[0].end, pair[1].start, "shards tile the space");
     }
-    let sizes: Vec<u64> = shards.iter().map(|s| s.candidates()).collect();
+    let sizes: Vec<u64> = shards
+        .iter()
+        .map(b3_ace::generator::WorkloadShard::candidates)
+        .collect();
     let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
     assert!(max - min <= 1, "shards are near-equal: {sizes:?}");
 

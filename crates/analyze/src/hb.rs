@@ -1,0 +1,424 @@
+//! The happens-before model over a recorded IO stream, and the race and
+//! triage analyses built on it.
+//!
+//! The model (docs/ANALYSIS.md): a recorded [`IoLog`] is a sequence of block
+//! writes, `Flush` barriers, and `Checkpoint` markers (one per completed
+//! persistence operation). Flush barriers are the only ordering the storage
+//! stack guarantees — a write issued before a flush is persisted before any
+//! write issued after it. Writes between two consecutive barriers form one
+//! *flush epoch* and are mutually unordered: a crash may expose them in any
+//! subset/order the hardware chooses. The happens-before relation is
+//! therefore the total order on epochs lifted to writes, with writes inside
+//! one epoch incomparable.
+//!
+//! Two products are derived per workload:
+//!
+//! * **Persistence races** — pairs of incomparable writes pending at a crash
+//!   point (plus the rename/fsync special case), each mapped back to the
+//!   syscall span that produced them.
+//! * **Crash-window triage** — each crash point is classified as a *hazard
+//!   window* (incomparable writes pending: the exposed state is one of
+//!   several legal reorderings) or as *ordered* (every pending pair is
+//!   flush-separated), and — when its content digest matches an
+//!   already-seen state — as *provably quiescent*: bit-identical to a
+//!   neighbor that has already been tested.
+
+use std::collections::HashMap;
+
+use b3_block::{BlockIndex, CheckpointId, IoLog, IoRecord};
+use b3_vfs::{Op, Workload, WriteMode};
+
+use crate::digest::StateDigest;
+
+/// A write that is part of a race: where it landed and where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceSite {
+    /// Sequence number of the write record in the log.
+    pub seq: u64,
+    /// Destination block.
+    pub block: BlockIndex,
+}
+
+/// The kind of a reported persistence race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two writes to different blocks share a flush epoch at a crash point:
+    /// the crash may persist either, both, or neither.
+    UnorderedWrites,
+    /// A rename executed in the window but its metadata writes are not
+    /// followed by a flush barrier before the crash point, so the crash can
+    /// expose a half-renamed namespace (the classic rename/fsync bug shape).
+    UnflushedRename,
+}
+
+impl RaceKind {
+    /// Short tag used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RaceKind::UnorderedWrites => "unordered-writes",
+            RaceKind::UnflushedRename => "unflushed-rename",
+        }
+    }
+}
+
+/// One persistence race left open at a crash point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceRace {
+    /// The race's kind.
+    pub kind: RaceKind,
+    /// The crash point (checkpoint marker) the race is pending at.
+    pub checkpoint: CheckpointId,
+    /// The two incomparable writes ([`RaceKind::UnflushedRename`] reports
+    /// the rename's first and last pending metadata write).
+    pub first: RaceSite,
+    /// See [`PersistenceRace::first`].
+    pub second: RaceSite,
+    /// Total incomparable writes pending in the epoch this race belongs to
+    /// (the two sites above are representatives).
+    pub pending_writes: usize,
+    /// The syscall span `[start, end]` (indices into the workload's
+    /// `all_ops()` order) that produced the window's writes.
+    pub op_span: (usize, usize),
+    /// Human-readable description of the syscalls in the span.
+    pub op_descriptions: Vec<String>,
+}
+
+/// How a crash window was classified by the static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowClass {
+    /// The state is bit-identical (by content digest) to an earlier crash
+    /// state of the same log: crash point `witness` for states repeating an
+    /// earlier marker, or the base image when no write has landed yet.
+    Quiescent {
+        /// The earlier checkpoint this state is bit-identical to; `None`
+        /// means the state equals the base (pre-workload) image.
+        witness: Option<CheckpointId>,
+    },
+    /// New state, and every pending write pair is separated by a flush
+    /// barrier: exactly one legal post-crash content.
+    Ordered,
+    /// New state with incomparable pending writes: the exposed content is
+    /// one of several legal reorderings.
+    Hazard {
+        /// Indices into [`Analysis::races`] of the races pending here.
+        races: Vec<usize>,
+    },
+}
+
+impl WindowClass {
+    /// Short tag used in reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WindowClass::Quiescent { .. } => "quiescent",
+            WindowClass::Ordered => "ordered",
+            WindowClass::Hazard { .. } => "hazard",
+        }
+    }
+}
+
+/// One crash point (checkpoint marker) and what the analysis concluded
+/// about the window of IO leading up to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The checkpoint marker id (1-based).
+    pub checkpoint: CheckpointId,
+    /// Number of write records in the window (since the previous marker).
+    pub writes: usize,
+    /// Number of flush barriers inside the window.
+    pub flushes: usize,
+    /// Content digest of the crash state cut at this marker.
+    pub state_digest: u128,
+    /// The syscall span `[start, end]` (indices into `all_ops()` order)
+    /// whose execution produced this window, when the workload structure
+    /// could be aligned with the marker stream.
+    pub op_span: Option<(usize, usize)>,
+    /// The persistence operation that created this marker, e.g. `"fsync A"`.
+    pub op_description: String,
+    /// The classification.
+    pub class: WindowClass,
+}
+
+/// The full analysis of one workload's recorded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// The workload's name.
+    pub workload_name: String,
+    /// One entry per checkpoint marker, in marker order.
+    pub windows: Vec<CrashWindow>,
+    /// Every reported race, in discovery order.
+    pub races: Vec<PersistenceRace>,
+    /// Total flush epochs in the log (barrier count + 1).
+    pub epochs: usize,
+}
+
+impl Analysis {
+    /// Number of hazard windows.
+    pub fn hazard_windows(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| matches!(w.class, WindowClass::Hazard { .. }))
+            .count()
+    }
+
+    /// Number of provably-quiescent windows.
+    pub fn quiescent_windows(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| matches!(w.class, WindowClass::Quiescent { .. }))
+            .count()
+    }
+}
+
+impl std::fmt::Display for Analysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "workload {}: {} crash points, {} flush epochs, {} races, {} hazard / {} quiescent",
+            self.workload_name,
+            self.windows.len(),
+            self.epochs,
+            self.races.len(),
+            self.hazard_windows(),
+            self.quiescent_windows(),
+        )?;
+        for window in &self.windows {
+            let span = match window.op_span {
+                Some((start, end)) if start == end => format!("op {start}"),
+                Some((start, end)) => format!("ops {start}..={end}"),
+                None => "ops ?".to_string(),
+            };
+            writeln!(
+                f,
+                "  crash point {} ({}; {}): {} writes, {} flushes -> {}",
+                window.checkpoint,
+                window.op_description,
+                span,
+                window.writes,
+                window.flushes,
+                window.class.as_str(),
+            )?;
+            match &window.class {
+                WindowClass::Quiescent { witness: Some(w) } => {
+                    writeln!(f, "    bit-identical to crash point {w}")?;
+                }
+                WindowClass::Quiescent { witness: None } => {
+                    writeln!(f, "    bit-identical to the base image")?;
+                }
+                WindowClass::Hazard { races } => {
+                    for &index in races {
+                        let race = &self.races[index];
+                        writeln!(
+                            f,
+                            "    race [{}]: write seq {} (block {}) vs write seq {} (block {}), {} pending; from {}",
+                            race.kind.as_str(),
+                            race.first.seq,
+                            race.first.block,
+                            race.second.seq,
+                            race.second.block,
+                            race.pending_writes,
+                            race.op_descriptions.join("; "),
+                        )?;
+                    }
+                }
+                WindowClass::Ordered => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Indices (into `all_ops()` order) of the operations that insert checkpoint
+/// markers, mirroring the profiler's rule: persistence points always, plus
+/// direct writes when the configuration models them as persistence points.
+fn checkpoint_op_indices(
+    workload: &Workload,
+    direct_write_is_persistence_point: bool,
+) -> Vec<usize> {
+    workload
+        .all_ops()
+        .enumerate()
+        .filter(|(_, op)| {
+            op.is_persistence_point()
+                || (direct_write_is_persistence_point
+                    && matches!(
+                        op,
+                        Op::Write {
+                            mode: WriteMode::Direct,
+                            ..
+                        }
+                    ))
+        })
+        .map(|(index, _)| index)
+        .collect()
+}
+
+/// Runs the static persistence-order analysis of one recorded execution.
+///
+/// `log` is the workload's recorded IO stream;
+/// `direct_write_is_persistence_point` must match the profiling
+/// configuration so that checkpoint markers align with syscall spans.
+pub fn analyze(
+    log: &IoLog,
+    workload: &Workload,
+    direct_write_is_persistence_point: bool,
+) -> Analysis {
+    let checkpoint_ops = checkpoint_op_indices(workload, direct_write_is_persistence_point);
+    let all_ops: Vec<&Op> = workload.all_ops().collect();
+
+    let mut windows = Vec::new();
+    let mut races = Vec::new();
+    let mut state = StateDigest::new();
+    // Content digests of every crash state seen so far (plus the base
+    // image), mapping digest -> first marker that exposed it.
+    let mut seen: HashMap<u128, Option<CheckpointId>> = HashMap::new();
+    seen.insert(state.value(), None);
+
+    let mut epochs = 1usize;
+    // Writes of the current window, grouped into epoch runs. Each entry is
+    // one epoch's pending writes (cleared when a flush barrier retires it).
+    let mut pending: Vec<RaceSite> = Vec::new();
+    let mut window_writes = 0usize;
+    let mut window_flushes = 0usize;
+    let mut prev_checkpoint_op: Option<usize> = None;
+    let mut markers_seen = 0usize;
+
+    for record in log.records() {
+        match record {
+            IoRecord::Write {
+                seq, index, data, ..
+            } => {
+                state.apply_write(*index, data);
+                pending.push(RaceSite {
+                    seq: *seq,
+                    block: *index,
+                });
+                window_writes += 1;
+            }
+            IoRecord::Flush { .. } => {
+                epochs += 1;
+                window_flushes += 1;
+                pending.clear();
+            }
+            IoRecord::Checkpoint { id, .. } => {
+                let op_index = checkpoint_ops.get(markers_seen).copied();
+                markers_seen += 1;
+                let op_span = op_index.map(|end| {
+                    let start = prev_checkpoint_op.map_or(0, |p| p + 1);
+                    (start.min(end), end)
+                });
+                let op_description = op_index
+                    .and_then(|i| all_ops.get(i))
+                    .map_or_else(|| format!("marker {id}"), std::string::ToString::to_string);
+
+                let digest = state.value();
+                let class = if let Some(&witness) = seen.get(&digest) {
+                    WindowClass::Quiescent { witness }
+                } else {
+                    seen.insert(digest, Some(*id));
+                    let race_indices = detect_races(&pending, *id, op_span, &all_ops, &mut races);
+                    if race_indices.is_empty() {
+                        WindowClass::Ordered
+                    } else {
+                        WindowClass::Hazard {
+                            races: race_indices,
+                        }
+                    }
+                };
+
+                windows.push(CrashWindow {
+                    checkpoint: *id,
+                    writes: window_writes,
+                    flushes: window_flushes,
+                    state_digest: digest,
+                    op_span,
+                    op_description,
+                    class,
+                });
+
+                if let Some(end) = op_index {
+                    prev_checkpoint_op = Some(end);
+                }
+                window_writes = 0;
+                window_flushes = 0;
+            }
+        }
+    }
+
+    Analysis {
+        workload_name: workload.name.clone(),
+        windows,
+        races,
+        epochs,
+    }
+}
+
+/// Reports the races pending at a crash point: the unordered tail epoch's
+/// write pairs, plus the rename/fsync pattern when the span renamed.
+fn detect_races(
+    pending: &[RaceSite],
+    checkpoint: CheckpointId,
+    op_span: Option<(usize, usize)>,
+    all_ops: &[&Op],
+    races: &mut Vec<PersistenceRace>,
+) -> Vec<usize> {
+    let mut indices = Vec::new();
+    // Two or more pending writes to distinct blocks are incomparable: the
+    // crash may persist any subset.
+    let distinct = {
+        let mut blocks: Vec<BlockIndex> = pending.iter().map(|site| site.block).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks.len()
+    };
+    if distinct < 2 {
+        return indices;
+    }
+    let first = pending[0].clone();
+    let second = pending
+        .iter()
+        .rev()
+        .find(|site| site.block != first.block)
+        .cloned()
+        .unwrap_or_else(|| pending[pending.len() - 1].clone());
+    let op_descriptions: Vec<String> = match op_span {
+        Some((start, end)) => all_ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i >= start && *i <= end)
+            .map(|(_, op)| op.to_string())
+            .collect(),
+        None => Vec::new(),
+    };
+    let span = op_span.unwrap_or((0, 0));
+    let renamed = match op_span {
+        Some((start, end)) => all_ops
+            .iter()
+            .enumerate()
+            .any(|(i, op)| i >= start && i <= end && matches!(op, Op::Rename { .. })),
+        None => false,
+    };
+
+    indices.push(races.len());
+    races.push(PersistenceRace {
+        kind: RaceKind::UnorderedWrites,
+        checkpoint,
+        first: first.clone(),
+        second: second.clone(),
+        pending_writes: pending.len(),
+        op_span: span,
+        op_descriptions: op_descriptions.clone(),
+    });
+    if renamed {
+        indices.push(races.len());
+        races.push(PersistenceRace {
+            kind: RaceKind::UnflushedRename,
+            checkpoint,
+            first,
+            second,
+            pending_writes: pending.len(),
+            op_span: span,
+            op_descriptions,
+        });
+    }
+    indices
+}

@@ -69,7 +69,7 @@ fn bench(c: &mut Criterion) {
             criterion::black_box(WorkloadGenerator::estimate_candidates(
                 &Bounds::paper_seq3_metadata().with_nested_files(),
             ))
-        })
+        });
     });
     c.bench_function("ablation/random_generation_100", |b| {
         b.iter(|| {
@@ -78,7 +78,7 @@ fn bench(c: &mut Criterion) {
                     .take(100)
                     .count(),
             )
-        })
+        });
     });
 }
 

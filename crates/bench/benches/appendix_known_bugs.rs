@@ -47,8 +47,7 @@ fn print_reproductions() {
             status.to_string(),
             check
                 .observed
-                .map(|c| c.describe().to_string())
-                .unwrap_or_else(|| "-".to_string()),
+                .map_or_else(|| "-".to_string(), |c| c.describe().to_string()),
         ]);
     }
     println!("{}", table.render());
@@ -64,7 +63,7 @@ fn bench(c: &mut Criterion) {
     let spec = entry.fs.spec(entry.era);
     let workload = entry.workload();
     c.bench_function("appendix/reproduce_known_16_end_to_end", |b| {
-        b.iter(|| criterion::black_box(test_workload(spec.as_ref(), &workload)))
+        b.iter(|| criterion::black_box(test_workload(spec.as_ref(), &workload)));
     });
 }
 

@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
                     .take(1000)
                     .count(),
             )
-        })
+        });
     });
     let sample = b3_bench::sample_workloads(&Bounds::paper_seq2(), 1000);
     c.bench_function("ace/serialize_1000_workloads", |b| {
@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
                 .map(|w| to_crashmonkey_test(w).unwrap().len())
                 .sum();
             criterion::black_box(bytes)
-        })
+        });
     });
 }
 

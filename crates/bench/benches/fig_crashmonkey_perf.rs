@@ -64,13 +64,13 @@ fn bench(c: &mut Criterion) {
     let workload = representative_workload();
 
     c.bench_function("crashmonkey/profile", |b| {
-        b.iter(|| criterion::black_box(monkey.profile_only(&workload).unwrap()))
+        b.iter(|| criterion::black_box(monkey.profile_only(&workload).unwrap()));
     });
 
     let profile = monkey.profile_only(&workload).unwrap();
     let last = profile.checkpoints.last().unwrap().id;
     c.bench_function("crashmonkey/construct_crash_state", |b| {
-        b.iter(|| criterion::black_box(monkey.crash_state_for(&profile, last).unwrap()))
+        b.iter(|| criterion::black_box(monkey.crash_state_for(&profile, last).unwrap()));
     });
 
     c.bench_function("crashmonkey/check_crash_state", |b| {
@@ -79,11 +79,11 @@ fn bench(c: &mut Criterion) {
             let checker = AutoChecker::new(&spec, monkey.config());
             let info = profile.checkpoints.last().unwrap();
             criterion::black_box(checker.check(&workload, &profile, info, state))
-        })
+        });
     });
 
     c.bench_function("crashmonkey/end_to_end", |b| {
-        b.iter(|| criterion::black_box(monkey.test_workload(&workload).unwrap()))
+        b.iter(|| criterion::black_box(monkey.test_workload(&workload).unwrap()));
     });
 }
 

@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
     ] {
         let monkey = CrashMonkey::with_config(&spec, config(mode));
         c.bench_function(label, |b| {
-            b.iter(|| criterion::black_box(monkey.test_workload(&workload).unwrap()))
+            b.iter(|| criterion::black_box(monkey.test_workload(&workload).unwrap()));
         });
     }
 
@@ -61,7 +61,7 @@ fn bench(c: &mut Criterion) {
                     let (_, recovered) = session.recover_at(info.id).unwrap();
                     criterion::black_box(recovered.unwrap());
                 }
-            })
+            });
         });
     }
 }

@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
     let spec = CowFsSpec::new(KernelEra::V4_16);
     let workload = b3_bench::representative_workload();
     c.bench_function("resources/workload_with_accounting", |b| {
-        b.iter(|| criterion::black_box(test_workload(&spec, &workload)))
+        b.iter(|| criterion::black_box(test_workload(&spec, &workload)));
     });
 }
 

@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
             let by_fs = study::by_file_system();
             let by_ops = study::by_num_ops();
             criterion::black_box((by_consequence, by_version, by_fs, by_ops))
-        })
+        });
     });
 }
 

@@ -93,7 +93,7 @@ fn print_table4() {
 fn bench(c: &mut Criterion) {
     print_table4();
     c.bench_function("table4/generate_seq1_exhaustive", |b| {
-        b.iter(|| criterion::black_box(WorkloadGenerator::new(Bounds::paper_seq1()).count()))
+        b.iter(|| criterion::black_box(WorkloadGenerator::new(Bounds::paper_seq1()).count()));
     });
     c.bench_function("table4/generate_seq2_first_1000", |b| {
         b.iter(|| {
@@ -102,7 +102,7 @@ fn bench(c: &mut Criterion) {
                     .take(1000)
                     .count(),
             )
-        })
+        });
     });
 }
 

@@ -35,8 +35,7 @@ fn print_table5() {
             if check.detected_expected { "yes" } else { "NO" }.to_string(),
             check
                 .observed
-                .map(|c| c.describe().to_string())
-                .unwrap_or_else(|| "-".to_string()),
+                .map_or_else(|| "-".to_string(), |c| c.describe().to_string()),
         ]);
     }
     println!("{}", table.render());
@@ -53,7 +52,7 @@ fn bench(c: &mut Criterion) {
     let spec = rename_atomicity.fs.spec(rename_atomicity.era);
     let workload = rename_atomicity.workload();
     c.bench_function("table5/detect_new_bug_1_end_to_end", |b| {
-        b.iter(|| criterion::black_box(test_workload(spec.as_ref(), &workload)))
+        b.iter(|| criterion::black_box(test_workload(spec.as_ref(), &workload)));
     });
 }
 

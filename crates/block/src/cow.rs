@@ -129,8 +129,7 @@ impl DiskImage {
         check_read(index, self.num_blocks)?;
         Ok(self
             .get(index)
-            .map(|b| b.to_vec())
-            .unwrap_or_else(|| vec![0u8; BLOCK_SIZE]))
+            .map_or_else(|| vec![0u8; BLOCK_SIZE], |b| b.to_vec()))
     }
 
     pub(crate) fn get(&self, index: BlockIndex) -> Option<&Bytes> {

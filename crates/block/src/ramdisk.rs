@@ -66,8 +66,7 @@ impl BlockDevice for RamDisk {
         Ok(self
             .blocks
             .get(&index)
-            .map(|b| b.to_vec())
-            .unwrap_or_else(|| vec![0u8; BLOCK_SIZE]))
+            .map_or_else(|| vec![0u8; BLOCK_SIZE], |b| b.to_vec()))
     }
 
     fn write_block(&mut self, index: BlockIndex, data: &[u8], flags: IoFlags) -> BlockResult<()> {

@@ -81,6 +81,12 @@ pub struct IoLog {
     records: Vec<IoRecord>,
     next_seq: u64,
     checkpoints: u32,
+    /// Running number of write records appended so far.
+    writes: usize,
+    /// `checkpoint_writes[id - 1]` is the number of write records that
+    /// precede checkpoint marker `id` — maintained on append so
+    /// [`IoLog::writes_until_checkpoint`] is a lookup instead of a rescan.
+    checkpoint_writes: Vec<usize>,
 }
 
 impl IoLog {
@@ -123,8 +129,26 @@ impl IoLog {
     }
 
     /// Number of write records between the start of the log and the given
-    /// checkpoint (exclusive of later records).
+    /// checkpoint (exclusive of later records). Unknown checkpoint ids count
+    /// every write in the log.
+    ///
+    /// Checkpoint ids are assigned densely from 1 on append, so this is an
+    /// O(1) index lookup; [`IoLog::writes_until_checkpoint_scanning`] is the
+    /// reference implementation it must agree with.
     pub fn writes_until_checkpoint(&self, checkpoint: CheckpointId) -> usize {
+        match checkpoint
+            .checked_sub(1)
+            .and_then(|i| self.checkpoint_writes.get(i as usize))
+        {
+            Some(count) => *count,
+            None => self.writes,
+        }
+    }
+
+    /// The pre-index implementation of [`IoLog::writes_until_checkpoint`]:
+    /// a linear rescan of the record stream. Kept as the behavioural
+    /// reference the O(1) index is tested against.
+    pub fn writes_until_checkpoint_scanning(&self, checkpoint: CheckpointId) -> usize {
         let mut count = 0;
         for record in &self.records {
             match record {
@@ -139,6 +163,7 @@ impl IoLog {
     fn push_write(&mut self, index: BlockIndex, data: &[u8], flags: IoFlags) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.writes += 1;
         self.records.push(IoRecord::Write {
             seq,
             index,
@@ -158,6 +183,7 @@ impl IoLog {
         self.next_seq += 1;
         self.checkpoints += 1;
         let id = self.checkpoints;
+        self.checkpoint_writes.push(self.writes);
         self.records.push(IoRecord::Checkpoint { seq, id });
         id
     }
@@ -333,7 +359,11 @@ mod tests {
 
         let snapshot = log.snapshot();
         assert_eq!(snapshot.num_checkpoints(), 2);
-        let seqs: Vec<u64> = snapshot.records().iter().map(|r| r.seq()).collect();
+        let seqs: Vec<u64> = snapshot
+            .records()
+            .iter()
+            .map(super::IoRecord::seq)
+            .collect();
         let mut sorted = seqs.clone();
         sorted.sort_unstable();
         assert_eq!(seqs, sorted, "records must be in arrival order");
@@ -352,6 +382,37 @@ mod tests {
         assert_eq!(snapshot.writes_until_checkpoint(2), 3);
         // Unknown checkpoint: counts all writes.
         assert_eq!(snapshot.writes_until_checkpoint(9), 3);
+    }
+
+    #[test]
+    fn writes_until_checkpoint_index_matches_scanning_reference() {
+        let (mut dev, log) = recording_ramdisk(64);
+        // An irregular interleaving: bare checkpoints, runs of writes,
+        // flushes between markers, writes after the last marker.
+        log.checkpoint();
+        for i in 0..5u64 {
+            dev.write_block(i, b"w", IoFlags::DATA).unwrap();
+        }
+        dev.flush().unwrap();
+        log.checkpoint();
+        log.checkpoint();
+        dev.write_block(9, b"tail", IoFlags::META).unwrap();
+        log.checkpoint();
+        dev.write_block(10, b"post", IoFlags::META).unwrap();
+
+        let snapshot = log.snapshot();
+        // Checkpoint 0 is never assigned; 9 is unknown; both must agree
+        // with the scan (which counts all writes for ids it never finds).
+        for id in 0..=9 {
+            assert_eq!(
+                snapshot.writes_until_checkpoint(id),
+                snapshot.writes_until_checkpoint_scanning(id),
+                "checkpoint {id}"
+            );
+        }
+        assert_eq!(snapshot.writes_until_checkpoint(1), 0);
+        assert_eq!(snapshot.writes_until_checkpoint(4), 6);
+        assert_eq!(snapshot.writes_until_checkpoint(9), 7);
     }
 
     #[test]

@@ -30,7 +30,12 @@ use crate::profiler::{CheckpointInfo, ProfileResult};
 use crate::report::{BugReport, Consequence};
 
 /// The outcome of checking one crash state.
-#[derive(Debug, Clone, Default)]
+///
+/// Deliberately free of workload identity (no name or skeleton): identity is
+/// attached by [`CheckVerdict::into_report`], which is what lets the triage
+/// cache reuse a verdict across workloads. Equality compares every field;
+/// the triage audit relies on it.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CheckVerdict {
     /// Read-check differences (persisted state not recovered correctly).
     pub diffs: Vec<SnapshotDiff>,

@@ -16,6 +16,20 @@ pub enum CrashPointPolicy {
     /// Every persistence point (used when reproducing individual corpus
     /// workloads outside the exhaustive-generation setting).
     All,
+    /// Every persistence point *covered*, but only triage-new states
+    /// *dynamically tested*: crash states whose content digest and checker
+    /// projection match an already-tested state (see `b3_analyze` and
+    /// docs/ANALYSIS.md) reuse the recorded verdict of their witness
+    /// instead of being re-constructed, re-mounted, and re-checked. Bug
+    /// groups are byte-identical to [`CrashPointPolicy::All`] by
+    /// construction; the differential suite pins it.
+    AllTriaged {
+        /// When non-zero, deterministically re-test up to this many reused
+        /// states per workload dynamically and compare against the cached
+        /// verdict (the analysis-layer analogue of `PruneMode::Audit`).
+        /// Divergences are reported in the workload outcome.
+        audit: u32,
+    },
 }
 
 impl CrashPointPolicy {
@@ -23,7 +37,23 @@ impl CrashPointPolicy {
     pub fn select<'a>(&self, checkpoints: &'a [CheckpointInfo]) -> Vec<&'a CheckpointInfo> {
         match self {
             CrashPointPolicy::LastOnly => checkpoints.last().into_iter().collect(),
-            CrashPointPolicy::All => checkpoints.iter().collect(),
+            CrashPointPolicy::All | CrashPointPolicy::AllTriaged { .. } => {
+                checkpoints.iter().collect()
+            }
+        }
+    }
+
+    /// True when the policy covers every persistence point (dynamically or
+    /// via triage reuse).
+    pub fn covers_all(&self) -> bool {
+        !matches!(self, CrashPointPolicy::LastOnly)
+    }
+
+    /// The triage audit budget, when the policy is triaged.
+    pub fn triage_audit(&self) -> Option<u32> {
+        match self {
+            CrashPointPolicy::AllTriaged { audit } => Some(*audit),
+            _ => None,
         }
     }
 }
@@ -104,6 +134,15 @@ impl CrashMonkeyConfig {
     pub fn exhaustive_crash_points() -> Self {
         CrashMonkeyConfig {
             crash_points: CrashPointPolicy::All,
+            ..CrashMonkeyConfig::small()
+        }
+    }
+
+    /// A configuration that covers every persistence point with verdict
+    /// triage (see [`CrashPointPolicy::AllTriaged`]).
+    pub fn triaged_crash_points() -> Self {
+        CrashMonkeyConfig {
+            crash_points: CrashPointPolicy::AllTriaged { audit: 0 },
             ..CrashMonkeyConfig::small()
         }
     }

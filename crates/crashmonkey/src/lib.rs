@@ -29,6 +29,7 @@ pub mod config;
 pub mod profiler;
 pub mod recovery;
 pub mod report;
+mod triage;
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,6 +61,10 @@ pub struct CrashMonkey<'a> {
     /// boundary so its caches (most profitably the pinned decode of the
     /// shared post-mkfs base image) carry across workloads.
     recovery_session: std::sync::Mutex<Option<Box<dyn b3_vfs::recover::RecoverDelta + Send>>>,
+    /// Cross-workload verdict cache for [`CrashPointPolicy::AllTriaged`]
+    /// (see the `triage` module). Sound per harness because the spec, era,
+    /// device geometry, and post-mkfs base image are all fixed here.
+    triage: std::sync::Mutex<triage::TriageCache>,
 }
 
 impl<'a> CrashMonkey<'a> {
@@ -76,6 +81,7 @@ impl<'a> CrashMonkey<'a> {
             formatted: std::sync::OnceLock::new(),
             interner: None,
             recovery_session: std::sync::Mutex::new(None),
+            triage: std::sync::Mutex::new(triage::TriageCache::default()),
         }
     }
 
@@ -104,6 +110,25 @@ impl<'a> CrashMonkey<'a> {
     /// The active configuration.
     pub fn config(&self) -> &CrashMonkeyConfig {
         &self.config
+    }
+
+    /// Drops every cached triage verdict. Sweep shards call this at shard
+    /// boundaries so a shard's outcome never depends on which other shards
+    /// ran through the same harness. A no-op unless the policy is
+    /// [`CrashPointPolicy::AllTriaged`].
+    pub fn reset_triage(&self) {
+        self.triage
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .reset();
+    }
+
+    /// Number of distinct triage witnesses currently cached.
+    pub fn triage_witnesses(&self) -> usize {
+        self.triage
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Tests one workload end to end: profile, construct crash states, check
@@ -143,6 +168,7 @@ impl<'a> CrashMonkey<'a> {
         // patches its recovered view forward with the block delta between
         // adjacent crash states instead of remounting from scratch.
         let checkpoints = self.config.crash_points.select(&profile.checkpoints);
+        let triage_audit = self.config.crash_points.triage_audit();
         let mut persistent = self
             .recovery_session
             .lock()
@@ -158,8 +184,56 @@ impl<'a> CrashMonkey<'a> {
         let mut construct_time = std::time::Duration::ZERO;
         let mut check_time = std::time::Duration::ZERO;
 
+        // When triaging, the content digest of every crash state comes from
+        // one pass over the recorded log. Digest and key computation are
+        // accounted as construction cost: they replace (part of) it.
+        let construct_start = Instant::now();
+        let state_digests: Vec<(u32, u128)> = match triage_audit {
+            Some(_) => b3_analyze::state_digests(&profile.log),
+            None => Vec::new(),
+        };
+        let key_seed = triage_audit.map(|_| triage::KeySeed::of(workload));
+        let mut triage = self
+            .triage
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        construct_time += construct_start.elapsed();
+
         for info in checkpoints {
+            // Triage: reuse the witness verdict when this crash state's
+            // checker inputs are bit-identical to an already-tested one.
             let construct_start = Instant::now();
+            let key = key_seed.as_ref().map(|seed| {
+                // Checkpoints are few per workload, so a linear scan beats
+                // a map lookup (and needs no per-workload allocation).
+                let digest = state_digests
+                    .iter()
+                    .find(|(id, _)| *id == info.id)
+                    .map_or(0, |(_, digest)| *digest);
+                triage.key(digest, seed, info)
+            });
+            let mut audit_witness = None;
+            if let Some(key) = key {
+                if let Some(witness) = triage.lookup(key) {
+                    // The audit re-tests the first `audit` reused states of
+                    // each workload dynamically and compares.
+                    if outcome.triage_audited < triage_audit.unwrap_or(0) {
+                        audit_witness = Some(witness.clone());
+                    } else {
+                        outcome.checkpoints_reused += 1;
+                        let report =
+                            witness
+                                .clone()
+                                .into_report(workload, self.spec.name(), info.id);
+                        if let Some(report) = report {
+                            outcome.bugs.push(report);
+                        }
+                        construct_time += construct_start.elapsed();
+                        continue;
+                    }
+                }
+            }
+
             let (state, recovered) = session.recover_at(info.id)?;
             construct_time += construct_start.elapsed();
 
@@ -167,6 +241,17 @@ impl<'a> CrashMonkey<'a> {
             let checker = AutoChecker::new(self.spec, &self.config);
             let verdict = checker.check_recovered(workload, &profile, info, state, recovered);
             check_time += check_start.elapsed();
+
+            match (audit_witness, key) {
+                (Some(cached), _) => {
+                    outcome.triage_audited += 1;
+                    if let Some(divergence) = triage::audit_divergence(info.id, &cached, &verdict) {
+                        outcome.triage_divergences.push(divergence);
+                    }
+                }
+                (None, Some(key)) => triage.record(key, &verdict),
+                (None, None) => {}
+            }
 
             outcome.checkpoints_tested += 1;
             if let Some(report) = verdict.into_report(workload, self.spec.name(), info.id) {
@@ -552,6 +637,112 @@ mod tests {
         assert!(
             !interner.is_empty(),
             "profiling must populate the shared interner"
+        );
+    }
+
+    #[test]
+    fn triaged_outcomes_match_exhaustive_bug_for_bug() {
+        let specs: Vec<Box<dyn FsSpec>> = vec![
+            Box::new(CowFsSpec::new(KernelEra::V3_13)),
+            Box::new(CowFsSpec::patched()),
+            Box::new(VeriFsSpec::new(KernelEra::V4_16)),
+        ];
+        let workloads = vec![
+            multi_checkpoint_workload(),
+            w(
+                "hard-link-style",
+                vec![Op::Creat { path: "foo".into() }],
+                vec![
+                    Op::Sync,
+                    Op::Write {
+                        path: "foo".into(),
+                        mode: WriteMode::Buffered,
+                        spec: WriteSpec::range(0, 16 * 1024),
+                    },
+                    Op::Link {
+                        existing: "foo".into(),
+                        new: "bar".into(),
+                    },
+                    Op::Fsync { path: "foo".into() },
+                ],
+            ),
+        ];
+        for spec in &specs {
+            let all = CrashMonkey::with_config(
+                spec.as_ref(),
+                CrashMonkeyConfig::exhaustive_crash_points(),
+            );
+            let triaged = CrashMonkey::with_config(
+                spec.as_ref(),
+                CrashMonkeyConfig {
+                    crash_points: CrashPointPolicy::AllTriaged { audit: 1 },
+                    ..CrashMonkeyConfig::small()
+                },
+            );
+            for workload in &workloads {
+                let exhaustive = all.test_workload(workload).unwrap();
+                let reused = triaged.test_workload(workload).unwrap();
+                assert_eq!(
+                    exhaustive.bugs,
+                    reused.bugs,
+                    "triage diverged on {} / {}",
+                    spec.name(),
+                    workload.name
+                );
+                assert_eq!(
+                    exhaustive.checkpoints_tested,
+                    reused.checkpoints_tested + reused.checkpoints_reused,
+                    "triage must cover every crash point"
+                );
+                assert!(
+                    reused.triage_divergences.is_empty(),
+                    "audit divergence on {} / {}: {:?}",
+                    spec.name(),
+                    workload.name,
+                    reused.triage_divergences
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triage_reuses_witnesses_across_workloads() {
+        // Two workloads identical except for their name produce identical
+        // crash states and checker inputs, so the second is fully covered by
+        // reuse — and its synthesized reports must carry *its* name.
+        let spec = CowFsSpec::new(KernelEra::V3_13);
+        let monkey = CrashMonkey::with_config(&spec, CrashMonkeyConfig::triaged_crash_points());
+        let first = {
+            let mut workload = multi_checkpoint_workload();
+            workload.name = "first".into();
+            monkey.test_workload(&workload).unwrap()
+        };
+        assert_eq!(first.checkpoints_reused, 0);
+        assert!(first.checkpoints_tested > 1);
+        assert!(monkey.triage_witnesses() > 0);
+
+        let second = {
+            let mut workload = multi_checkpoint_workload();
+            workload.name = "second".into();
+            monkey.test_workload(&workload).unwrap()
+        };
+        assert_eq!(second.checkpoints_tested, 0, "all states must be reused");
+        assert_eq!(second.checkpoints_reused, first.checkpoints_tested);
+        assert_eq!(second.bugs.len(), first.bugs.len());
+        for bug in &second.bugs {
+            assert_eq!(bug.workload_name, "second");
+        }
+
+        monkey.reset_triage();
+        assert_eq!(monkey.triage_witnesses(), 0);
+        let third = {
+            let mut workload = multi_checkpoint_workload();
+            workload.name = "third".into();
+            monkey.test_workload(&workload).unwrap()
+        };
+        assert_eq!(
+            third.checkpoints_tested, first.checkpoints_tested,
+            "a reset cache must re-test dynamically"
         );
     }
 }

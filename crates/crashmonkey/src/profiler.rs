@@ -554,11 +554,7 @@ fn update_expectations(
                         if other_path == &path || other_entry.file_type != FileType::Regular {
                             continue;
                         }
-                        if fs
-                            .metadata(other_path)
-                            .map(|m| m.ino == meta.ino)
-                            .unwrap_or(false)
-                        {
+                        if fs.metadata(other_path).is_ok_and(|m| m.ino == meta.ino) {
                             persisted
                                 .entry(other_path.clone())
                                 .or_insert_with(|| Expectation {

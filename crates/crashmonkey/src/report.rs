@@ -313,8 +313,23 @@ pub struct WorkloadOutcome {
     pub fs_name: String,
     /// Bug reports (empty when the workload passed).
     pub bugs: Vec<BugReport>,
-    /// Number of crash points tested.
+    /// Number of crash points *dynamically* tested (constructed, recovered,
+    /// checked).
     pub checkpoints_tested: u32,
+    /// Crash points covered by reusing a triage witness verdict instead of
+    /// dynamic testing. Always zero unless the policy is
+    /// `CrashPointPolicy::AllTriaged`; total coverage is
+    /// `checkpoints_tested + checkpoints_reused`.
+    pub checkpoints_reused: u32,
+    /// Reused crash states that the triage audit additionally re-tested
+    /// dynamically (these count toward `checkpoints_tested`, not
+    /// `checkpoints_reused`).
+    pub triage_audited: u32,
+    /// Triage audit divergences: reused verdicts whose dynamic re-test did
+    /// not match the cached witness. Non-empty output means the triage key
+    /// failed to capture a checker input (or a digest collision occurred)
+    /// and must be treated as a bug.
+    pub triage_divergences: Vec<String>,
     /// Set when the workload could not be executed (invalid op sequence).
     pub skipped: Option<String>,
     /// Phase timings.
@@ -332,6 +347,9 @@ impl WorkloadOutcome {
             fs_name: fs_name.to_string(),
             bugs: Vec::new(),
             checkpoints_tested: 0,
+            checkpoints_reused: 0,
+            triage_audited: 0,
+            triage_divergences: Vec::new(),
             skipped: None,
             timing: PhaseTiming::default(),
             resource: ResourceStats::default(),

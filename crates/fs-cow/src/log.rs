@@ -552,9 +552,8 @@ impl Recorder<'_> {
     /// reused (unless the corresponding bug is active).
     fn log_name(&mut self, items: &mut Vec<LogItem>, path: &str, ino: InodeId) {
         // Ancestors first.
-        let (parent_path, name) = match split_parent(path) {
-            Ok(parts) => parts,
-            Err(_) => return,
+        let Ok((parent_path, name)) = split_parent(path) else {
+            return;
         };
         self.log_ancestors(items, &parent_path);
 
@@ -574,9 +573,8 @@ impl Recorder<'_> {
                     let committed_names = self.committed.paths_of_ino(prev_ino);
                     for new_name in self.working.paths_of_ino(prev_ino) {
                         if !committed_names.contains(&new_name) {
-                            let (pparent, pname) = match split_parent(&new_name) {
-                                Ok(parts) => parts,
-                                Err(_) => continue,
+                            let Ok((pparent, pname)) = split_parent(&new_name) else {
+                                continue;
                             };
                             self.log_ancestors(items, &pparent);
                             if let Ok(pparent_ino) = self.working.resolve(&pparent) {

@@ -319,9 +319,8 @@ fn roll_forward(
     for record in records {
         tree.insert_inode_raw(record.inode.clone());
         for (path, parent_ino) in record.paths.iter().zip(&record.parent_inos) {
-            let (parent_path, name) = match split_parent(path) {
-                Ok(parts) => parts,
-                Err(_) => continue,
+            let Ok((parent_path, name)) = split_parent(path) else {
+                continue;
             };
             let dir_ino = if bugs.renamed_dir_recovers_old_name {
                 // Buggy path: attach by the recorded parent inode number,

@@ -1,0 +1,176 @@
+//! `b3-analyze` — static persistence-order analysis of one workload.
+//!
+//! Profiles the workload on a simulated file system (no crash states are
+//! constructed or checked), feeds the recorded IO log to
+//! [`b3_analyze::analyze`], and prints the happens-before report: flush
+//! epochs, persistence races mapped back to syscall spans, and the
+//! hazard / ordered / quiescent classification of every crash point —
+//! the same triage `CrashPointPolicy::AllTriaged` uses to skip redundant
+//! dynamic tests (see `docs/ANALYSIS.md`).
+//!
+//! Input is the ACE workload text format, read from `--file PATH`, from
+//! `--corpus ID` (an entry of the built-in bug corpus, which also picks
+//! the entry's file system and kernel era), or from stdin:
+//!
+//! ```text
+//! b3-analyze --file workload.txt --fs btrfs --era 4.16
+//! b3-analyze --corpus known-01
+//! b3-analyze < workload.txt
+//! ```
+//!
+//! Exit code 0 on success (races found or not — the report is
+//! informational), 1 when the workload cannot be parsed or executed,
+//! 2 on usage errors.
+
+use std::io::Read as _;
+
+use b3_crashmonkey::{CrashMonkey, CrashMonkeyConfig};
+use b3_harness::corpus::all_entries;
+use b3_harness::FsKind;
+use b3_vfs::workload::parse_workload;
+use b3_vfs::KernelEra;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut file: Option<String> = None;
+    let mut corpus_id: Option<String> = None;
+    let mut fs_flag: Option<FsKind> = None;
+    let mut era_flag: Option<KernelEra> = None;
+    let mut name: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) => (flag.to_string(), Some(value.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |flag_name: &str| -> String {
+            inline.clone().or_else(|| args.next()).unwrap_or_else(|| {
+                eprintln!("b3-analyze: {flag_name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--file" => file = Some(value("--file")),
+            "--corpus" => corpus_id = Some(value("--corpus")),
+            "--name" => name = Some(value("--name")),
+            "--fs" => {
+                let raw = value("--fs");
+                fs_flag = Some(FsKind::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("b3-analyze: unknown file system {raw:?} (btrfs/f2fs/ext4/fscq)");
+                    std::process::exit(2);
+                }));
+            }
+            "--era" => {
+                let raw = value("--era");
+                era_flag = Some(KernelEra::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("b3-analyze: unknown kernel era {raw:?} (e.g. 4.16, patched)");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("b3-analyze: unknown argument {other:?}");
+                eprintln!("usage: b3-analyze [--file PATH | --corpus ID] [--fs NAME] [--era ERA]");
+                return 2;
+            }
+        }
+    }
+
+    // Resolve the workload text and the fs/era defaults. A corpus entry
+    // carries its own fs and era; explicit flags still win.
+    let (text, fallback_name, mut fs, mut era) = match (&file, &corpus_id) {
+        (Some(_), Some(_)) => {
+            eprintln!("b3-analyze: --file and --corpus are mutually exclusive");
+            return 2;
+        }
+        (Some(path), None) => match std::fs::read_to_string(path) {
+            Ok(text) => (text, path.clone(), FsKind::Cow, KernelEra::EVALUATION),
+            Err(err) => {
+                eprintln!("b3-analyze: cannot read {path}: {err}");
+                return 1;
+            }
+        },
+        (None, Some(id)) => {
+            let Some(entry) = all_entries().into_iter().find(|e| e.id == id) else {
+                eprintln!("b3-analyze: no corpus entry named {id:?} (see `known-*`/`new-*` ids)");
+                return 2;
+            };
+            if !entry.is_runnable() {
+                eprintln!("b3-analyze: corpus entry {id:?} has no runnable workload");
+                return 1;
+            }
+            (
+                entry.workload_text.to_string(),
+                entry.id.to_string(),
+                entry.fs,
+                entry.era,
+            )
+        }
+        (None, None) => {
+            let mut text = String::new();
+            if let Err(err) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("b3-analyze: cannot read stdin: {err}");
+                return 1;
+            }
+            (
+                text,
+                "<stdin>".to_string(),
+                FsKind::Cow,
+                KernelEra::EVALUATION,
+            )
+        }
+    };
+    if let Some(explicit) = fs_flag {
+        fs = explicit;
+    }
+    if let Some(explicit) = era_flag {
+        era = explicit;
+    }
+
+    let workload_name = name.unwrap_or(fallback_name);
+    let workload = match parse_workload(&text, &workload_name) {
+        Ok(workload) => workload,
+        Err(err) => {
+            eprintln!("b3-analyze: cannot parse workload: {err}");
+            return 1;
+        }
+    };
+
+    let spec = fs.spec(era);
+    let config = CrashMonkeyConfig::small();
+    let direct_write = config.direct_write_is_persistence_point;
+    let monkey = CrashMonkey::with_config(spec.as_ref(), config);
+    let profile = match monkey.profile_only(&workload) {
+        Ok(profile) => profile,
+        Err(err) => {
+            eprintln!(
+                "b3-analyze: profiling failed on {}/{era}: {err}",
+                fs.paper_name()
+            );
+            return 1;
+        }
+    };
+    if let Some(err) = &profile.exec_error {
+        eprintln!(
+            "b3-analyze: workload did not execute to completion on {}/{era}: {err}",
+            fs.paper_name()
+        );
+        return 1;
+    }
+
+    let analysis = b3_analyze::analyze(&profile.log, &workload, direct_write);
+    println!("file system: {} (kernel {era})", fs.paper_name());
+    print!("{analysis}");
+
+    let reused = analysis.quiescent_windows();
+    let total = analysis.windows.len();
+    println!(
+        "triage: {tested} of {total} crash states need dynamic testing \
+         ({reused} provably quiescent, reusable under --crash-points triaged)",
+        tested = total - reused,
+    );
+    0
+}

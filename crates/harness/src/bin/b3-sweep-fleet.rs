@@ -32,7 +32,9 @@
 //! for more jobs).
 //!
 //! `enqueue` takes `--preset` (`tiny`, `tiny-seq2`, or a Table 4 name),
-//! `--fs`, `--era`, `--shards`, `--prune`, `--crash-points`. `status` exits
+//! `--fs`, `--era`, `--shards`, `--prune`, `--crash-points`
+//! (`last`/`all`/`triaged`), and `--triage-audit N` (per-workload re-tests
+//! of triage-reused crash states; requires `triaged`). `status` exits
 //! non-zero under `--assert-all-done` if any job is not `done` (CI uses
 //! this after a drain). `results --out FILE` writes the job's merged
 //! group table in its wire encoding — byte-comparable against `groups
@@ -139,8 +141,21 @@ impl JobSpec {
                 self.crash_points = match reader.value(flag, inline).as_str() {
                     "last" => CrashPointPolicy::LastOnly,
                     "all" => CrashPointPolicy::All,
-                    other => fail(format!("unknown crash-point policy {other:?} (last/all)")),
+                    "triaged" => CrashPointPolicy::AllTriaged { audit: 0 },
+                    other => fail(format!(
+                        "unknown crash-point policy {other:?} (last/all/triaged)"
+                    )),
                 };
+            }
+            "--triage-audit" => {
+                let audit = reader
+                    .value(flag, inline)
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--triage-audit: {e}")));
+                match &mut self.crash_points {
+                    CrashPointPolicy::AllTriaged { audit: slot } => *slot = audit,
+                    _ => fail("--triage-audit requires --crash-points triaged"),
+                }
             }
             _ => return false,
         }
@@ -176,12 +191,14 @@ fn preset_bounds(name: &str) -> Bounds {
     SequencePreset::ALL
         .iter()
         .find(|preset| preset.name() == name)
-        .map(SequencePreset::bounds)
-        .unwrap_or_else(|| {
-            fail(format!(
-                "unknown preset {name:?} (expected tiny, tiny-seq2, or a Table 4 name)"
-            ))
-        })
+        .map_or_else(
+            || {
+                fail(format!(
+                    "unknown preset {name:?} (expected tiny, tiny-seq2, or a Table 4 name)"
+                ))
+            },
+            SequencePreset::bounds,
+        )
 }
 
 fn print_status_rows(rows: &[JobStatus]) {

@@ -47,7 +47,7 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
     for block in message.chunks_exact(64) {
         let mut w = [0u32; 64];
         for (i, word) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(word.try_into().expect("4 bytes"));
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
@@ -144,8 +144,7 @@ pub fn make_nonce() -> String {
     let seq = NONCE_SEQ.fetch_add(1, Ordering::Relaxed);
     let clock = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0);
+        .map_or(0, |d| d.as_nanos() as u64);
     let stack_probe = 0u8;
     let mut seed = Vec::with_capacity(32);
     seed.extend_from_slice(&(std::process::id() as u64).to_le_bytes());

@@ -451,7 +451,12 @@ fn replay_queue(bytes: &[u8], path: &Path) -> FsResult<BTreeMap<u64, JobRecord>>
     let mut pos = QUEUE_MAGIC.len();
     while bytes.len() - pos >= 5 {
         let tag = bytes[pos];
-        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes([
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+            bytes[pos + 4],
+        ]) as usize;
         let end = pos + 5 + len;
         if end > bytes.len() {
             // Torn tail: the daemon died mid-append. The lost record is at
@@ -611,7 +616,9 @@ impl FleetCoordinator {
     }
 
     fn locked(&self) -> std::sync::MutexGuard<'_, FleetState> {
-        self.state.lock().expect("fleet state poisoned")
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Adds a job to the queue (journaled before the id is returned).
@@ -679,8 +686,9 @@ impl FleetCoordinator {
             )));
         }
         state.append_state(id, JobState::Cancelled, "")?;
-        let record = state.jobs.get_mut(&id).expect("job checked above");
-        record.state = JobState::Cancelled;
+        if let Some(record) = state.jobs.get_mut(&id) {
+            record.state = JobState::Cancelled;
+        }
         Ok(())
     }
 
@@ -691,7 +699,7 @@ impl FleetCoordinator {
         let (tx, rx) = mpsc::channel();
         self.subscribers
             .lock()
-            .expect("subscriber list poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(tx);
         rx
     }
@@ -703,7 +711,10 @@ impl FleetCoordinator {
             consequence: group.consequence,
             count: group.count as u64,
         };
-        let mut subscribers = self.subscribers.lock().expect("subscriber list poisoned");
+        let mut subscribers = self
+            .subscribers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         subscribers.retain(|tx| tx.send(event.clone()).is_ok());
     }
 
@@ -739,7 +750,9 @@ impl FleetCoordinator {
             };
             let job = record.job.clone();
             state.append_state(id, JobState::Running, "")?;
-            state.jobs.get_mut(&id).expect("job exists").state = JobState::Running;
+            if let Some(record) = state.jobs.get_mut(&id) {
+                record.state = JobState::Running;
+            }
             (id, job)
         };
 
@@ -767,9 +780,10 @@ impl FleetCoordinator {
 
         let mut state = self.locked();
         state.append_state(id, final_state, &error)?;
-        let record = state.jobs.get_mut(&id).expect("job exists");
-        record.state = final_state;
-        record.error = error;
+        if let Some(record) = state.jobs.get_mut(&id) {
+            record.state = final_state;
+            record.error = error;
+        }
         drop(state);
         self.wake.notify_all();
         Ok(Some(id))
@@ -809,7 +823,7 @@ impl FleetCoordinator {
                     let _ = self
                         .wake
                         .wait_timeout(state, Duration::from_millis(200))
-                        .expect("fleet state poisoned");
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             }
         }

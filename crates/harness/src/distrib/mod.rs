@@ -140,12 +140,21 @@ impl SweepJob {
     /// other.
     pub fn scope(&self) -> String {
         let cm = &self.crashmonkey;
+        // Crash-point code: 0 = last-only, 1 = all, 2 = all-triaged (with
+        // the audit budget appended when non-zero). The 0/1 spellings
+        // predate triage, so existing scopes are unchanged.
+        let cp = match cm.crash_points {
+            CrashPointPolicy::LastOnly => "0".to_string(),
+            CrashPointPolicy::All => "1".to_string(),
+            CrashPointPolicy::AllTriaged { audit: 0 } => "2".to_string(),
+            CrashPointPolicy::AllTriaged { audit } => format!("2a{audit}"),
+        };
         let mut scope = format!(
             "{}@{}/blk{}/cp{}{}{}",
             self.fs.paper_name(),
             self.era.as_str(),
             cm.device_blocks,
-            u8::from(matches!(cm.crash_points, CrashPointPolicy::All)),
+            cp,
             u8::from(cm.direct_write_is_persistence_point),
             u8::from(cm.model_kernel_delays),
         );
@@ -169,10 +178,15 @@ impl SweepJob {
         self.bounds.encode(enc);
         enc.put_u64(self.num_shards as u64);
         enc.put_u64(self.crashmonkey.device_blocks);
-        enc.put_bool(matches!(
-            self.crashmonkey.crash_points,
-            CrashPointPolicy::All
-        ));
+        // Protocol v5: a one-byte policy code plus the triage audit budget
+        // (v4 sent a single `All` bool here).
+        let (cp_code, cp_audit) = match self.crashmonkey.crash_points {
+            CrashPointPolicy::LastOnly => (0u8, 0u32),
+            CrashPointPolicy::All => (1, 0),
+            CrashPointPolicy::AllTriaged { audit } => (2, audit),
+        };
+        enc.put_u8(cp_code);
+        enc.put_u32(cp_audit);
         enc.put_bool(self.crashmonkey.direct_write_is_persistence_point);
         enc.put_bool(self.crashmonkey.model_kernel_delays);
         self.prune.encode(enc);
@@ -187,13 +201,22 @@ impl SweepJob {
             .ok_or_else(|| FsError::Corrupted(format!("unknown kernel era {era_name:?}")))?;
         let bounds = Bounds::decode(dec)?;
         let num_shards = dec.get_u64()? as usize;
+        let device_blocks = dec.get_u64()?;
+        let cp_code = dec.get_u8()?;
+        let cp_audit = dec.get_u32()?;
+        let crash_points = match cp_code {
+            0 => CrashPointPolicy::LastOnly,
+            1 => CrashPointPolicy::All,
+            2 => CrashPointPolicy::AllTriaged { audit: cp_audit },
+            other => {
+                return Err(FsError::Corrupted(format!(
+                    "unknown crash-point policy code {other}"
+                )))
+            }
+        };
         let crashmonkey = CrashMonkeyConfig {
-            device_blocks: dec.get_u64()?,
-            crash_points: if dec.get_bool()? {
-                CrashPointPolicy::All
-            } else {
-                CrashPointPolicy::LastOnly
-            },
+            device_blocks,
+            crash_points,
             direct_write_is_persistence_point: dec.get_bool()?,
             model_kernel_delays: dec.get_bool()?,
             // Recovery mode is outcome-neutral by construction (see
@@ -703,7 +726,7 @@ pub fn run_with_transport_hooked(
     let done = AtomicBool::new(false);
 
     let job_frame = ToWorker::Job {
-        job: job.clone(),
+        job: Box::new(job.clone()),
         fingerprint: job.empty_checkpoint().fingerprint().to_string(),
     }
     .to_frame();
@@ -741,7 +764,7 @@ pub fn run_with_transport_hooked(
                         let snapshot = coord
                             .state
                             .lock()
-                            .expect("coordinator state poisoned")
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .progress(started, total_workloads, seeded_shards);
                         callback(&snapshot);
                         last_fired = Instant::now();
@@ -750,7 +773,7 @@ pub fn run_with_transport_hooked(
                 let snapshot = coord
                     .state
                     .lock()
-                    .expect("coordinator state poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .progress(started, total_workloads, seeded_shards);
                 callback(&snapshot);
             });
@@ -764,8 +787,17 @@ pub fn run_with_transport_hooked(
             .collect();
         let mut first_error = None;
         for handle in handles {
-            if let Err(error) = handle.join().expect("worker thread panicked") {
-                let mut state = coord.state.lock().expect("coordinator state poisoned");
+            let result = match handle.join() {
+                Ok(result) => result,
+                // A panicking worker thread is a harness bug; surface the
+                // original panic instead of a generic message.
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            if let Err(error) = result {
+                let mut state = coord
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 state.failed_workers += 1;
                 first_error.get_or_insert(error);
             }
@@ -775,7 +807,10 @@ pub fn run_with_transport_hooked(
         // unpersisted progress — shards it completed are already merged, so
         // surviving workers usually absorb the loss. Report the error only
         // if the sweep neither completed nor was asked to stop early.
-        let state = coord.state.lock().expect("coordinator state poisoned");
+        let state = coord
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(error) = first_error {
             if !state.checkpoint.is_complete() && !state.should_stop(config) {
                 drop(state);
@@ -788,7 +823,7 @@ pub fn run_with_transport_hooked(
     let state = coord
         .state
         .into_inner()
-        .expect("coordinator state poisoned");
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     // No final rewrite: every merged shard is already on disk as a delta
     // record (the same state a killed coordinator leaves behind); the next
     // run's persister open compacts the log.
@@ -867,7 +902,10 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
             // queue is drained with nothing in flight — and for listener
             // transports it would block in accept for a worker that is
             // never coming.
-            let mut state = coord.state.lock().expect("coordinator state poisoned");
+            let mut state = coord
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if state.no_work_left(ctx.config) {
                 state.workers[index].mark_dead();
                 return Ok(());
@@ -881,7 +919,7 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
             coord
                 .state
                 .lock()
-                .expect("coordinator state poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .no_work_left(ctx.config)
         };
         let mut link = match ctx.transport.connect(&cancelled) {
@@ -895,7 +933,10 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
                 // Never-started workers must still drop out of the
                 // telemetry, or progress reports them as alive at 0/s
                 // forever.
-                let mut state = coord.state.lock().expect("coordinator state poisoned");
+                let mut state = coord
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 state.workers[index].mark_dead();
                 if respawns_left == 0 {
                     return Err(error);
@@ -908,7 +949,10 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
             // Only a link that actually got established counts as a
             // respawn — a granted retry that never connects (or winds
             // down because the work ran out) is not a "replacement link".
-            let mut state = coord.state.lock().expect("coordinator state poisoned");
+            let mut state = coord
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             state.respawns += 1;
             state.workers[index].respawns += 1;
         }
@@ -918,7 +962,10 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
         let (error, fatal) = match serve_link(index, link.as_mut(), ctx, &mut in_flight) {
             LinkEnd::Finished => {
                 link.close();
-                let mut state = coord.state.lock().expect("coordinator state poisoned");
+                let mut state = coord
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 state.workers[index].mark_dead();
                 return Ok(());
             }
@@ -929,8 +976,11 @@ fn serve_slot(index: usize, ctx: &SlotContext<'_>) -> FsResult<()> {
         // so a replacement (or the surviving slots) can run them, then
         // tear the link down.
         link.abort();
-        let mut state = coord.state.lock().expect("coordinator state poisoned");
-        for &shard in in_flight.iter() {
+        let mut state = coord
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for &shard in &in_flight {
             state.in_flight -= 1;
             if !state.checkpoint.has_shard(shard) {
                 state.queue.push_front(shard);
@@ -1030,7 +1080,10 @@ fn serve_link(
         }
     }
     {
-        let mut state = coord.state.lock().expect("coordinator state poisoned");
+        let mut state = coord
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state.workers[index].handshake(link.endpoint(), &hello, Instant::now());
     }
 
@@ -1057,12 +1110,18 @@ fn serve_link(
                 // request stops handing out work while in-flight shards
                 // still land and persist.
                 if ctx.should_stop.is_some_and(|hook| hook()) {
-                    let mut state = coord.state.lock().expect("coordinator state poisoned");
+                    let mut state = coord
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     state.stopping = true;
                     coord.wake.notify_all();
                 }
                 let batch: Vec<u32> = {
-                    let mut state = coord.state.lock().expect("coordinator state poisoned");
+                    let mut state = coord
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     loop {
                         if state.stopping || state.should_stop(config) {
                             state.stopping = true;
@@ -1092,7 +1151,10 @@ fn serve_link(
                         // shards; if one of them dies, its shards come
                         // back to the queue — wait instead of shutting
                         // this worker down and stranding that work.
-                        state = coord.wake.wait(state).expect("coordinator state poisoned");
+                        state = coord
+                            .wake
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                 };
                 if batch.is_empty() {
@@ -1117,7 +1179,10 @@ fn serve_link(
                 };
                 in_flight.swap_remove(position);
                 let (to_persist, discovered) = {
-                    let mut state = coord.state.lock().expect("coordinator state poisoned");
+                    let mut state = coord
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     state.in_flight -= 1;
                     state.tested += result.tested as usize;
                     state.skipped += result.skipped as usize;
@@ -1180,7 +1245,10 @@ fn serve_link(
                     match persister.append_delta(version, &delta) {
                         Ok(true) => {
                             let (version, snapshot) = {
-                                let state = coord.state.lock().expect("coordinator state poisoned");
+                                let state = coord
+                                    .state
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                                 (state.merged_this_run as u64, state.checkpoint.to_bytes())
                             };
                             if let Err(error) = persister.compact(version, &snapshot) {
@@ -1431,7 +1499,7 @@ mod tests {
             wake: Condvar::new(),
         };
         let job_frame = ToWorker::Job {
-            job: job.clone(),
+            job: Box::new(job.clone()),
             fingerprint: job.empty_checkpoint().fingerprint().to_string(),
         }
         .to_frame();

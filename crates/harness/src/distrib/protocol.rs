@@ -49,8 +49,10 @@ use crate::sweep::ShardResult;
 /// (representative sweeps); v4 added the shared-secret `Challenge` frame
 /// and the `auth` field in `Hello` (authenticated TCP workers), plus the
 /// fleet daemon's client frames (`Enqueue`/`Status`/`Results`/`Cancel`/
-/// `Subscribe` and their replies).
-pub const PROTOCOL_VERSION: u32 = 4;
+/// `Subscribe` and their replies); v5 widened the crash-point policy in
+/// `SweepJob` from an `All` bool to a one-byte policy code plus the triage
+/// audit budget (`CrashPointPolicy::AllTriaged`, see docs/ANALYSIS.md).
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Frame tag bytes. Coordinator-to-worker tags occupy the low range,
 /// worker-to-coordinator tags have the high bit set — so a desynced stream
@@ -171,7 +173,9 @@ pub enum ToWorker {
     /// results.
     Job {
         /// Everything the worker needs to reproduce its slice of the sweep.
-        job: SweepJob,
+        /// Boxed: the job description dwarfs every other frame, and keeping
+        /// it inline would bloat each `ToWorker` value to its size.
+        job: Box<SweepJob>,
         /// `job.empty_checkpoint().fingerprint()` as the coordinator sees it.
         fingerprint: String,
     },
@@ -222,7 +226,7 @@ impl ToWorker {
         let mut dec = Decoder::new(frame);
         match dec.get_u8()? {
             wire::JOB => {
-                let job = SweepJob::decode(&mut dec)?;
+                let job = Box::new(SweepJob::decode(&mut dec)?);
                 let fingerprint = dec.get_str()?;
                 Ok(ToWorker::Job { job, fingerprint })
             }

@@ -64,7 +64,12 @@ fn replay_segment_file(bytes: &[u8], path: &Path) -> FsResult<SweepCheckpoint> {
     let mut current: Option<SweepCheckpoint> = None;
     while bytes.len() - pos >= 5 {
         let tag = bytes[pos];
-        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes([
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+            bytes[pos + 4],
+        ]) as usize;
         let end = pos + 5 + len;
         if end > bytes.len() {
             // Torn tail: the writer died mid-append. The record's shard is
@@ -128,7 +133,12 @@ pub fn segment_stats(path: &Path) -> FsResult<SegmentStats> {
     };
     let mut pos = SEGMENT_MAGIC.len();
     while bytes.len() - pos >= 5 {
-        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes([
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+            bytes[pos + 4],
+        ]) as usize;
         let end = pos + 5 + len;
         if end > bytes.len() {
             break;
@@ -284,7 +294,10 @@ impl Persister {
     pub(super) fn append_delta(&self, version: u64, payload: &[u8]) -> FsResult<bool> {
         use std::io::Write;
         let record = segment_record(REC_DELTA, payload);
-        let mut state = self.state.lock().expect("persister poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.wedged {
             return Err(FsError::Device(format!(
                 "append checkpoint {}: a previous failed append left a torn \
@@ -318,7 +331,10 @@ impl Persister {
     /// a newer delta is already on disk — the snapshot would not contain
     /// it, so compacting over it would lose a persisted shard.
     pub(super) fn compact(&self, version: u64, snapshot_payload: &[u8]) -> FsResult<()> {
-        let mut state = self.state.lock().expect("persister poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if version < state.last_version {
             return Ok(());
         }

@@ -139,8 +139,16 @@ impl ChildLink {
             .stderr(Stdio::inherit())
             .spawn()
             .map_err(|e| transport_err("spawn worker", e))?;
-        let stdin = child.stdin.take().expect("worker stdin is piped");
-        let stdout = std::io::BufReader::new(child.stdout.take().expect("worker stdout is piped"));
+        let stdio = child.stdin.take().zip(child.stdout.take());
+        let Some((stdin, stdout)) = stdio else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(transport_err(
+                "open worker stdio",
+                std::io::Error::other("spawned child has no piped stdin/stdout"),
+            ));
+        };
+        let stdout = std::io::BufReader::new(stdout);
         let endpoint = format!("{endpoint_prefix}{}", child.id());
         Ok(ChildLink {
             child,
@@ -414,7 +422,10 @@ impl TcpTransport {
 
     /// Reaps launched children that already exited (non-blocking).
     fn reap_exited(&self) {
-        let mut launched = self.launched.lock().expect("launched children poisoned");
+        let mut launched = self
+            .launched
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         launched.retain_mut(|child| !matches!(child.try_wait(), Ok(Some(_))));
     }
 }
@@ -424,7 +435,10 @@ impl Drop for TcpTransport {
         // By drop time the coordinator run is over; any launched worker
         // still alive is either stuck or lost its socket, so kill and
         // reap rather than leak.
-        let mut launched = self.launched.lock().expect("launched children poisoned");
+        let mut launched = self
+            .launched
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for child in launched.iter_mut() {
             let _ = child.kill();
             let _ = child.wait();
@@ -465,7 +479,7 @@ impl Transport for TcpTransport {
             // launched worker, so no link may kill "its" child.
             self.launched
                 .lock()
-                .expect("launched children poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(child);
         }
         let Some((stream, peer)) = self.accept(cancelled)? else {
@@ -585,9 +599,8 @@ mod tests {
         let transport = TcpTransport::bind("127.0.0.1:0")
             .unwrap()
             .with_accept_timeout(Duration::from_millis(50));
-        let error = match transport.connect(&|| false) {
-            Ok(_) => panic!("accept must time out with nobody connecting"),
-            Err(error) => error,
+        let Err(error) = transport.connect(&|| false) else {
+            panic!("accept must time out with nobody connecting")
         };
         assert!(error.to_string().contains("no worker connected"));
     }

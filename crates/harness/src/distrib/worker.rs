@@ -172,13 +172,14 @@ fn worker_loop(
         first = ToWorker::from_frame(&read_frame(reader)?)?;
     }
 
-    let (job, expected_fingerprint) = match first {
-        ToWorker::Job { job, fingerprint } => (job, fingerprint),
-        _ => {
-            return Err(FsError::Corrupted(
-                "worker expected a Job as its first message".into(),
-            ))
-        }
+    let ToWorker::Job {
+        job,
+        fingerprint: expected_fingerprint,
+    } = first
+    else {
+        return Err(FsError::Corrupted(
+            "worker expected a Job as its first message".into(),
+        ));
     };
     // The coordinator's fingerprint and ours must agree on what the job
     // *means* — bounds enumeration, scope, shard split. A divergence means

@@ -75,7 +75,7 @@ impl Table {
         let render_row = |cells: &[String]| -> String {
             let mut line = String::new();
             for (i, width) in widths.iter().enumerate() {
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let cell = cells.get(i).map_or("", String::as_str);
                 line.push_str(&format!("{cell:<width$}  "));
             }
             line.trim_end().to_string()

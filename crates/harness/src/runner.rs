@@ -44,9 +44,7 @@ pub struct RunConfig {
 impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
-            threads: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4),
+            threads: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
             stop_after_bugs: None,
             stop_after_workloads: None,
             chunk_size: 64,

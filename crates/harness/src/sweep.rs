@@ -106,7 +106,7 @@ impl Progress {
         }
         line.push_str(&format!(" | {:.1?} elapsed", self.elapsed));
         if let Some(eta) = self.eta {
-            line.push_str(&format!(" | ~{:.0?} left", eta));
+            line.push_str(&format!(" | ~{eta:.0?} left"));
         }
         if !self.per_worker.is_empty() {
             let workers: Vec<String> = self
@@ -461,9 +461,11 @@ pub struct ShardResult {
     /// class representative ([`PruneMode`]). Disjoint from `skipped`,
     /// which counts candidates that could not execute at all.
     pub(crate) pruned: u64,
-    /// Pruned candidates that were *also* crash-tested by Audit mode
-    /// (a subset of `pruned`; their outcomes are compared against the
-    /// representative but never folded into `tested` or `groups`).
+    /// Audit work: pruned candidates that were *also* crash-tested by
+    /// [`PruneMode::Audit`] (a subset of `pruned`; their outcomes are
+    /// compared against the representative but never folded into `tested`
+    /// or `groups`), plus — under `CrashPointPolicy::AllTriaged` — reused
+    /// crash states the triage audit re-tested dynamically.
     pub(crate) audited: u64,
     /// Workloads that produced at least one bug report.
     pub(crate) buggy: u64,
@@ -508,6 +510,20 @@ impl ShardResult {
                 } else {
                     self.tested += 1;
                     self.workload_time_nanos += outcome.timing.total.as_nanos() as u64;
+                    // Triage audits (AllTriaged re-testing reused crash
+                    // states) ride the same audited counter and
+                    // audit-failure channel as canonicalization audits, so
+                    // distributed sweeps surface them without a wire
+                    // format change.
+                    self.audited += u64::from(outcome.triage_audited);
+                    for divergence in &outcome.triage_divergences {
+                        self.audit_failures.push(AuditFailure {
+                            class: format!("triage:{}", outcome.skeleton),
+                            representative: "<triage-witness>".into(),
+                            member: outcome.workload_name.clone(),
+                            detail: divergence.clone(),
+                        });
+                    }
                     let buggy = outcome.found_bug();
                     if buggy {
                         self.buggy += 1;
@@ -604,6 +620,10 @@ pub(crate) fn run_shard(
     let shard = bounds.shard(shard_index as usize, num_shards);
     let generator = WorkloadGenerator::for_shard(bounds.clone(), &shard);
     let mut result = ShardResult::default();
+    // Triage witnesses must not leak across shards: a shard's audited
+    // counter depends on which crash states hit the cache, and a shard's
+    // result must be a pure function of (bounds, scope, shard index).
+    monkey.reset_triage();
     let mut class_counts: HashMap<String, u32> = HashMap::new();
     for workload in generator {
         match prune.decide(&workload, &mut class_counts) {
@@ -959,8 +979,13 @@ impl<'a> Sweep<'a> {
     /// are not comparable.
     fn scope_component(&self) -> String {
         let mut scope = String::new();
-        if matches!(self.config.crashmonkey.crash_points, CrashPointPolicy::All) {
-            scope.push_str("cp:all");
+        match self.config.crashmonkey.crash_points {
+            CrashPointPolicy::LastOnly => {}
+            CrashPointPolicy::All => scope.push_str("cp:all"),
+            CrashPointPolicy::AllTriaged { audit: 0 } => scope.push_str("cp:triaged"),
+            CrashPointPolicy::AllTriaged { audit } => {
+                scope.push_str(&format!("cp:triaged-audit{audit}"));
+            }
         }
         let canon = self.prune.scope_component();
         if !canon.is_empty() {
@@ -1085,6 +1110,9 @@ impl<'a> Sweep<'a> {
                         // Audit sampling state is per shard so the sampled
                         // members are a pure function of (fingerprint,
                         // shard) and a re-run shard reproduces its result.
+                        // Triage witnesses reset for the same reason (see
+                        // `run_shard`).
+                        monkey.reset_triage();
                         let mut class_counts: HashMap<String, u32> = HashMap::new();
                         for workload in generator {
                             let decision = prune_ctx.decide(&workload, &mut class_counts);

@@ -492,7 +492,7 @@ fn tcp_workers_killed_mid_shard_are_respawned_until_convergence() {
     let stale_rates = std::sync::Mutex::new(Vec::new());
     let callback = |p: &b3_harness::Progress| {
         let mut stale = stale_rates.lock().unwrap();
-        for w in p.per_worker.iter() {
+        for w in &p.per_worker {
             if w.throughput.is_none() && w.rate.is_some() {
                 stale.push((w.worker, w.endpoint.clone(), w.rate));
             }
@@ -603,7 +603,7 @@ fn worker_rejects_job_with_mismatched_fingerprint() {
     // would compute.
     let job = SweepJob::new(small_seq2_bounds(), NUM_SHARDS);
     let frame = ToWorker::Job {
-        job,
+        job: Box::new(job),
         fingerprint: "not-a-real-fingerprint".into(),
     }
     .to_frame();

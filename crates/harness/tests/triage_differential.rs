@@ -1,0 +1,168 @@
+//! Differential tests of triaged (`CrashPointPolicy::AllTriaged`) sweeps.
+//!
+//! The soundness claim under test: statically triaging crash states by
+//! checker-input identity (`b3_analyze` content digests + the checkpoint's
+//! checker projection) and reusing recorded verdicts for provably-quiescent
+//! states finds the **same bug groups with byte-identical exemplar
+//! reports** as dynamically constructing, recovering, and checking every
+//! crash state — on every simulated file system. The tests pin that down
+//! three ways:
+//!
+//! * The **differential** test runs the same bounded seq-2 space under
+//!   `CrashPointPolicy::All` and `AllTriaged { audit: 0 }` on all four
+//!   file systems and asserts byte-identical exemplar reports plus equal
+//!   workload accounting.
+//! * The **shard-invariance** property: the triage cache resets at shard
+//!   boundaries, so a verdict replayed in one sharding is recomputed in
+//!   another — the sweep outcome must be invariant under `Bounds::shard`
+//!   splits (any shard count, including no sharding at all).
+//! * The **audit** test runs `AllTriaged { audit: n }`: reused states
+//!   re-tested dynamically must never diverge from their cached witness,
+//!   and the audit work must surface through the `audited` counter.
+
+use b3_ace::Bounds;
+use b3_crashmonkey::{CrashMonkeyConfig, CrashPointPolicy};
+use b3_fs_cow::CowFsSpec;
+use b3_fs_flash::FlashFsSpec;
+use b3_fs_journal::JournalFsSpec;
+use b3_fs_veri::VeriFsSpec;
+use b3_harness::{RunConfig, RunSummary, Sweep};
+use b3_vfs::codec::Encoder;
+use b3_vfs::{FsSpec, KernelEra};
+
+/// A bounded two-operation space: big enough that quiescent crash states
+/// actually occur (seq-2 chains persistence points), small enough for
+/// debug-build differential runs on four file systems.
+fn seq2_bounds() -> Bounds {
+    let mut bounds = Bounds::tiny();
+    bounds.seq_len = 2;
+    bounds.name_prefix = "triage-seq2".into();
+    bounds
+}
+
+/// The four simulated file systems at the evaluation era.
+fn all_specs() -> Vec<Box<dyn FsSpec + Sync>> {
+    vec![
+        Box::new(CowFsSpec::new(KernelEra::V4_16)),
+        Box::new(FlashFsSpec::new(KernelEra::V4_16)),
+        Box::new(JournalFsSpec::new(KernelEra::V4_16)),
+        Box::new(VeriFsSpec::new(KernelEra::V4_16)),
+    ]
+}
+
+fn sweep(
+    spec: &(dyn FsSpec + Sync),
+    bounds: &Bounds,
+    crash_points: CrashPointPolicy,
+    shards: usize,
+) -> RunSummary {
+    let config = RunConfig {
+        threads: 2,
+        crashmonkey: CrashMonkeyConfig {
+            crash_points,
+            ..CrashMonkeyConfig::small()
+        },
+        ..RunConfig::default()
+    };
+    Sweep::new(spec, config).shards(shards).run(bounds)
+}
+
+/// Serializes every exemplar report of a summary, so equality can be
+/// asserted on bytes rather than field-by-field.
+fn report_bytes(summary: &RunSummary) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    for report in &summary.reports {
+        report.encode(&mut enc);
+    }
+    enc.finish()
+}
+
+#[test]
+fn triaged_sweep_matches_exhaustive_on_all_file_systems() {
+    let bounds = seq2_bounds();
+    let mut specs_with_bugs = 0;
+    for spec in all_specs() {
+        let spec = spec.as_ref();
+        let full = sweep(spec, &bounds, CrashPointPolicy::All, 4);
+        let triaged = sweep(spec, &bounds, CrashPointPolicy::AllTriaged { audit: 0 }, 4);
+
+        assert!(
+            full.tested > 0,
+            "{}: reference sweep must test",
+            spec.name()
+        );
+        if !full.reports.is_empty() {
+            specs_with_bugs += 1;
+        }
+        // Same workloads, same accounting: triage skips crash-state
+        // *phases*, never workloads.
+        assert_eq!(full.tested, triaged.tested, "{}", spec.name());
+        assert_eq!(full.skipped, triaged.skipped, "{}", spec.name());
+        // Reusing a verdict is invisible in the output: identical groups,
+        // byte-identical exemplar reports.
+        assert_eq!(
+            report_bytes(&full),
+            report_bytes(&triaged),
+            "{}: triaged bug groups must be byte-identical to exhaustive",
+            spec.name()
+        );
+        assert!(
+            triaged.audit_failures.is_empty(),
+            "{}: audit=0 must record no divergences: {:?}",
+            spec.name(),
+            triaged.audit_failures
+        );
+    }
+    assert!(
+        specs_with_bugs > 0,
+        "the seq-2 space must expose bugs on at least one file system"
+    );
+}
+
+/// The triage cache is reset at every shard boundary, so the *set* of
+/// dynamically tested crash states depends on the sharding — but the
+/// outcome must not: quiescent verdicts are pure functions of the crash
+/// state and its checker projection, so re-deriving them in a different
+/// shard reproduces the same reports.
+#[test]
+fn triaged_outcome_is_invariant_under_shard_splits() {
+    let bounds = seq2_bounds();
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let reference = sweep(&spec, &bounds, CrashPointPolicy::AllTriaged { audit: 0 }, 1);
+    assert!(reference.tested > 0);
+    for shards in [2, 3, 7, 16] {
+        let split = sweep(
+            &spec,
+            &bounds,
+            CrashPointPolicy::AllTriaged { audit: 0 },
+            shards,
+        );
+        assert_eq!(reference.tested, split.tested, "{shards} shards");
+        assert_eq!(reference.skipped, split.skipped, "{shards} shards");
+        assert_eq!(
+            report_bytes(&reference),
+            report_bytes(&split),
+            "sweep outcome must be invariant under a {shards}-way shard split"
+        );
+    }
+}
+
+#[test]
+fn triage_audit_retests_reused_states_without_divergence() {
+    let bounds = seq2_bounds();
+    let spec = CowFsSpec::new(KernelEra::V4_16);
+    let audited = sweep(&spec, &bounds, CrashPointPolicy::AllTriaged { audit: 2 }, 4);
+    assert!(
+        audited.audited > 0,
+        "audit budget must re-test at least one reused crash state"
+    );
+    assert!(
+        audited.audit_failures.is_empty(),
+        "triage audits must never diverge on a sound analyzer: {:?}",
+        audited.audit_failures
+    );
+    // Audit work changes accounting (audited states pay the dynamic cost)
+    // but never the findings.
+    let reference = sweep(&spec, &bounds, CrashPointPolicy::All, 4);
+    assert_eq!(report_bytes(&reference), report_bytes(&audited));
+}

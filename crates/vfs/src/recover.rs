@@ -278,7 +278,7 @@ impl CommittedTreeCache {
     /// re-running the resolution, sidestepping the borrow the resolution
     /// methods hold on `self`.
     pub fn resolved(&self) -> Option<&MemTree> {
-        self.resolved_shared().map(|tree| tree.as_ref())
+        self.resolved_shared().map(std::convert::AsRef::as_ref)
     }
 
     /// Content stamp of the most recently resolved tree: equal stamps from

@@ -774,18 +774,13 @@ impl std::fmt::Display for SnapshotDiff {
                 actual,
             } => write!(
                 f,
-                "{path}: symlink target {:?} expected, found {:?}",
-                expected, actual
+                "{path}: symlink target {expected:?} expected, found {actual:?}"
             ),
             SnapshotDiff::XattrMismatch {
                 path,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "{path}: xattrs {:?} expected, found {:?}",
-                expected, actual
-            ),
+            } => write!(f, "{path}: xattrs {expected:?} expected, found {actual:?}"),
         }
     }
 }

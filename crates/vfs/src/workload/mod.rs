@@ -496,7 +496,7 @@ impl Workload {
     pub fn skeleton_string(&self) -> String {
         self.skeleton()
             .iter()
-            .map(|k| k.as_str())
+            .map(OpKind::as_str)
             .collect::<Vec<_>>()
             .join("-")
     }
@@ -671,7 +671,7 @@ mod tests {
             OpKind::Fdatasync,
             OpKind::Sync,
         ];
-        let unique: HashSet<&str> = kinds.iter().map(|k| k.as_str()).collect();
+        let unique: HashSet<&str> = kinds.iter().map(super::OpKind::as_str).collect();
         assert_eq!(unique.len(), kinds.len());
     }
 }

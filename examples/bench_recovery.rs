@@ -86,8 +86,7 @@ fn peak_rss_bytes() -> u64 {
                 .parse::<u64>()
                 .ok()
         })
-        .map(|kb| kb * 1024)
-        .unwrap_or(0)
+        .map_or(0, |kb| kb * 1024)
 }
 
 /// Child entry: run the budgeted seq-2 `All`-policy slice in one mode and
@@ -165,7 +164,7 @@ fn main() {
                     .next()
                     .expect("--stop-after needs a number")
                     .parse()
-                    .expect("--stop-after needs a number")
+                    .expect("--stop-after needs a number");
             }
             "--out" => out = args.next().expect("--out needs a path"),
             other => panic!("unknown flag {other:?}"),

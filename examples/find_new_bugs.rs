@@ -103,8 +103,7 @@ fn main() {
             if check.detected_expected { "yes" } else { "NO" }.to_string(),
             check
                 .observed
-                .map(|c| c.describe().to_string())
-                .unwrap_or_else(|| "-".to_string()),
+                .map_or_else(|| "-".to_string(), |c| c.describe().to_string()),
         ]);
     }
     println!("{}", table.render());

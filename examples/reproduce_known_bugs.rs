@@ -41,8 +41,7 @@ fn main() {
         let check = entry.replay().expect("corpus workload runs");
         let observed = check
             .observed
-            .map(|c| c.describe().to_string())
-            .unwrap_or_else(|| "none".to_string());
+            .map_or_else(|| "none".to_string(), |c| c.describe().to_string());
         if check.detected_expected && !entry.id.ends_with("-f2fs") {
             reproduced += 1;
         }

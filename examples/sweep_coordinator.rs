@@ -52,9 +52,15 @@
 //! their representative), `--audit-k K` (members sampled per class per
 //! shard in audit mode, default 2), `--crash-points P` (`last` (default)
 //! to crash only at each workload's final persistence point, `all` to
-//! crash at every persistence point; the policy scopes the checkpoint, so
-//! an `all` sweep never resumes a `last` checkpoint or vice versa). The
-//! big `seq-4-metadata` space (~688M candidates) is only practical with
+//! crash at every persistence point, `triaged` to cover every persistence
+//! point but dynamically test only crash states the static
+//! persistence-order analysis cannot prove bit-identical to an
+//! already-tested one — see docs/ANALYSIS.md), `--triage-audit N`
+//! (re-test up to N triage-reused crash states per workload against their
+//! witness; requires `triaged`; divergences surface as audit failures and
+//! exit code 3). The policy scopes the checkpoint, so an `all` sweep
+//! never resumes a `last` checkpoint or vice versa. The big
+//! `seq-4-metadata` space (~688M candidates) is only practical with
 //! `--prune rep`.
 //!
 //! For a *long-lived, multi-job* coordinator — a queue of sweeps served
@@ -129,11 +135,11 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--workers" => {
-                parsed.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?
+                parsed.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
             }
             "--preset" => parsed.preset = value()?,
             "--shards" => {
-                parsed.shards = Some(value()?.parse().map_err(|e| format!("--shards: {e}"))?)
+                parsed.shards = Some(value()?.parse().map_err(|e| format!("--shards: {e}"))?);
             }
             "--fs" => {
                 let name = value()?;
@@ -142,7 +148,7 @@ fn parse_args() -> Result<Args, String> {
             "--checkpoint" => parsed.checkpoint = Some(PathBuf::from(value()?)),
             "--stop-after" => {
                 parsed.stop_after =
-                    Some(value()?.parse().map_err(|e| format!("--stop-after: {e}"))?)
+                    Some(value()?.parse().map_err(|e| format!("--stop-after: {e}"))?);
             }
             "--transport" => {
                 let name = value()?;
@@ -159,7 +165,7 @@ fn parse_args() -> Result<Args, String> {
             "--ssh" => parsed.ssh_hosts.push(value()?),
             "--remote-worker" => parsed.remote_worker = value()?,
             "--respawn" => {
-                parsed.respawn = value()?.parse().map_err(|e| format!("--respawn: {e}"))?
+                parsed.respawn = value()?.parse().map_err(|e| format!("--respawn: {e}"))?;
             }
             "--calibrate" => parsed.calibrate = true,
             "--prune" => {
@@ -168,15 +174,27 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or(format!("unknown prune mode {name:?} (off/rep/audit)"))?;
             }
             "--audit-k" => {
-                parsed.audit_k = Some(value()?.parse().map_err(|e| format!("--audit-k: {e}"))?)
+                parsed.audit_k = Some(value()?.parse().map_err(|e| format!("--audit-k: {e}"))?);
             }
             "--crash-points" => {
                 parsed.crash_points = match value()?.as_str() {
                     "last" => CrashPointPolicy::LastOnly,
                     "all" => CrashPointPolicy::All,
+                    "triaged" => CrashPointPolicy::AllTriaged { audit: 0 },
                     other => {
-                        return Err(format!("unknown crash-point policy {other:?} (last/all)"))
+                        return Err(format!(
+                            "unknown crash-point policy {other:?} (last/all/triaged)"
+                        ))
                     }
+                }
+            }
+            "--triage-audit" => {
+                let audit = value()?
+                    .parse()
+                    .map_err(|e| format!("--triage-audit: {e}"))?;
+                match &mut parsed.crash_points {
+                    CrashPointPolicy::AllTriaged { audit: slot } => *slot = audit,
+                    _ => return Err("--triage-audit requires --crash-points triaged".into()),
                 }
             }
             "--batch-target-ms" => {
@@ -184,7 +202,7 @@ fn parse_args() -> Result<Args, String> {
                     value()?
                         .parse()
                         .map_err(|e| format!("--batch-target-ms: {e}"))?,
-                )
+                );
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -332,8 +350,13 @@ fn main() {
     let mut job = SweepJob::new(bounds, num_shards);
     job.fs = args.fs;
     job.crashmonkey.crash_points = args.crash_points;
-    if args.crash_points == CrashPointPolicy::All {
-        println!("crash points: all persistence points");
+    match args.crash_points {
+        CrashPointPolicy::LastOnly => {}
+        CrashPointPolicy::All => println!("crash points: all persistence points"),
+        CrashPointPolicy::AllTriaged { audit } => println!(
+            "crash points: all persistence points, statically triaged \
+             (audit {audit} reused states per workload)"
+        ),
     }
     job.prune = match (args.prune, args.audit_k) {
         (PruneMode::Audit { .. }, Some(k)) => PruneMode::Audit {

@@ -197,7 +197,7 @@ fn protocol_spec_matches_the_wire_constants() {
         ("Ack".to_string(), wire::ACK),
         ("StatusReport".to_string(), wire::STATUS_REPORT),
         ("ResultsReport".to_string(), wire::RESULTS_REPORT),
-        ("Error".to_string(), wire::CLIENT_ERROR),
+        ("ClientError".to_string(), wire::CLIENT_ERROR),
         ("Event".to_string(), wire::EVENT),
     ]
     .into();
