@@ -1,0 +1,262 @@
+//! Odometer-style enumeration of transaction workloads.
+//!
+//! Unlike `b3_ace::WorkloadGenerator` (which advances odometer state), the
+//! transaction space is small and regular enough to *decode* any workload
+//! directly from its index. That makes `skip_to` and sharding exact by
+//! construction: workload `i` is the same bytes no matter which worker, on
+//! which machine, at which resume point, produces it.
+
+use crate::bounds::{TxnBounds, TxnOpKind, TxnShard};
+
+/// One operation in a transaction: an op kind applied to key `k{key}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnOp {
+    /// What to do.
+    pub kind: TxnOpKind,
+    /// Which key (index into the bounded key set; the engine sees `k{key}`).
+    pub key: u32,
+}
+
+/// One transaction: a non-empty op sequence and its terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// The staged operations, in order.
+    pub ops: Vec<TxnOp>,
+    /// True to commit, false to abort.
+    pub commit: bool,
+}
+
+/// A fully decoded transaction workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnWorkload {
+    /// `{prefix}-{index+1:07}` — 1-based and zero-padded so lexicographic
+    /// order equals enumeration order (bug-group exemplars depend on it).
+    pub name: String,
+    /// 0-based position in the bounded space.
+    pub index: u64,
+    /// The transactions, in execution order.
+    pub txns: Vec<Txn>,
+}
+
+impl TxnWorkload {
+    /// The grouping skeleton: per-transaction op letters plus `+` (commit)
+    /// or `-` (abort), transactions joined with `|` — e.g. `PA+|D-`.
+    pub fn skeleton_string(&self) -> String {
+        self.txns
+            .iter()
+            .map(|txn| {
+                let mut part: String = txn.ops.iter().map(|op| op.kind.letter()).collect();
+                part.push(if txn.commit { '+' } else { '-' });
+                part
+            })
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+/// The key name the engine sees for key index `key`.
+pub fn key_name(key: u32) -> String {
+    format!("k{key}")
+}
+
+/// The value bytes written by op `op` (0-based) of transaction `txn`
+/// (0-based): `v{txn+1}.{op+1}`. Unique per position, so the oracle can
+/// recognise exactly which writes survived a crash.
+pub fn value_for(txn: usize, op: usize) -> Vec<u8> {
+    format!("v{}.{}", txn + 1, op + 1).into_bytes()
+}
+
+/// Iterator over a contiguous index range of a [`TxnBounds`] space.
+#[derive(Debug, Clone)]
+pub struct TxnWorkloadGenerator {
+    bounds: TxnBounds,
+    cursor: u64,
+    end: u64,
+}
+
+impl TxnWorkloadGenerator {
+    /// Enumerates the whole space.
+    pub fn new(bounds: TxnBounds) -> Self {
+        let end = bounds.candidates();
+        TxnWorkloadGenerator {
+            bounds,
+            cursor: 0,
+            end,
+        }
+    }
+
+    /// Enumerates exactly one shard.
+    pub fn for_shard(bounds: TxnBounds, shard: &TxnShard) -> Self {
+        TxnWorkloadGenerator {
+            bounds,
+            cursor: shard.start,
+            end: shard.end,
+        }
+    }
+
+    /// Enumerates the clamped range `[start, end)`.
+    pub fn with_range(bounds: TxnBounds, start: u64, end: u64) -> Self {
+        let total = bounds.candidates();
+        TxnWorkloadGenerator {
+            bounds,
+            cursor: start.min(total),
+            end: end.min(total),
+        }
+    }
+
+    /// Jumps the cursor to absolute index `index` (clamped to the range
+    /// end). Exact: the next item is workload `index`.
+    pub fn skip_to(&mut self, index: u64) {
+        self.cursor = index.min(self.end);
+    }
+
+    /// The absolute index of the next workload to be produced.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// The bounds this generator enumerates.
+    pub fn bounds(&self) -> &TxnBounds {
+        &self.bounds
+    }
+
+    /// Exact size of the space (named for parity with
+    /// `b3_ace::WorkloadGenerator::estimate_candidates`; for transaction
+    /// spaces the estimate is exact).
+    pub fn estimate_candidates(bounds: &TxnBounds) -> u64 {
+        bounds.candidates()
+    }
+
+    /// Decodes workload `index` of `bounds` without constructing an
+    /// iterator. `index` must be in range.
+    pub fn decode(bounds: &TxnBounds, index: u64) -> TxnWorkload {
+        let total = bounds.candidates();
+        assert!(index < total, "workload index {index} out of 0..{total}");
+        let m = bounds.per_txn();
+        // How many transactions: the space is ordered by length, so peel
+        // off the m^1, m^2, … blocks.
+        let mut rem = u128::from(index);
+        let mut num_txns = 1u32;
+        let mut block = m;
+        while rem >= block {
+            rem -= block;
+            num_txns += 1;
+            block = block.saturating_mul(m);
+        }
+        // Within the block: most-significant-digit-first base-m odometer.
+        let mut txns = Vec::with_capacity(num_txns as usize);
+        let mut divisor = m.saturating_pow(num_txns - 1);
+        for _ in 0..num_txns {
+            let digit = rem / divisor;
+            rem %= divisor;
+            divisor = (divisor / m).max(1);
+            txns.push(Self::decode_txn(bounds, digit));
+        }
+        TxnWorkload {
+            name: format!("{}-{:07}", bounds.name_prefix, index + 1),
+            index,
+            txns,
+        }
+    }
+
+    /// Decodes one base-`per_txn` digit into a transaction.
+    fn decode_txn(bounds: &TxnBounds, digit: u128) -> Txn {
+        let terminators = bounds.terminators();
+        let commit = digit.is_multiple_of(terminators);
+        let mut rem = digit / terminators;
+        let p = bounds.per_op();
+        let mut num_ops = 1u32;
+        let mut block = p;
+        while rem >= block {
+            rem -= block;
+            num_ops += 1;
+            block = block.saturating_mul(p);
+        }
+        let kinds = bounds.ops.len() as u128;
+        let mut ops = Vec::with_capacity(num_ops as usize);
+        let mut divisor = p.saturating_pow(num_ops - 1);
+        for _ in 0..num_ops {
+            let op_digit = rem / divisor;
+            rem %= divisor;
+            divisor = (divisor / p).max(1);
+            ops.push(TxnOp {
+                kind: bounds.ops[(op_digit % kinds) as usize],
+                key: (op_digit / kinds) as u32,
+            });
+        }
+        Txn { ops, commit }
+    }
+}
+
+impl Iterator for TxnWorkloadGenerator {
+    type Item = TxnWorkload;
+
+    fn next(&mut self) -> Option<TxnWorkload> {
+        if self.cursor >= self.end {
+            return None;
+        }
+        let workload = Self::decode(&self.bounds, self.cursor);
+        self.cursor += 1;
+        Some(workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_dense_ordered_and_unique() {
+        let bounds = TxnBounds::smoke();
+        let all: Vec<TxnWorkload> = TxnWorkloadGenerator::new(bounds.clone()).collect();
+        assert_eq!(all.len() as u64, bounds.candidates());
+        for (position, workload) in all.iter().enumerate() {
+            assert_eq!(workload.index, position as u64);
+            assert_eq!(workload.name, format!("app-smoke-{:07}", position + 1));
+            assert!(!workload.txns.is_empty());
+            for txn in &workload.txns {
+                assert!(!txn.ops.is_empty());
+                assert!(txn.ops.len() <= bounds.max_ops_per_txn as usize);
+                for op in &txn.ops {
+                    assert!(op.key < bounds.keys);
+                }
+            }
+        }
+        let mut sorted_names: Vec<&String> = all.iter().map(|w| &w.name).collect();
+        sorted_names.dedup();
+        assert_eq!(sorted_names.len(), all.len(), "names are unique");
+        assert!(
+            sorted_names.windows(2).all(|pair| pair[0] < pair[1]),
+            "lexicographic name order equals enumeration order"
+        );
+    }
+
+    #[test]
+    fn tiny_space_first_and_last_workloads() {
+        let bounds = TxnBounds::tiny();
+        let all: Vec<TxnWorkload> = TxnWorkloadGenerator::new(bounds).collect();
+        assert_eq!(all.len(), 20);
+        // Index 0: single put of key 0, committed.
+        assert_eq!(all[0].skeleton_string(), "P+");
+        assert_eq!(
+            all[0].txns[0].ops,
+            vec![TxnOp {
+                kind: TxnOpKind::Put,
+                key: 0
+            }]
+        );
+        // Every tiny workload commits (allow_abort = false).
+        assert!(all.iter().all(|w| w.txns.iter().all(|t| t.commit)));
+        // The two-op block covers all 16 combinations.
+        assert_eq!(all.iter().filter(|w| w.txns[0].ops.len() == 2).count(), 16);
+    }
+
+    #[test]
+    fn skeletons_cover_commit_and_abort() {
+        let bounds = TxnBounds::smoke();
+        let all: Vec<TxnWorkload> = TxnWorkloadGenerator::new(bounds).collect();
+        assert!(all.iter().any(|w| w.skeleton_string().contains('+')));
+        assert!(all.iter().any(|w| w.skeleton_string().contains('-')));
+        assert!(all.iter().any(|w| w.skeleton_string().contains('|')));
+    }
+}

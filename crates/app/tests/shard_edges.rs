@@ -1,0 +1,125 @@
+//! Edge cases of the transaction-space sharding and seeking arithmetic the
+//! distributed-sweep protocol leans on, mirroring the file-system-space
+//! suite in `crates/ace/tests/shard_edges.rs`: oversharded spaces (more
+//! shards than candidates), the final partial shard, and `skip_to` at
+//! exact space boundaries.
+
+use b3_app::generator::TxnWorkload;
+use b3_app::{TxnBounds, TxnShard, TxnWorkloadGenerator};
+
+fn enumerate(bounds: &TxnBounds) -> Vec<TxnWorkload> {
+    TxnWorkloadGenerator::new(bounds.clone()).collect()
+}
+
+#[test]
+fn oversharding_produces_empty_shards_but_loses_nothing() {
+    let bounds = TxnBounds::tiny();
+    let total = TxnWorkloadGenerator::estimate_candidates(&bounds);
+    let num_shards = total as usize * 2 + 5;
+
+    let shards = bounds.shards(num_shards);
+    assert!(
+        shards.iter().any(TxnShard::is_empty),
+        "more shards than candidates forces empty shards"
+    );
+    let covered: u64 = shards.iter().map(TxnShard::candidates).sum();
+    assert_eq!(covered, total);
+    for shard in &shards {
+        assert!(
+            shard.candidates() <= 1,
+            "oversharded shards hold at most one candidate"
+        );
+    }
+
+    let mut concatenated = Vec::new();
+    for shard in &shards {
+        let produced: Vec<TxnWorkload> =
+            TxnWorkloadGenerator::for_shard(bounds.clone(), shard).collect();
+        if shard.is_empty() {
+            assert!(produced.is_empty(), "an empty shard must enumerate nothing");
+        }
+        concatenated.extend(produced);
+    }
+    assert_eq!(concatenated, enumerate(&bounds));
+}
+
+#[test]
+fn final_partial_shard_covers_exactly_the_tail() {
+    let bounds = TxnBounds::tiny();
+    let total = TxnWorkloadGenerator::estimate_candidates(&bounds);
+    // A shard count that does not divide the space: shard sizes differ by
+    // one, and the final shard ends exactly at the space boundary.
+    let num_shards = 3;
+    assert_ne!(total % num_shards as u64, 0, "pick a non-dividing count");
+
+    let shards = bounds.shards(num_shards);
+    assert_eq!(shards[0].start, 0);
+    assert_eq!(shards[num_shards - 1].end, total);
+    for pair in shards.windows(2) {
+        assert_eq!(pair[0].end, pair[1].start, "shards tile the space");
+    }
+    let sizes: Vec<u64> = shards.iter().map(TxnShard::candidates).collect();
+    let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+    assert!(max - min <= 1, "shards are near-equal: {sizes:?}");
+
+    // The final shard alone reproduces the tail of the full enumeration.
+    let full = enumerate(&bounds);
+    let last: Vec<TxnWorkload> =
+        TxnWorkloadGenerator::for_shard(bounds.clone(), &shards[num_shards - 1]).collect();
+    assert_eq!(last.as_slice(), &full[full.len() - last.len()..]);
+}
+
+#[test]
+fn skip_to_zero_is_the_identity() {
+    let bounds = TxnBounds::tiny();
+    let mut generator = TxnWorkloadGenerator::new(bounds.clone());
+    generator.skip_to(0);
+    let skipped: Vec<TxnWorkload> = generator.collect();
+    assert_eq!(skipped, enumerate(&bounds));
+}
+
+#[test]
+fn skip_to_the_exact_end_of_the_space_is_empty() {
+    let bounds = TxnBounds::tiny();
+    let total = TxnWorkloadGenerator::estimate_candidates(&bounds);
+    let mut generator = TxnWorkloadGenerator::new(bounds.clone());
+    generator.skip_to(total);
+    assert_eq!(generator.count(), 0);
+
+    // Past the end is equally empty, not a panic or wraparound.
+    let mut generator = TxnWorkloadGenerator::new(bounds);
+    generator.skip_to(total + 17);
+    assert_eq!(generator.count(), 0);
+}
+
+#[test]
+fn skip_to_every_shard_boundary_matches_the_shard_decomposition() {
+    let bounds = TxnBounds::smoke();
+    let full = enumerate(&bounds);
+    for num_shards in [2usize, 3, 5, 64] {
+        let mut suffix_len = full.len();
+        for shard in bounds.shards(num_shards) {
+            // Seeking to a shard's start enumerates exactly the shards from
+            // there to the end of the space.
+            let mut generator = TxnWorkloadGenerator::new(bounds.clone());
+            generator.skip_to(shard.start);
+            let tail: Vec<TxnWorkload> = generator.collect();
+            assert_eq!(tail.as_slice(), &full[full.len() - suffix_len..]);
+            suffix_len -= TxnWorkloadGenerator::for_shard(bounds.clone(), &shard).count();
+        }
+    }
+}
+
+#[test]
+fn single_shard_split_is_the_whole_space() {
+    let bounds = TxnBounds::tiny();
+    let shard = bounds.shard(0, 1);
+    assert_eq!(shard.start, 0);
+    assert_eq!(
+        shard.end,
+        TxnWorkloadGenerator::estimate_candidates(&bounds)
+    );
+    let sharded: Vec<TxnWorkload> =
+        TxnWorkloadGenerator::for_shard(bounds.clone(), &shard).collect();
+    assert_eq!(sharded, enumerate(&bounds));
+}

@@ -37,6 +37,21 @@ pub enum Consequence {
     CannotCreateFiles,
     /// The file system cannot be mounted at all.
     Unmountable,
+    /// Application-level (see `b3_app`): recovering the same crash state
+    /// twice yields different engine states — WAL replay is not idempotent
+    /// (e.g. a stale `applied_seq` re-applies records on every open).
+    TxnReplayNotIdempotent,
+    /// Application-level: the recovered engine state is not an atomic
+    /// prefix of the committed transaction history — some transaction
+    /// applied partially (torn commit record, commit record durable before
+    /// its data).
+    TxnAtomicityBroken,
+    /// Application-level: effects of an aborted (or never-committed)
+    /// transaction survived recovery.
+    TxnResurrection,
+    /// Application-level: a transaction whose commit was acknowledged as
+    /// durable is missing after recovery.
+    TxnDurabilityLoss,
 }
 
 impl Consequence {
@@ -55,11 +70,16 @@ impl Consequence {
             Consequence::DirectoryUnremovable => "directory un-removable",
             Consequence::CannotCreateFiles => "unable to create new files",
             Consequence::Unmountable => "file system unmountable",
+            Consequence::TxnReplayNotIdempotent => "WAL replay not idempotent",
+            Consequence::TxnAtomicityBroken => "committed transaction applied partially",
+            Consequence::TxnResurrection => "aborted transaction resurrected",
+            Consequence::TxnDurabilityLoss => "committed transaction lost",
         }
     }
 
     /// The coarse study category used by Table 1 (corruption / data
-    /// inconsistency / un-mountable).
+    /// inconsistency / un-mountable), extended with the application-level
+    /// bucket `b3_app`'s transaction oracle reports into.
     pub fn study_category(&self) -> &'static str {
         match self {
             Consequence::Unmountable => "un-mountable",
@@ -69,6 +89,10 @@ impl Consequence {
             | Consequence::BlocksLost
             | Consequence::XattrInconsistent
             | Consequence::SymlinkEmpty => "data inconsistency",
+            Consequence::TxnReplayNotIdempotent
+            | Consequence::TxnAtomicityBroken
+            | Consequence::TxnResurrection
+            | Consequence::TxnDurabilityLoss => "application",
             _ => "corruption",
         }
     }
@@ -90,6 +114,10 @@ impl Consequence {
             Consequence::DirectoryUnremovable => 9,
             Consequence::CannotCreateFiles => 10,
             Consequence::Unmountable => 11,
+            Consequence::TxnReplayNotIdempotent => 12,
+            Consequence::TxnAtomicityBroken => 13,
+            Consequence::TxnResurrection => 14,
+            Consequence::TxnDurabilityLoss => 15,
         }
     }
 
@@ -108,6 +136,10 @@ impl Consequence {
             9 => Consequence::DirectoryUnremovable,
             10 => Consequence::CannotCreateFiles,
             11 => Consequence::Unmountable,
+            12 => Consequence::TxnReplayNotIdempotent,
+            13 => Consequence::TxnAtomicityBroken,
+            14 => Consequence::TxnResurrection,
+            15 => Consequence::TxnDurabilityLoss,
             _ => return None,
         })
     }
@@ -341,9 +373,16 @@ pub struct WorkloadOutcome {
 impl WorkloadOutcome {
     /// Creates an empty outcome for a workload.
     pub fn new(workload: &Workload, fs_name: &str) -> Self {
+        Self::from_parts(workload.name.clone(), workload.skeleton_string(), fs_name)
+    }
+
+    /// Creates an empty outcome from raw name/skeleton strings — for
+    /// workload kinds that are not syscall sequences (the `b3_app`
+    /// transaction workloads).
+    pub fn from_parts(workload_name: String, skeleton: String, fs_name: &str) -> Self {
         WorkloadOutcome {
-            workload_name: workload.name.clone(),
-            skeleton: workload.skeleton_string(),
+            workload_name,
+            skeleton,
             fs_name: fs_name.to_string(),
             bugs: Vec::new(),
             checkpoints_tested: 0,
@@ -388,6 +427,18 @@ mod tests {
             Consequence::DirectoryUnremovable.study_category(),
             "corruption"
         );
+        assert_eq!(
+            Consequence::TxnAtomicityBroken.study_category(),
+            "application"
+        );
+        assert_eq!(
+            Consequence::TxnDurabilityLoss.study_category(),
+            "application"
+        );
+        // Within the application bucket, durability loss outranks the rest.
+        assert!(Consequence::TxnDurabilityLoss > Consequence::TxnResurrection);
+        assert!(Consequence::TxnResurrection > Consequence::TxnAtomicityBroken);
+        assert!(Consequence::TxnAtomicityBroken > Consequence::TxnReplayNotIdempotent);
     }
 
     #[test]
@@ -442,7 +493,7 @@ mod tests {
         assert_eq!(decoded, report);
         assert!(dec.is_exhausted());
 
-        for code in 0..=11u8 {
+        for code in 0..=15u8 {
             assert_eq!(Consequence::from_code(code).unwrap().code(), code);
         }
         assert!(Consequence::from_code(99).is_none());

@@ -1,0 +1,271 @@
+//! In-process sharded sweeps over the application-level transaction space.
+//!
+//! [`AppSweep`] is the application-level twin of [`Sweep`](crate::Sweep):
+//! same sharding, same work-stealing, same resumable [`SweepCheckpoint`]
+//! records, same [`RunSummary`] — only the workload generator
+//! (`b3_app::TxnWorkloadGenerator`) and the per-workload tester
+//! (`b3_app::AppHarness`) differ. Because the per-shard results are
+//! ordinary [`ShardResult`]s, app sweeps flow through the sweep
+//! checkpoints, the distributed coordinator, and the fleet daemon without
+//! any format changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use b3_app::{AppHarness, EngineProfile, TxnBounds, TxnWorkloadGenerator};
+use b3_crashmonkey::CrashPointPolicy;
+use b3_vfs::fs::FsSpec;
+
+use crate::runner::{RunConfig, RunSummary};
+use crate::sweep::{take_budget, Absorbed, ShardResult, SweepCheckpoint};
+
+/// Runs one shard of an app sweep to completion: every transaction
+/// workload of the shard is crash-tested, and the shard's result is a pure
+/// function of (bounds, engine, shard index). The distributed worker calls
+/// this for claimed shards of app jobs.
+pub(crate) fn run_app_shard(
+    harness: &AppHarness<'_>,
+    bounds: &TxnBounds,
+    shard_index: u32,
+    num_shards: usize,
+    mut tick: impl FnMut(),
+) -> ShardResult {
+    let shard = bounds.shard(shard_index as usize, num_shards);
+    let generator = TxnWorkloadGenerator::for_shard(bounds.clone(), &shard);
+    let mut result = ShardResult::default();
+    for workload in generator {
+        tick();
+        result.absorb(harness.test_workload(&workload));
+    }
+    result
+}
+
+/// A sharded, resumable, in-process sweep over one bounded transaction
+/// space against one (file system, engine profile) pair.
+pub struct AppSweep<'a> {
+    spec: &'a (dyn FsSpec + Sync),
+    config: RunConfig,
+    engine: EngineProfile,
+    num_shards: usize,
+}
+
+impl<'a> AppSweep<'a> {
+    /// Creates an app sweep with the same default shard count heuristic as
+    /// [`Sweep`](crate::Sweep): eight shards per worker thread.
+    pub fn new(spec: &'a (dyn FsSpec + Sync), config: RunConfig, engine: EngineProfile) -> Self {
+        AppSweep {
+            spec,
+            num_shards: (config.threads.max(1) * 8).max(1),
+            config,
+            engine,
+        }
+    }
+
+    /// Overrides the number of generator shards.
+    pub fn shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = num_shards.max(1);
+        self
+    }
+
+    /// The checkpoint-scope component: the engine profile always
+    /// participates (a buggy-engine sweep and a fixed-engine sweep must
+    /// never share a checkpoint), combined with the crash-point policy the
+    /// same way [`Sweep`](crate::Sweep) encodes it.
+    pub(crate) fn scope_component(&self) -> String {
+        let mut scope = format!("app:{}", self.engine.describe());
+        match self.config.crashmonkey.crash_points {
+            CrashPointPolicy::LastOnly => {}
+            CrashPointPolicy::All => scope.push_str("/cp:all"),
+            CrashPointPolicy::AllTriaged { audit: 0 } => scope.push_str("/cp:triaged"),
+            CrashPointPolicy::AllTriaged { audit } => {
+                scope.push_str(&format!("/cp:triaged-audit{audit}"));
+            }
+        }
+        scope
+    }
+
+    /// An empty checkpoint for this sweep's (bounds, shard count, engine,
+    /// crash points) tuple — the one [`AppSweep::run_resumable`] accepts.
+    pub fn empty_checkpoint(&self, bounds: &TxnBounds) -> SweepCheckpoint {
+        SweepCheckpoint::scoped_app(bounds, self.num_shards, &self.scope_component())
+    }
+
+    /// Runs the whole sweep in one go.
+    pub fn run(&self, bounds: &TxnBounds) -> RunSummary {
+        let mut checkpoint = self.empty_checkpoint(bounds);
+        self.run_resumable(bounds, &mut checkpoint)
+    }
+
+    /// Runs (or resumes) the sweep, recording every completed shard into
+    /// `checkpoint`, with the same semantics as
+    /// [`Sweep::run_resumable`](crate::Sweep::run_resumable): recorded
+    /// shards are skipped, budget-interrupted shards stay unrecorded but
+    /// still count toward the returned summary.
+    ///
+    /// # Panics
+    /// Panics when the checkpoint belongs to a different bounds, shard
+    /// count, engine profile, or crash-point policy.
+    pub fn run_resumable(
+        &self,
+        bounds: &TxnBounds,
+        checkpoint: &mut SweepCheckpoint,
+    ) -> RunSummary {
+        assert!(
+            checkpoint.fingerprint() == self.empty_checkpoint(bounds).fingerprint(),
+            "app sweep checkpoint belongs to a different bounds/shard/engine configuration"
+        );
+        let start = Instant::now();
+        let pending: Vec<u32> = checkpoint.missing_shards();
+        let next_pending = AtomicUsize::new(0);
+        let budget = AtomicUsize::new(self.config.stop_after_workloads.unwrap_or(usize::MAX));
+        let bugs_seen = AtomicUsize::new(checkpoint.total_buggy() as usize);
+        let threads = self.config.threads.max(1);
+        let recorded: Mutex<&mut SweepCheckpoint> = Mutex::new(checkpoint);
+        let abandoned: Mutex<Vec<ShardResult>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let harness = AppHarness::new(self.spec, self.config.crashmonkey, self.engine);
+                    'steal: loop {
+                        let slot = next_pending.fetch_add(1, Ordering::Relaxed);
+                        let Some(&shard_index) = pending.get(slot) else {
+                            break 'steal;
+                        };
+                        let shard = bounds.shard(shard_index as usize, self.num_shards);
+                        let generator = TxnWorkloadGenerator::for_shard(bounds.clone(), &shard);
+                        let mut result = ShardResult::default();
+                        for workload in generator {
+                            let bug_limit_hit = self
+                                .config
+                                .stop_after_bugs
+                                .is_some_and(|limit| bugs_seen.load(Ordering::Relaxed) >= limit);
+                            if bug_limit_hit || !take_budget(&budget) {
+                                abandoned
+                                    .lock()
+                                    .expect("abandoned results poisoned")
+                                    .push(result);
+                                break 'steal;
+                            }
+                            if let Absorbed::Tested { buggy: true } =
+                                result.absorb(harness.test_workload(&workload))
+                            {
+                                bugs_seen.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        recorded
+                            .lock()
+                            .expect("checkpoint poisoned")
+                            .record(shard_index, result);
+                    }
+                });
+            }
+        });
+
+        let checkpoint = recorded.into_inner().expect("checkpoint poisoned");
+        let mut summary = checkpoint.summary();
+        let mut grouped = checkpoint.grouped();
+        for partial in abandoned.into_inner().expect("abandoned results poisoned") {
+            partial.add_counts(&mut summary);
+            grouped.merge_from(&partial.groups);
+        }
+        summary.reports = grouped.into_exemplars();
+        summary.elapsed = start.elapsed();
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b3_fs_cow::CowFsSpec;
+    use b3_vfs::KernelEra;
+
+    fn config() -> RunConfig {
+        RunConfig {
+            threads: 2,
+            crashmonkey: b3_crashmonkey::CrashMonkeyConfig::exhaustive_crash_points(),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn fixed_engine_tiny_sweep_is_clean_and_complete() {
+        let spec = CowFsSpec::new(KernelEra::Patched);
+        let sweep = AppSweep::new(&spec, config(), EngineProfile::fixed()).shards(4);
+        let summary = sweep.run(&TxnBounds::tiny());
+        assert_eq!(summary.tested, 20);
+        assert_eq!(summary.skipped, 0);
+        assert!(summary.reports.is_empty(), "{:?}", summary.reports);
+    }
+
+    #[test]
+    fn buggy_engine_sweep_finds_deterministic_exemplars() {
+        let spec = CowFsSpec::new(KernelEra::Patched);
+        let engine = EngineProfile {
+            commit_without_data_fsync: true,
+            ..EngineProfile::fixed()
+        };
+        let first = AppSweep::new(&spec, config(), engine)
+            .shards(4)
+            .run(&TxnBounds::tiny());
+        let second = AppSweep::new(&spec, config(), engine)
+            .shards(7)
+            .run(&TxnBounds::tiny());
+        assert!(!first.reports.is_empty());
+        let names = |summary: &RunSummary| -> Vec<String> {
+            summary
+                .reports
+                .iter()
+                .map(|r| r.workload_name.clone())
+                .collect()
+        };
+        assert_eq!(
+            names(&first),
+            names(&second),
+            "exemplars are independent of the shard decomposition"
+        );
+    }
+
+    #[test]
+    fn resume_skips_recorded_shards_and_completes() {
+        let spec = CowFsSpec::new(KernelEra::Patched);
+        let sweep = AppSweep::new(&spec, config(), EngineProfile::fixed()).shards(5);
+        let bounds = TxnBounds::tiny();
+        let mut checkpoint = sweep.empty_checkpoint(&bounds);
+        // Budget-limited first pass: some shards recorded, some not.
+        let budgeted = AppSweep {
+            config: RunConfig {
+                stop_after_workloads: Some(7),
+                ..config()
+            },
+            ..AppSweep::new(&spec, config(), EngineProfile::fixed())
+        }
+        .shards(5);
+        budgeted.run_resumable(&bounds, &mut checkpoint);
+        assert!(!checkpoint.is_complete());
+        let resumed = sweep.run_resumable(&bounds, &mut checkpoint);
+        assert!(checkpoint.is_complete());
+        assert_eq!(resumed.tested, 20);
+    }
+
+    #[test]
+    fn engine_profile_scopes_the_checkpoint() {
+        let spec = CowFsSpec::new(KernelEra::Patched);
+        let fixed = AppSweep::new(&spec, config(), EngineProfile::fixed());
+        let buggy = AppSweep::new(
+            &spec,
+            config(),
+            EngineProfile {
+                torn_commit: true,
+                ..EngineProfile::fixed()
+            },
+        );
+        let bounds = TxnBounds::tiny();
+        assert_ne!(
+            fixed.empty_checkpoint(&bounds).fingerprint(),
+            buggy.empty_checkpoint(&bounds).fingerprint()
+        );
+    }
+}

@@ -31,10 +31,13 @@
 //! `--exit-when-idle` (drain the queue, then exit — instead of waiting
 //! for more jobs).
 //!
-//! `enqueue` takes `--preset` (`tiny`, `tiny-seq2`, or a Table 4 name),
-//! `--fs`, `--era`, `--shards`, `--prune`, `--crash-points`
-//! (`last`/`all`/`triaged`), and `--triage-audit N` (per-workload re-tests
-//! of triage-reused crash states; requires `triaged`). `status` exits
+//! `enqueue` takes `--preset` (`tiny`, `tiny-seq2`, a Table 4 name, or an
+//! application-transaction preset `app-tiny`/`app-smoke` — see
+//! docs/APP.md), `--fs`, `--era`, `--shards`, `--prune`, `--crash-points`
+//! (`last`/`all`/`triaged`), `--triage-audit N` (per-workload re-tests
+//! of triage-reused crash states; requires `triaged`), and — for `app-*`
+//! presets only — `--engine` (`fixed` or a comma-joined seeded-bug list,
+//! e.g. `no-data-fsync,torn-commit`). `status` exits
 //! non-zero under `--assert-all-done` if any job is not `done` (CI uses
 //! this after a drain). `results --out FILE` writes the job's merged
 //! group table in its wire encoding — byte-comparable against `groups
@@ -45,6 +48,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use b3_ace::{Bounds, SequencePreset};
+use b3_app::{EngineProfile, TxnBounds};
 use b3_crashmonkey::CrashPointPolicy;
 use b3_harness::distrib::{
     inspect_queue, worker_main, ChildTransport, DistribConfig, FleetClient, FleetConfig,
@@ -52,7 +56,7 @@ use b3_harness::distrib::{
     DEFAULT_CALIBRATION_WORKLOADS,
 };
 use b3_harness::{
-    bug_group_table, FsKind, GroupTable, PruneMode, RunConfig, Sweep, SweepCheckpoint,
+    bug_group_table, AppSweep, FsKind, GroupTable, PruneMode, RunConfig, Sweep, SweepCheckpoint,
 };
 use b3_vfs::codec::Encoder;
 use b3_vfs::KernelEra;
@@ -97,6 +101,7 @@ struct JobSpec {
     shards: usize,
     prune: PruneMode,
     crash_points: CrashPointPolicy,
+    engine: EngineProfile,
 }
 
 impl JobSpec {
@@ -108,6 +113,7 @@ impl JobSpec {
             shards: 12,
             prune: PruneMode::Off,
             crash_points: CrashPointPolicy::LastOnly,
+            engine: EngineProfile::fixed(),
         }
     }
 
@@ -157,22 +163,40 @@ impl JobSpec {
                     _ => fail("--triage-audit requires --crash-points triaged"),
                 }
             }
+            "--engine" => {
+                let name = reader.value(flag, inline);
+                self.engine =
+                    EngineProfile::parse(&name).unwrap_or_else(|e| fail(format!("--engine: {e}")));
+            }
             _ => return false,
         }
         true
     }
 
-    fn bounds(&self) -> Bounds {
-        preset_bounds(&self.preset)
-    }
-
     fn job(&self) -> b3_harness::SweepJob {
-        let mut job = b3_harness::SweepJob::new(self.bounds(), self.shards);
+        let mut job = match app_preset_bounds(&self.preset) {
+            Some(bounds) => b3_harness::SweepJob::new_app(bounds, self.engine, self.shards),
+            None => {
+                if !self.engine.is_fixed() {
+                    fail("--engine only applies to app-* presets");
+                }
+                b3_harness::SweepJob::new(preset_bounds(&self.preset), self.shards)
+            }
+        };
         job.fs = self.fs;
         job.era = self.era;
         job.prune = self.prune;
         job.crashmonkey.crash_points = self.crash_points;
         job
+    }
+}
+
+/// The application-transaction presets (`None` for file-system presets).
+fn app_preset_bounds(name: &str) -> Option<TxnBounds> {
+    match name {
+        "app-tiny" => Some(TxnBounds::tiny()),
+        "app-smoke" => Some(TxnBounds::smoke()),
+        _ => None,
     }
 }
 
@@ -493,12 +517,23 @@ fn cmd_groups(mut reader: ArgReader) {
                 crashmonkey: job.crashmonkey,
                 ..RunConfig::default()
             };
-            let mut reference = SweepCheckpoint::new(&job.bounds, job.num_shards);
-            let _ = Sweep::new(fs_spec.as_ref(), config)
-                .shards(job.num_shards)
-                .prune(job.prune)
-                .run_resumable(&job.bounds, &mut reference);
-            reference.grouped()
+            match &job.space {
+                b3_harness::SweepSpace::Fs(bounds) => {
+                    let mut reference = SweepCheckpoint::new(bounds, job.num_shards);
+                    let _ = Sweep::new(fs_spec.as_ref(), config)
+                        .shards(job.num_shards)
+                        .prune(job.prune)
+                        .run_resumable(bounds, &mut reference);
+                    reference.grouped()
+                }
+                b3_harness::SweepSpace::App { bounds, engine } => {
+                    let sweep =
+                        AppSweep::new(fs_spec.as_ref(), config, *engine).shards(job.num_shards);
+                    let mut reference = sweep.empty_checkpoint(bounds);
+                    let _ = sweep.run_resumable(bounds, &mut reference);
+                    reference.grouped()
+                }
+            }
         }
         _ => fail("groups needs exactly one of --checkpoint FILE or --single-process"),
     };

@@ -61,6 +61,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use b3_ace::{Bounds, WorkloadGenerator};
+use b3_app::{EngineProfile, TxnBounds};
 use b3_crashmonkey::{CrashMonkeyConfig, CrashPointPolicy};
 use b3_vfs::codec::{Decoder, Encoder};
 use b3_vfs::error::{FsError, FsResult};
@@ -95,17 +96,39 @@ use crate::postprocess::BugGroup;
 use protocol::{validate_hello, FromWorker, ToWorker};
 use segment::Persister;
 
+/// Which bounded space a [`SweepJob`] sweeps: ACE's file-system operation
+/// space, or the application-level transaction space crash-tested through
+/// the reference WAL/KV engine (`b3_app`). Either way the unit of work is
+/// a shard and the unit of result is a [`crate::sweep::ShardResult`], so
+/// everything downstream of the generator — claim/assign frames,
+/// checkpoint merging, the fleet queue — is space-agnostic.
+#[derive(Debug, Clone)]
+pub enum SweepSpace {
+    /// ACE's bounded file-system operation space.
+    Fs(Bounds),
+    /// The bounded transaction space, run through the `b3_app` WAL/KV
+    /// engine on top of the job's file system.
+    App {
+        /// The bounded transaction space.
+        bounds: TxnBounds,
+        /// Which seeded engine bugs are switched on (participates in the
+        /// job scope: buggy- and fixed-engine sweeps never share
+        /// checkpoints).
+        engine: EngineProfile,
+    },
+}
+
 /// Everything a worker needs to reproduce its slice of the sweep: which
-/// simulated file system (and kernel era) to test, the exact bounds, the
-/// shard split, and the CrashMonkey configuration.
+/// simulated file system (and kernel era) to test, the exact bounded
+/// space, the shard split, and the CrashMonkey configuration.
 #[derive(Debug, Clone)]
 pub struct SweepJob {
     /// The simulated file system under test.
     pub fs: FsKind,
     /// The kernel era the file system simulates.
     pub era: KernelEra,
-    /// The bounded workload space.
-    pub bounds: Bounds,
+    /// The bounded workload space (file-system ops or app transactions).
+    pub space: SweepSpace,
     /// How many shards the space is split into.
     pub num_shards: usize,
     /// CrashMonkey configuration every worker uses.
@@ -119,16 +142,52 @@ pub struct SweepJob {
 }
 
 impl SweepJob {
-    /// A job over the given space with the paper's evaluation-era defaults
-    /// (CowFs at 4.16, small CrashMonkey device).
+    /// A job over the given file-system operation space with the paper's
+    /// evaluation-era defaults (CowFs at 4.16, small CrashMonkey device).
     pub fn new(bounds: Bounds, num_shards: usize) -> SweepJob {
+        SweepJob::with_space(SweepSpace::Fs(bounds), num_shards)
+    }
+
+    /// A job over the given application transaction space, crash-testing
+    /// the `b3_app` WAL/KV engine (with the given seeded-bug profile) on
+    /// the job's file system. Same defaults as [`SweepJob::new`].
+    pub fn new_app(bounds: TxnBounds, engine: EngineProfile, num_shards: usize) -> SweepJob {
+        SweepJob::with_space(SweepSpace::App { bounds, engine }, num_shards)
+    }
+
+    fn with_space(space: SweepSpace, num_shards: usize) -> SweepJob {
         SweepJob {
             fs: FsKind::Cow,
             era: KernelEra::EVALUATION,
-            bounds,
+            space,
             num_shards,
             crashmonkey: CrashMonkeyConfig::small(),
             prune: PruneMode::Off,
+        }
+    }
+
+    /// The file-system bounds, when this is a [`SweepSpace::Fs`] job.
+    pub fn fs_bounds(&self) -> Option<&Bounds> {
+        match &self.space {
+            SweepSpace::Fs(bounds) => Some(bounds),
+            SweepSpace::App { .. } => None,
+        }
+    }
+
+    /// Exact (app) or estimated (fs) number of candidate workloads in the
+    /// whole space.
+    pub fn total_candidates(&self) -> u64 {
+        match &self.space {
+            SweepSpace::Fs(bounds) => WorkloadGenerator::estimate_candidates(bounds),
+            SweepSpace::App { bounds, .. } => bounds.candidates(),
+        }
+    }
+
+    /// Number of candidate workloads in shard `index` of this job's split.
+    pub fn shard_candidates(&self, index: usize) -> u64 {
+        match &self.space {
+            SweepSpace::Fs(bounds) => bounds.shard(index, self.num_shards).candidates(),
+            SweepSpace::App { bounds, .. } => bounds.shard(index, self.num_shards).candidates(),
         }
     }
 
@@ -158,6 +217,12 @@ impl SweepJob {
             u8::from(cm.direct_write_is_persistence_point),
             u8::from(cm.model_kernel_delays),
         );
+        // App jobs drive the WAL/KV engine on top of the file system, and
+        // the engine's seeded-bug profile changes every shard result — so
+        // it scopes the checkpoint exactly like the file system itself.
+        if let SweepSpace::App { engine, .. } = &self.space {
+            scope.push_str(&format!("/app:{}", engine.describe()));
+        }
         let canon = self.prune.scope_component();
         if !canon.is_empty() {
             scope.push('/');
@@ -166,16 +231,34 @@ impl SweepJob {
         scope
     }
 
-    /// An empty checkpoint for this job's (bounds, shard count, context)
+    /// An empty checkpoint for this job's (space, shard count, context)
     /// triple.
     pub fn empty_checkpoint(&self) -> SweepCheckpoint {
-        SweepCheckpoint::scoped(&self.bounds, self.num_shards, &self.scope())
+        match &self.space {
+            SweepSpace::Fs(bounds) => {
+                SweepCheckpoint::scoped(bounds, self.num_shards, &self.scope())
+            }
+            SweepSpace::App { bounds, .. } => {
+                SweepCheckpoint::scoped_app(bounds, self.num_shards, &self.scope())
+            }
+        }
     }
 
     pub(crate) fn encode(&self, enc: &mut Encoder) {
         enc.put_str(self.fs.paper_name());
         enc.put_str(self.era.as_str());
-        self.bounds.encode(enc);
+        // Protocol v6: a kind byte selects the swept space.
+        match &self.space {
+            SweepSpace::Fs(bounds) => {
+                enc.put_u8(protocol::wire::SPACE_FS);
+                bounds.encode(enc);
+            }
+            SweepSpace::App { bounds, engine } => {
+                enc.put_u8(protocol::wire::SPACE_APP);
+                bounds.encode(enc);
+                enc.put_u8(engine.bits());
+            }
+        }
         enc.put_u64(self.num_shards as u64);
         enc.put_u64(self.crashmonkey.device_blocks);
         // Protocol v5: a one-byte policy code plus the triage audit budget
@@ -199,7 +282,19 @@ impl SweepJob {
         let era_name = dec.get_str()?;
         let era = KernelEra::parse(&era_name)
             .ok_or_else(|| FsError::Corrupted(format!("unknown kernel era {era_name:?}")))?;
-        let bounds = Bounds::decode(dec)?;
+        let space = match dec.get_u8()? {
+            protocol::wire::SPACE_FS => SweepSpace::Fs(Bounds::decode(dec)?),
+            protocol::wire::SPACE_APP => {
+                let bounds = TxnBounds::decode(dec)?;
+                let engine = EngineProfile::from_bits(dec.get_u8()?)?;
+                SweepSpace::App { bounds, engine }
+            }
+            other => {
+                return Err(FsError::Corrupted(format!(
+                    "unknown sweep-space kind {other:#x}"
+                )))
+            }
+        };
         let num_shards = dec.get_u64()? as usize;
         let device_blocks = dec.get_u64()?;
         let cp_code = dec.get_u8()?;
@@ -228,7 +323,7 @@ impl SweepJob {
         Ok(SweepJob {
             fs,
             era,
-            bounds,
+            space,
             num_shards,
             crashmonkey,
             prune,
@@ -661,6 +756,11 @@ pub fn run_with_transport_hooked(
     hooks: DistribHooks<'_>,
 ) -> FsResult<DistribOutcome> {
     config.validate()?;
+    if matches!(job.space, SweepSpace::App { .. }) && !job.prune.is_off() {
+        return Err(FsError::InvalidArgument(
+            "app sweeps have no canonicalization: prune must be off".into(),
+        ));
+    }
     let progress = hooks.progress;
     let started = Instant::now();
     let checkpoint = match &config.checkpoint_path {
@@ -669,7 +769,7 @@ pub fn run_with_transport_hooked(
                 // The scope covers the file system, era, and CrashMonkey
                 // configuration: a checkpoint recorded under any other
                 // execution context (not just other bounds) is rejected.
-                if !existing.matches_scoped(&job.bounds, job.num_shards, &job.scope()) {
+                if existing.fingerprint() != job.empty_checkpoint().fingerprint() {
                     return Err(FsError::InvalidArgument(format!(
                         "checkpoint {} was recorded for a different sweep \
                          (its fingerprint: {})",
@@ -685,7 +785,7 @@ pub fn run_with_transport_hooked(
     };
     let seeded_shards = checkpoint.completed_shards();
     let seeded = checkpoint.summary();
-    let total_workloads = WorkloadGenerator::estimate_candidates(&job.bounds);
+    let total_workloads = job.total_candidates();
     // Open the persister only after the loaded checkpoint was validated:
     // opening compacts (rewrites) the file, and a mismatched checkpoint
     // must be rejected untouched.
@@ -732,7 +832,7 @@ pub fn run_with_transport_hooked(
     .to_frame();
     let workers_to_spawn = config.workers.max(1);
     let shard_sizes: Vec<u64> = (0..job.num_shards)
-        .map(|index| job.bounds.shard(index, job.num_shards).candidates())
+        .map(|index| job.shard_candidates(index))
         .collect();
     let avg_shard_workloads = if job.num_shards > 0 {
         total_workloads as f64 / job.num_shards as f64

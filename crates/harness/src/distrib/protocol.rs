@@ -51,8 +51,12 @@ use crate::sweep::ShardResult;
 /// fleet daemon's client frames (`Enqueue`/`Status`/`Results`/`Cancel`/
 /// `Subscribe` and their replies); v5 widened the crash-point policy in
 /// `SweepJob` from an `All` bool to a one-byte policy code plus the triage
-/// audit budget (`CrashPointPolicy::AllTriaged`, see docs/ANALYSIS.md).
-pub const PROTOCOL_VERSION: u32 = 5;
+/// audit budget (`CrashPointPolicy::AllTriaged`, see docs/ANALYSIS.md);
+/// v6 added the job-space kind byte ([`wire::SPACE_FS`]/[`wire::SPACE_APP`])
+/// to `SweepJob`, so a job can carry either the ACE file-system bounds or
+/// the application transaction bounds plus the WAL/KV engine profile
+/// (`b3_app`, see docs/APP.md).
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// Frame tag bytes. Coordinator-to-worker tags occupy the low range,
 /// worker-to-coordinator tags have the high bit set — so a desynced stream
@@ -97,6 +101,11 @@ pub mod wire {
     pub const CLIENT_ERROR: u8 = 0x93;
     /// Daemon → client: one newly merged bug group (subscription stream).
     pub const EVENT: u8 = 0x94;
+    /// Job-space kind inside a `Job` frame: ACE file-system bounds follow.
+    pub const SPACE_FS: u8 = 0x00;
+    /// Job-space kind inside a `Job` frame: app transaction bounds + one
+    /// engine-profile byte follow.
+    pub const SPACE_APP: u8 = 0x01;
 }
 
 /// Largest frame either side accepts. Real frames are far smaller (a Job

@@ -18,8 +18,12 @@ use b3_crashmonkey::{CrashMonkey, CrashMonkeyConfig};
 use b3_vfs::error::{FsError, FsResult};
 use b3_vfs::KernelEra;
 
+use b3_app::AppHarness;
+
 use super::protocol::PROTOCOL_VERSION;
 use super::protocol::{read_frame, transport_err, write_frame, FromWorker, Hello, ToWorker};
+use super::SweepSpace;
+use crate::appsweep::run_app_shard;
 use crate::corpus::FsKind;
 use crate::sweep::{run_shard, PruneContext};
 
@@ -202,40 +206,79 @@ fn worker_loop(
     }
 
     let spec = job.fs.spec(job.era);
-    // One bounded oracle interner for the life of the worker process, so
-    // content-equal oracle entries dedup across every shard it runs.
-    let interner = std::sync::Arc::new(b3_vfs::snapshot::EntryInterner::new());
-    let monkey = CrashMonkey::with_interner(spec.as_ref(), job.crashmonkey, interner);
     let mut workloads_until_crash = options.die_after_workloads;
-    // The classifier is a pure function of the bounds, and the sampling
-    // seed of the (canon-version-scoped) fingerprint both sides already
-    // agreed on — so every worker prunes and audits the exact same
-    // candidates the coordinator (or any replacement worker) would.
-    let classifier = (!job.prune.is_off()).then(|| b3_ace::Classifier::new(&job.bounds));
-    let prune_ctx = PruneContext::new(job.prune, classifier.as_ref(), &actual_fingerprint);
+    // The chaos hook: die mid-shard, leaving the claimed shard unreported.
+    let mut tick = move || {
+        if let Some(remaining) = &mut workloads_until_crash {
+            if *remaining == 0 {
+                std::process::exit(WORKER_CRASH_EXIT);
+            }
+            *remaining -= 1;
+        }
+    };
 
+    match &job.space {
+        SweepSpace::Fs(bounds) => {
+            // One bounded oracle interner for the life of the worker
+            // process, so content-equal oracle entries dedup across every
+            // shard it runs.
+            let interner = std::sync::Arc::new(b3_vfs::snapshot::EntryInterner::new());
+            let monkey = CrashMonkey::with_interner(spec.as_ref(), job.crashmonkey, interner);
+            // The classifier is a pure function of the bounds, and the
+            // sampling seed of the (canon-version-scoped) fingerprint both
+            // sides already agreed on — so every worker prunes and audits
+            // the exact same candidates the coordinator (or any
+            // replacement worker) would.
+            let classifier = (!job.prune.is_off()).then(|| b3_ace::Classifier::new(bounds));
+            let prune_ctx = PruneContext::new(job.prune, classifier.as_ref(), &actual_fingerprint);
+            claim_loop(reader, writer, |shard| {
+                run_shard(
+                    &monkey,
+                    bounds,
+                    shard,
+                    job.num_shards,
+                    &prune_ctx,
+                    &mut tick,
+                )
+            })
+        }
+        SweepSpace::App { bounds, engine } => {
+            // Canonicalization is a file-system-workload concept; an app
+            // job asking for it means the coordinator and this worker
+            // would disagree about what gets skipped — refuse loudly.
+            if !job.prune.is_off() {
+                let reason = "app sweeps have no canonicalization: prune must be off".to_string();
+                write_frame(
+                    writer,
+                    &FromWorker::Reject {
+                        reason: reason.clone(),
+                    }
+                    .to_frame(),
+                )?;
+                return Err(FsError::InvalidArgument(reason));
+            }
+            let harness = AppHarness::new(spec.as_ref(), job.crashmonkey, *engine);
+            claim_loop(reader, writer, |shard| {
+                run_app_shard(&harness, bounds, shard, job.num_shards, &mut tick)
+            })
+        }
+    }
+}
+
+/// The steady-state worker loop: `Claim` → `Assign`/`Shutdown` →
+/// `ShardDone`, with `run` supplying the per-shard result (the fs or app
+/// shard runner).
+fn claim_loop(
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+    mut run: impl FnMut(u32) -> crate::sweep::ShardResult,
+) -> FsResult<()> {
     loop {
         write_frame(writer, &FromWorker::Claim.to_frame())?;
         match ToWorker::from_frame(&read_frame(reader)?)? {
             ToWorker::Assign(shards) => {
                 for shard in shards {
-                    let result = run_shard(
-                        &monkey,
-                        &job.bounds,
-                        shard,
-                        job.num_shards,
-                        &prune_ctx,
-                        || {
-                            if let Some(remaining) = &mut workloads_until_crash {
-                                if *remaining == 0 {
-                                    // The chaos hook: die mid-shard, leaving
-                                    // the claimed shard unreported.
-                                    std::process::exit(WORKER_CRASH_EXIT);
-                                }
-                                *remaining -= 1;
-                            }
-                        },
-                    );
+                    let result = run(shard);
                     write_frame(writer, &FromWorker::ShardDone { shard, result }.to_frame())?;
                 }
             }

@@ -38,6 +38,7 @@
 //! * [`report`] — plain-text table formatting used by the benches and
 //!   examples that regenerate the paper's tables.
 
+pub mod appsweep;
 pub mod baseline;
 pub mod corpus;
 pub mod dedup;
@@ -48,13 +49,14 @@ pub mod runner;
 pub mod study;
 pub mod sweep;
 
+pub use appsweep::AppSweep;
 pub use corpus::{CorpusEntry, FsKind, ReproStatus};
 pub use dedup::{GroupEntry, GroupTable};
 pub use distrib::{
     run_distributed, run_with_transport, run_with_transport_hooked, ChildTransport, DistribConfig,
     DistribHooks, DistribOutcome, FleetClient, FleetConfig, FleetCoordinator, FleetEvent, JobState,
-    JobStatus, SshTransport, SweepJob, TcpTransport, Transport, WorkerCommand, WorkerLink,
-    WorkerOptions,
+    JobStatus, SshTransport, SweepJob, SweepSpace, TcpTransport, Transport, WorkerCommand,
+    WorkerLink, WorkerOptions,
 };
 pub use postprocess::{group_reports, BugGroup, KnownBugDatabase};
 pub use report::{bug_group_table, Table};

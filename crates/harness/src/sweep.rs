@@ -685,6 +685,24 @@ impl SweepCheckpoint {
         }
     }
 
+    /// An empty checkpoint for sweeping the application-level transaction
+    /// space `bounds` split into `num_shards`, under `scope`. The `txn/`
+    /// grammar is disjoint from the syscall fingerprint grammar by
+    /// construction, so an app checkpoint can never resume an fs sweep (or
+    /// vice versa) even with colliding scopes.
+    pub fn scoped_app(bounds: &b3_app::TxnBounds, num_shards: usize, scope: &str) -> Self {
+        SweepCheckpoint {
+            fingerprint: format!(
+                "{scope}|txn/{}/{}/{}cand/{num_shards}shards",
+                bounds.name_prefix,
+                bounds.describe(),
+                bounds.candidates()
+            ),
+            num_shards: num_shards as u32,
+            results: BTreeMap::new(),
+        }
+    }
+
     fn fingerprint_for(bounds: &Bounds, num_shards: usize, scope: &str) -> String {
         // Every knob that affects which workloads the space enumerates (or
         // their order) participates: the op list is order-sensitive on
@@ -1191,7 +1209,7 @@ impl<'a> Sweep<'a> {
 }
 
 /// Decrements the shared workload budget; false when it is exhausted.
-fn take_budget(budget: &AtomicUsize) -> bool {
+pub(crate) fn take_budget(budget: &AtomicUsize) -> bool {
     let mut remaining = budget.load(Ordering::Relaxed);
     loop {
         if remaining == 0 {

@@ -722,14 +722,15 @@ fn full_seq2_tcp_sweep_matches_single_process() {
     // counts, byte-identical exemplars). The in-process checkpoint is
     // unscoped — scope is a distributed-resume concern — so the
     // comparison is on the grouped tables, which scope does not affect.
-    let mut reference = b3_harness::SweepCheckpoint::new(&job.bounds, shards);
+    let job_bounds = job.fs_bounds().expect("fs job");
+    let mut reference = b3_harness::SweepCheckpoint::new(job_bounds, shards);
     let sweep_config = RunConfig {
         threads: 2,
         ..RunConfig::default()
     };
     let _ = Sweep::new(&spec, sweep_config)
         .shards(shards)
-        .run_resumable(&job.bounds, &mut reference);
+        .run_resumable(job_bounds, &mut reference);
     let ours = outcome.checkpoint.grouped();
     let theirs = reference.grouped();
     assert_eq!(ours.groups(), theirs.groups());

@@ -79,11 +79,12 @@ fn single_process_group_bytes(job: &SweepJob) -> Vec<u8> {
         crashmonkey: job.crashmonkey,
         ..RunConfig::default()
     };
-    let mut reference = SweepCheckpoint::new(&job.bounds, job.num_shards);
+    let bounds = job.fs_bounds().expect("fs job");
+    let mut reference = SweepCheckpoint::new(bounds, job.num_shards);
     let _ = Sweep::new(spec.as_ref(), config)
         .shards(job.num_shards)
         .prune(job.prune)
-        .run_resumable(&job.bounds, &mut reference);
+        .run_resumable(bounds, &mut reference);
     group_bytes(&reference.grouped())
 }
 

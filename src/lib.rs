@@ -28,6 +28,7 @@
 
 pub use b3_ace as ace;
 pub use b3_analyze as analyze;
+pub use b3_app as app;
 pub use b3_block as block;
 pub use b3_crashmonkey as crashmonkey;
 pub use b3_fs_cow as fs_cow;
@@ -41,6 +42,9 @@ pub use b3_vfs as vfs;
 pub mod prelude {
     pub use b3_ace::{Bounds, SequencePreset, WorkloadGenerator};
     pub use b3_analyze::{Analysis, StateDigest, WindowClass};
+    pub use b3_app::{
+        AppHarness, EngineProfile, TxnBounds, TxnOracle, TxnWorkloadGenerator, WalKv,
+    };
     pub use b3_block::{BlockDevice, RamDisk};
     pub use b3_crashmonkey::{
         BugReport, Consequence, CrashMonkey, CrashMonkeyConfig, CrashPointPolicy, RecoveryMode,

@@ -8,10 +8,11 @@
 //!   must match the `wire` constants in
 //!   `b3_harness::distrib::protocol`, and the documented protocol version
 //!   must equal `PROTOCOL_VERSION`.
-//! * **On-disk-format consistency**: the worked hexdump in
+//! * **On-disk-format consistency**: the worked hexdumps in
 //!   `docs/FORMATS.md` must be byte-identical to a freshly generated
-//!   checkpoint file, and the documented magics/record tags must match
-//!   the `segment` constants.
+//!   checkpoint file and to a freshly encoded WAL commit record, and the
+//!   documented magics/record tags must match the `segment` and app
+//!   engine constants.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -287,6 +288,74 @@ fn formats_spec_matches_the_on_disk_bytes() {
         assert!(
             spec.contains(line),
             "FORMATS.md hexdump is stale; expected line:\n{line}\n\
+             full regenerated dump:\n{dump}"
+        );
+    }
+}
+
+/// The worked WAL commit record FORMATS.md walks through: sequence 1, a
+/// 3-byte put of `k0` at heap offset 0, then a delete of `k1`, encoded by
+/// the application engine's `encode_commit_record`. Fully deterministic
+/// (the checksum is FNV-1a over the record bytes), so the documented
+/// hexdump can be compared byte-for-byte.
+fn documented_commit_record_bytes() -> Vec<u8> {
+    use b3::app::engine::{encode_commit_record, RecordOp, OP_DELETE, OP_PUT};
+    encode_commit_record(
+        1,
+        &[
+            RecordOp {
+                kind: OP_PUT,
+                key: "k0".to_string(),
+                val_off: 0,
+                val_len: 3,
+            },
+            RecordOp {
+                kind: OP_DELETE,
+                key: "k1".to_string(),
+                val_off: 0,
+                val_len: 0,
+            },
+        ],
+    )
+}
+
+#[test]
+fn formats_spec_matches_the_wal_record_bytes() {
+    use b3::app::engine::{COMMIT_MAGIC, OP_APPEND, OP_DELETE, OP_PUT, SNAPSHOT_MAGIC};
+
+    let path = repo_root().join("docs/FORMATS.md");
+    let spec = std::fs::read_to_string(&path).expect("docs/FORMATS.md exists");
+
+    // The magics and op kind bytes named in the spec are the code's.
+    assert_eq!(COMMIT_MAGIC, *b"B3AC");
+    assert_eq!(SNAPSHOT_MAGIC, *b"B3AS");
+    assert!(
+        spec.contains("B3AC"),
+        "FORMATS.md must name the commit-record magic"
+    );
+    assert!(
+        spec.contains("B3AS"),
+        "FORMATS.md must name the snapshot magic"
+    );
+    for (name, kind) in [
+        ("put", OP_PUT),
+        ("delete", OP_DELETE),
+        ("append", OP_APPEND),
+    ] {
+        assert!(
+            spec.contains(&format!("`{kind:#04x}`")),
+            "FORMATS.md must document the {name} op kind byte {kind:#04x}"
+        );
+    }
+
+    // The worked hexdump is regenerated from scratch and must match the
+    // document byte-for-byte — the WAL grammar can never drift from the
+    // engine.
+    let dump = hexdump(&documented_commit_record_bytes());
+    for line in dump.lines() {
+        assert!(
+            spec.contains(line),
+            "FORMATS.md WAL hexdump is stale; expected line:\n{line}\n\
              full regenerated dump:\n{dump}"
         );
     }

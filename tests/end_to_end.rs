@@ -162,6 +162,49 @@ fn known_bug_corpus_smoke_reproduces_one_bug_per_file_system() {
     }
 }
 
+/// The application-level corpus: every seeded WAL/KV engine bug must be
+/// detected with its expected consequence by the transaction oracle on two
+/// different (patched) host file systems, and the fixed engine must replay
+/// the same workloads clean. (The per-entry detail tests, including the
+/// journaling host masking the data-fsync bug, live in `b3-app`'s corpus
+/// tests.)
+#[test]
+fn app_corpus_smoke_detects_every_seeded_engine_bug() {
+    use b3_vfs::fs::FsSpec;
+
+    let hosts: [Box<dyn FsSpec>; 2] = [
+        Box::new(b3_fs_cow::CowFsSpec::new(b3_vfs::KernelEra::Patched)),
+        Box::new(b3_fs_flash::FlashFsSpec::new(b3_vfs::KernelEra::Patched)),
+    ];
+    let entries = b3::app::corpus::seeded_bugs();
+    assert_eq!(entries.len(), 3, "three seeded engine bugs");
+    for host in &hosts {
+        for entry in &entries {
+            let check = entry
+                .replay(host.as_ref())
+                .unwrap_or_else(|e| panic!("{} failed to replay: {e}", entry.id));
+            assert!(
+                check.detected_expected,
+                "{} on {}: observed {:?}, expected one of {:?}",
+                entry.id,
+                host.name(),
+                check.observed,
+                entry.expected
+            );
+            let fixed = entry
+                .replay_fixed(host.as_ref())
+                .unwrap_or_else(|e| panic!("{} failed on the fixed engine: {e}", entry.id));
+            assert!(
+                fixed.bugs.is_empty(),
+                "{} on {}: false positive on the fixed engine: {:?}",
+                entry.id,
+                host.name(),
+                fixed.bugs
+            );
+        }
+    }
+}
+
 /// The regression-suite baseline (today's xfstests practice) covers the
 /// skeletons of previously reported bugs but not the skeletons of the new
 /// bugs ACE found — the motivation for systematic testing in §2.
